@@ -1,0 +1,49 @@
+//! Bench target for E12: safety-level broadcast cost across cube sizes
+//! and fault densities, plus the GS + broadcast pipeline end to end.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hypersafe_core::{broadcast, run_gs, SafetyMap};
+use hypersafe_topology::{FaultConfig, Hypercube, NodeId};
+use hypersafe_workloads::{uniform_faults, Sweep};
+use std::hint::black_box;
+
+fn bench_broadcast(c: &mut Criterion) {
+    let mut g = c.benchmark_group("broadcast");
+    for n in [7u8, 10] {
+        let cube = Hypercube::new(n);
+        let mut rng = Sweep::new(1, 0xB0).trial_rng(0);
+        let cfg = FaultConfig::with_node_faults(
+            cube,
+            uniform_faults(cube, n as usize - 1, &mut rng),
+        );
+        let map = SafetyMap::compute(&cfg);
+        let src = cfg
+            .healthy_nodes()
+            .find(|&a| map.is_safe(a))
+            .unwrap_or(NodeId::ZERO);
+        g.bench_with_input(BenchmarkId::new("safe_source", n), &(cfg, map, src), |b, (cfg, map, src)| {
+            b.iter(|| black_box(broadcast(cfg, map, *src).coverage()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_gs_plus_broadcast(c: &mut Criterion) {
+    // The full "node failed → restabilize → redistribute" pipeline.
+    let cube = Hypercube::new(8);
+    let mut rng = Sweep::new(1, 0xB1).trial_rng(0);
+    let cfg = FaultConfig::with_node_faults(cube, uniform_faults(cube, 7, &mut rng));
+    c.bench_function("gs_then_broadcast_n8", |b| {
+        b.iter(|| {
+            let run = run_gs(&cfg);
+            let src = cfg
+                .healthy_nodes()
+                .find(|&a| run.map.is_safe(a))
+                .unwrap_or(NodeId::ZERO);
+            black_box(broadcast(&cfg, &run.map, src).coverage())
+        })
+    });
+}
+
+criterion_group!(benches, bench_broadcast, bench_gs_plus_broadcast);
+criterion_main!(benches);

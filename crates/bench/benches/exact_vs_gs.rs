@@ -1,0 +1,53 @@
+//! Bench target for E16: the cost gap between the paper's n−1-round
+//! approximation and perfect information — GS (`Θ(n · 2ⁿ)` per round,
+//! ≤ n−1 rounds) versus the exact oracle (`Θ(n · 4ⁿ)`). This gap *is*
+//! the paper's raison d'être, in nanoseconds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hypersafe_core::{ExactReach, SafetyMap};
+use hypersafe_topology::{FaultConfig, Hypercube};
+use hypersafe_workloads::{uniform_faults, Sweep};
+use std::hint::black_box;
+
+fn bench_gap(c: &mut Criterion) {
+    let mut g = c.benchmark_group("approximation_vs_oracle");
+    g.sample_size(10);
+    for n in [6u8, 8] {
+        let cube = Hypercube::new(n);
+        let mut rng = Sweep::new(1, 0xE0).trial_rng(0);
+        let cfg = FaultConfig::with_node_faults(
+            cube,
+            uniform_faults(cube, n as usize - 1, &mut rng),
+        );
+        g.bench_with_input(BenchmarkId::new("gs_levels", n), &cfg, |b, cfg| {
+            b.iter(|| black_box(SafetyMap::compute(cfg)))
+        });
+        g.bench_with_input(BenchmarkId::new("exact_oracle", n), &cfg, |b, cfg| {
+            b.iter(|| black_box(ExactReach::compute(cfg).radius(cfg, hypersafe_topology::NodeId::ZERO)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_parallel_gs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gs_parallelism");
+    g.sample_size(10);
+    for n in [12u8, 14] {
+        let cube = Hypercube::new(n);
+        let mut rng = Sweep::new(1, 0xE1).trial_rng(0);
+        let cfg = FaultConfig::with_node_faults(
+            cube,
+            uniform_faults(cube, 2 * n as usize, &mut rng),
+        );
+        g.bench_with_input(BenchmarkId::new("sequential", n), &cfg, |b, cfg| {
+            b.iter(|| black_box(SafetyMap::compute(cfg)))
+        });
+        g.bench_with_input(BenchmarkId::new("rayon", n), &cfg, |b, cfg| {
+            b.iter(|| black_box(SafetyMap::compute_parallel(cfg)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_gap, bench_parallel_gs);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Bench target for E2 (Fig. 2): cost of the GS safety-level
+//! computation as cube size and fault density grow — both the
+//! centralized fixed point and the message-accurate synchronous
+//! protocol.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hypersafe_core::{run_gs, SafetyMap};
+use hypersafe_topology::{FaultConfig, Hypercube};
+use hypersafe_workloads::{uniform_faults, Sweep};
+use std::hint::black_box;
+
+fn instances(n: u8, m: usize, count: u32) -> Vec<FaultConfig> {
+    let cube = Hypercube::new(n);
+    Sweep::new(count, 0xBE_ACE)
+        .run_seq(|_, rng| FaultConfig::with_node_faults(cube, uniform_faults(cube, m, rng)))
+}
+
+fn bench_centralized(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gs_centralized");
+    for n in [7u8, 10] {
+        for m in [0usize, n as usize - 1, 4 * n as usize] {
+            let cfgs = instances(n, m, 8);
+            g.bench_with_input(
+                BenchmarkId::new(format!("n{n}"), m),
+                &cfgs,
+                |b, cfgs| {
+                    let mut i = 0usize;
+                    b.iter(|| {
+                        let cfg = &cfgs[i % cfgs.len()];
+                        i += 1;
+                        black_box(SafetyMap::compute(cfg))
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_protocol(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gs_protocol");
+    g.sample_size(20);
+    for m in [0usize, 6, 28] {
+        let cfgs = instances(7, m, 4);
+        g.bench_with_input(BenchmarkId::new("n7", m), &cfgs, |b, cfgs| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let cfg = &cfgs[i % cfgs.len()];
+                i += 1;
+                black_box(run_gs(cfg).map.rounds())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_centralized, bench_protocol);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Bench target for E9: per-unicast cost of every routing algorithm on
+//! identical faulty-cube instances (the latency side of the
+//! delivery-rate comparison in `repro compare`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hypersafe_baselines::{
+    cw_route, dfs_route, fd_route, lh_route, progressive_route, sidetrack_route, LeeHayesStatus,
+    WuFernandezStatus,
+};
+use hypersafe_core::{route, SafetyMap};
+use hypersafe_topology::{FaultConfig, Hypercube, NodeId};
+use hypersafe_workloads::{random_pair, uniform_faults, Sweep};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn bench_algorithms(c: &mut Criterion) {
+    let n = 9u8;
+    let m = 8usize;
+    let cube = Hypercube::new(n);
+    let mut rng = Sweep::new(1, 0xACE).trial_rng(0);
+    let cfg = FaultConfig::with_node_faults(cube, uniform_faults(cube, m, &mut rng));
+    let map = SafetyMap::compute(&cfg);
+    let lh = LeeHayesStatus::compute(&cfg);
+    let wf = WuFernandezStatus::compute(&cfg);
+    let pairs: Vec<(NodeId, NodeId)> = (0..256).map(|_| random_pair(&cfg, &mut rng)).collect();
+    let ttl = 4 * n as u32;
+
+    let mut g = c.benchmark_group(format!("routing_algos_n{n}_m{m}"));
+    let mut idx = 0usize;
+    let mut next = move |pairs: &[(NodeId, NodeId)]| {
+        let p = pairs[idx % pairs.len()];
+        idx += 1;
+        p
+    };
+    g.bench_function("safety_level", |b| {
+        b.iter(|| {
+            let (s, d) = next(&pairs);
+            black_box(route(&cfg, &map, s, d).delivered)
+        })
+    });
+    g.bench_function("lee_hayes", |b| {
+        b.iter(|| {
+            let (s, d) = next(&pairs);
+            black_box(lh_route(&cfg, &lh, s, d).is_some())
+        })
+    });
+    g.bench_function("chiu_wu", |b| {
+        b.iter(|| {
+            let (s, d) = next(&pairs);
+            black_box(cw_route(&cfg, &wf, s, d).is_some())
+        })
+    });
+    g.bench_function("chen_shin_dfs", |b| {
+        b.iter(|| {
+            let (s, d) = next(&pairs);
+            black_box(dfs_route(&cfg, s, d).map(|r| r.delivered))
+        })
+    });
+    g.bench_function("progressive", |b| {
+        b.iter(|| {
+            let (s, d) = next(&pairs);
+            black_box(progressive_route(&cfg, s, d, ttl).map(|r| r.1))
+        })
+    });
+    g.bench_function("sidetrack", |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        b.iter(|| {
+            let (s, d) = next(&pairs);
+            black_box(sidetrack_route(&cfg, s, d, ttl, &mut rng).map(|r| r.1))
+        })
+    });
+    g.bench_function("free_dimensions", |b| {
+        b.iter(|| {
+            let (s, d) = next(&pairs);
+            black_box(fd_route(&cfg, s, d, ttl).map(|r| r.1))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_algorithms);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Bench target for E3/E11: status computation across the three
+//! definitions — safety levels (Definition 1) vs Lee–Hayes (Definition
+//! 2) vs Wu–Fernandez (Definition 3) — on identical instances.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hypersafe_baselines::{LeeHayesStatus, WuFernandezStatus};
+use hypersafe_core::SafetyMap;
+use hypersafe_topology::{FaultConfig, Hypercube};
+use hypersafe_workloads::{uniform_faults, Sweep};
+use std::hint::black_box;
+
+fn bench_definitions(c: &mut Criterion) {
+    let n = 9u8;
+    let cube = Hypercube::new(n);
+    for m in [4usize, 16, 64] {
+        let cfgs: Vec<FaultConfig> = Sweep::new(6, 0x5EED)
+            .run_seq(|_, rng| FaultConfig::with_node_faults(cube, uniform_faults(cube, m, rng)));
+        let mut g = c.benchmark_group(format!("status_n{n}_m{m}"));
+        g.bench_with_input(BenchmarkId::new("safety_levels", m), &cfgs, |b, cfgs| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let cfg = &cfgs[i % cfgs.len()];
+                i += 1;
+                black_box(SafetyMap::compute(cfg))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("constructive", m), &cfgs, |b, cfgs| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let cfg = &cfgs[i % cfgs.len()];
+                i += 1;
+                black_box(SafetyMap::compute_constructive(cfg))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("lee_hayes", m), &cfgs, |b, cfgs| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let cfg = &cfgs[i % cfgs.len()];
+                i += 1;
+                black_box(LeeHayesStatus::compute(cfg))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("wu_fernandez", m), &cfgs, |b, cfgs| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let cfg = &cfgs[i % cfgs.len()];
+                i += 1;
+                black_box(WuFernandezStatus::compute(cfg))
+            })
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_definitions);
+criterion_main!(benches);

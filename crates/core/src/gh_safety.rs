@@ -1,0 +1,316 @@
+//! Safety levels in generalized hypercubes — Definition 4 (paper §4.2).
+//!
+//! In `GH(m_{n-1}, …, m_0)` every node still carries an `n`-vector of
+//! per-dimension safety values, but the value for dimension `i` is the
+//! **minimum** safety level over the `m_i − 1` other nodes of the
+//! node's dimension-`i` clique. Definition 1's rule is then applied to
+//! the sorted `n`-vector unchanged. With all radices 2 this reduces
+//! exactly to the binary Definition 1 (property-tested).
+//!
+//! Because the clique nodes are directly connected, one exchange step
+//! suffices to learn the dimension minimum, so the fixed point is still
+//! reached in `n − 1` rounds.
+
+use crate::safety::{level_from_neighbors, Level};
+use hypersafe_simkit::{gh_port_dim, GenericSyncEngine, PortNode, SyncStats};
+use hypersafe_topology::{FaultSet, GeneralizedHypercube, GhNode, NodeId};
+
+/// Safety levels of every node of a faulty generalized hypercube.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GhSafetyMap {
+    levels: Vec<Level>,
+    n: u8,
+    rounds: u32,
+}
+
+impl GhSafetyMap {
+    /// Computes the fixed point of Definition 4 for `gh` with the given
+    /// faulty nodes, by synchronous Jacobi iteration from the all-`n`
+    /// start (faulty nodes 0).
+    pub fn compute(gh: &GeneralizedHypercube, faults: &FaultSet) -> Self {
+        let n = gh.dim();
+        let mut levels: Vec<Level> = gh
+            .nodes()
+            .map(|a| if faults.contains(NodeId::new(a.raw())) { 0 } else { n })
+            .collect();
+        let mut rounds = 0u32;
+        let mut scratch = vec![0 as Level; n as usize];
+        let mut next = levels.clone();
+        loop {
+            let mut changed = false;
+            for a in gh.nodes() {
+                let idx = a.raw() as usize;
+                if faults.contains(NodeId::new(a.raw())) {
+                    continue;
+                }
+                for i in 0..n {
+                    // S_i = min level among the rest of the dimension-i
+                    // clique (m_i − 1 nodes, all directly connected).
+                    scratch[i as usize] = gh
+                        .neighbors_along(a, i)
+                        .map(|b| levels[b.raw() as usize])
+                        .min()
+                        .expect("radix ≥ 2 gives ≥ 1 clique peer");
+                }
+                let lv = level_from_neighbors(n, &mut scratch);
+                next[idx] = lv;
+                changed |= lv != levels[idx];
+            }
+            if !changed {
+                break;
+            }
+            std::mem::swap(&mut levels, &mut next);
+            rounds += 1;
+        }
+        GhSafetyMap { levels, n, rounds }
+    }
+
+    /// Number of dimensions `n`.
+    pub fn dim(&self) -> u8 {
+        self.n
+    }
+
+    /// Safety level of node `a`.
+    #[inline]
+    pub fn level(&self, a: GhNode) -> Level {
+        self.levels[a.raw() as usize]
+    }
+
+    /// Whether `a` is safe (level `n`).
+    pub fn is_safe(&self, a: GhNode) -> bool {
+        self.level(a) == self.n
+    }
+
+    /// Active rounds used by the computation.
+    pub fn rounds(&self) -> u32 {
+        self.rounds
+    }
+
+    /// All safe nodes, ascending by index.
+    pub fn safe_nodes(&self) -> Vec<GhNode> {
+        self.levels
+            .iter()
+            .enumerate()
+            .filter(|&(_, &l)| l == self.n)
+            .map(|(i, _)| GhNode(i as u64))
+            .collect()
+    }
+
+    /// Raw level array indexed by node index.
+    pub fn as_slice(&self) -> &[Level] {
+        &self.levels
+    }
+}
+
+/// Per-node state of the distributed GH `GLOBAL_STATUS`
+/// (`EXTENDED_NODE_STATUS` of §4.2 run on the generic port engine):
+/// each round the node hears every clique peer's level, takes the
+/// per-dimension minimum (`S_i = min{S(aⁱ)}`), and applies
+/// Definition 1's rule. Silent ports (faulty peers) read as level 0.
+#[derive(Clone, Debug)]
+pub struct GhGsNode {
+    /// Dimension of each port, precomputed from the radices.
+    port_dims: std::sync::Arc<[u8]>,
+    n: u8,
+    level: Level,
+}
+
+impl GhGsNode {
+    fn new(port_dims: std::sync::Arc<[u8]>, n: u8) -> Self {
+        GhGsNode { port_dims, n, level: n }
+    }
+
+    /// Current safety level.
+    pub fn level(&self) -> Level {
+        self.level
+    }
+}
+
+impl PortNode for GhGsNode {
+    type Msg = Level;
+
+    fn broadcast(&self) -> Level {
+        self.level
+    }
+
+    fn receive(&mut self, inbox: &[(usize, Level)]) -> bool {
+        // Per-dimension minimum over the clique; a dimension with any
+        // silent (faulty) peer reads 0, so start from "0 unless every
+        // peer of the dimension spoke".
+        let mut mins = vec![self.n as u16; self.n as usize];
+        let mut heard = vec![0u16; self.n as usize];
+        for &(port, lv) in inbox {
+            let d = self.port_dims[port] as usize;
+            heard[d] += 1;
+            mins[d] = mins[d].min(lv as u16);
+        }
+        let mut levels: Vec<Level> = Vec::with_capacity(self.n as usize);
+        let mut expected = vec![0u16; self.n as usize];
+        for (port, &d) in self.port_dims.iter().enumerate() {
+            let _ = port;
+            expected[d as usize] += 1;
+        }
+        for i in 0..self.n as usize {
+            levels.push(if heard[i] < expected[i] { 0 } else { mins[i] as Level });
+        }
+        let new = level_from_neighbors(self.n, &mut levels);
+        let changed = new != self.level;
+        self.level = new;
+        changed
+    }
+}
+
+/// Runs the distributed GH `GLOBAL_STATUS` to quiescence on the
+/// generic port engine and returns the converged map plus engine
+/// statistics. Agrees with [`GhSafetyMap::compute`] (tested).
+pub fn run_gh_gs(gh: &GeneralizedHypercube, faults: &FaultSet) -> (GhSafetyMap, SyncStats) {
+    let n = gh.dim();
+    let port_dims: std::sync::Arc<[u8]> =
+        (0..gh.degree() as usize).map(|p| gh_port_dim(gh, p)).collect();
+    let faulty: Vec<bool> =
+        (0..gh.num_nodes()).map(|a| faults.contains(NodeId::new(a))).collect();
+    let mut eng = GenericSyncEngine::new(gh, faulty, |_| GhGsNode::new(port_dims.clone(), n));
+    let rounds = eng.run_until_stable(n as u32 + 1);
+    let levels = (0..gh.num_nodes())
+        .map(|a| eng.node(a).map_or(0, GhGsNode::level))
+        .collect();
+    let stats = eng.stats().clone();
+    (GhSafetyMap { levels, n, rounds }, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::safety::SafetyMap;
+    use hypersafe_topology::{FaultConfig, Hypercube};
+
+    #[test]
+    fn binary_radices_reduce_to_definition1() {
+        // GH(2,2,2,2) with the Fig. 1 fault set must equal the binary map.
+        let gh = GeneralizedHypercube::new(&[2, 2, 2, 2]);
+        let cube = Hypercube::new(4);
+        let faults = FaultSet::from_binary_strs(cube, &["0011", "0100", "0110", "1001"]);
+        let ghmap = GhSafetyMap::compute(&gh, &faults);
+        let cfg = FaultConfig::with_node_faults(cube, faults);
+        let qmap = SafetyMap::compute(&cfg);
+        assert_eq!(ghmap.as_slice(), qmap.as_slice());
+        assert_eq!(ghmap.rounds(), qmap.rounds());
+    }
+
+    #[test]
+    fn fault_free_gh_is_all_safe() {
+        let gh = GeneralizedHypercube::from_product(&[2, 3, 2]);
+        let map = GhSafetyMap::compute(&gh, &gh.fault_set());
+        assert_eq!(map.rounds(), 0);
+        assert!(gh.nodes().all(|a| map.is_safe(a)));
+    }
+
+    #[test]
+    fn rounds_bounded_by_n_minus_1() {
+        // Exhaustive over all fault subsets of GH(2,3,2) of size ≤ 4.
+        let gh = GeneralizedHypercube::from_product(&[2, 3, 2]);
+        let total = gh.num_nodes();
+        for mask in 0u64..(1 << total) {
+            if mask.count_ones() > 4 {
+                continue;
+            }
+            let mut f = gh.fault_set();
+            for i in 0..total {
+                if (mask >> i) & 1 == 1 {
+                    f.insert(NodeId::new(i));
+                }
+            }
+            let map = GhSafetyMap::compute(&gh, &f);
+            assert!(map.rounds() <= 2, "mask {mask:#b}: rounds {}", map.rounds());
+        }
+    }
+
+    #[test]
+    fn distributed_gh_gs_matches_centralized() {
+        // Exhaustive over all ≤ 4-fault subsets of GH(2,3,2), plus the
+        // Fig. 5 instance: the message-passing protocol and the Jacobi
+        // evaluation agree.
+        let gh = GeneralizedHypercube::from_product(&[2, 3, 2]);
+        let total = gh.num_nodes();
+        for mask in 0u64..(1 << total) {
+            if mask.count_ones() > 4 {
+                continue;
+            }
+            let mut f = gh.fault_set();
+            for i in 0..total {
+                if (mask >> i) & 1 == 1 {
+                    f.insert(NodeId::new(i));
+                }
+            }
+            let central = GhSafetyMap::compute(&gh, &f);
+            let (dist, stats) = run_gh_gs(&gh, &f);
+            assert_eq!(central.as_slice(), dist.as_slice(), "mask {mask:#b}");
+            assert_eq!(central.rounds(), dist.rounds(), "mask {mask:#b}");
+            if mask == 0 {
+                assert_eq!(stats.active_rounds, 0, "fault-free costs nothing");
+            }
+        }
+    }
+
+    #[test]
+    fn distributed_gh_gs_on_mixed_radices() {
+        let gh = GeneralizedHypercube::new(&[3, 2, 4]);
+        let mut f = gh.fault_set();
+        f.insert(NodeId::new(0));
+        f.insert(NodeId::new(7));
+        f.insert(NodeId::new(13));
+        let central = GhSafetyMap::compute(&gh, &f);
+        let (dist, _) = run_gh_gs(&gh, &f);
+        assert_eq!(central.as_slice(), dist.as_slice());
+    }
+
+    #[test]
+    fn single_fault_keeps_everyone_safe_when_radix_large() {
+        // In GH(4,4): one faulty node leaves each survivor with at most
+        // one 0 in its dimension-min vector → everyone stays safe.
+        let gh = GeneralizedHypercube::new(&[4, 4]);
+        let mut f = gh.fault_set();
+        f.insert(NodeId::new(0));
+        let map = GhSafetyMap::compute(&gh, &f);
+        for a in gh.nodes() {
+            if a.raw() == 0 {
+                assert_eq!(map.level(a), 0);
+            } else {
+                assert!(map.is_safe(a), "{}", gh.format(a));
+            }
+        }
+    }
+
+    #[test]
+    fn dimension_reads_zero_if_any_clique_member_faulty() {
+        // GH with radices lsb-first [2, 3]. A *single* faulty node in
+        // node (0,0)'s dimension-1 clique already zeroes that
+        // dimension's reading (min semantics); combined with a faulty
+        // dim-0 peer the node drops to level 1.
+        let gh = GeneralizedHypercube::new(&[2, 3]);
+        let a00 = gh.node_from_digits(&[0, 0]);
+
+        // One faulty clique peer alone: the sorted vector is (0, x)
+        // with x ≥ 1, which Definition 1 tolerates → still safe.
+        let mut f1 = gh.fault_set();
+        f1.insert(NodeId::new(gh.node_from_digits(&[0, 1]).raw()));
+        let m1 = GhSafetyMap::compute(&gh, &f1);
+        assert_eq!(m1.level(a00), 2);
+
+        // Faulty clique peer in dim 1 *and* faulty dim-0 peer: both
+        // dimensions read 0 → level 1.
+        let mut f2 = gh.fault_set();
+        f2.insert(NodeId::new(gh.node_from_digits(&[0, 1]).raw()));
+        f2.insert(NodeId::new(gh.node_from_digits(&[1, 0]).raw()));
+        let m2 = GhSafetyMap::compute(&gh, &f2);
+        assert_eq!(m2.level(a00), 1);
+
+        // The min is over the whole clique: faulting the *other* dim-1
+        // peer instead changes nothing about (0,0)'s reading.
+        let mut f3 = gh.fault_set();
+        f3.insert(NodeId::new(gh.node_from_digits(&[0, 2]).raw()));
+        f3.insert(NodeId::new(gh.node_from_digits(&[1, 0]).raw()));
+        let m3 = GhSafetyMap::compute(&gh, &f3);
+        assert_eq!(m3.level(a00), 1);
+    }
+}

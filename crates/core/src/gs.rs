@@ -1,0 +1,280 @@
+//! `GLOBAL_STATUS` (GS) — the paper's distributed safety-level
+//! computation, executed as an actual message-passing protocol.
+//!
+//! Every nonfaulty node starts at level `n` (so a fault-free cube costs
+//! nothing, §2.2), faulty nodes are 0-safe and silent; each round every
+//! node sends its level to all neighbors and re-evaluates Definition 1
+//! over the received values (`NODE_STATUS`). A faulty neighbor never
+//! speaks, so its dimension reads as level 0 — exactly the paper's
+//! convention.
+//!
+//! [`run_gs`] executes the synchronous version on the lock-step engine
+//! and returns the resulting [`SafetyMap`] plus round/message
+//! statistics. [`run_gs_async`] executes the asynchronous variant on
+//! the discrete-event engine with arbitrary per-link latencies; by
+//! Theorem 1 both converge to the same unique fixed point, which the
+//! test suite cross-checks against the centralized computation.
+
+use crate::safety::{level_from_neighbors, Level, SafetyMap};
+use hypersafe_simkit::{Actor, Ctx, EventEngine, SyncEngine, SyncNode, SyncStats};
+use hypersafe_topology::{FaultConfig, NodeId};
+
+/// Per-node state of the synchronous GS protocol.
+#[derive(Clone, Debug)]
+pub struct GsNode {
+    n: u8,
+    level: Level,
+}
+
+impl GsNode {
+    /// Fresh state for a node of an `n`-cube: initially `n`-safe.
+    pub fn new(n: u8) -> Self {
+        GsNode { n, level: n }
+    }
+
+    /// Current safety level.
+    pub fn level(&self) -> Level {
+        self.level
+    }
+}
+
+impl SyncNode for GsNode {
+    type Msg = Level;
+
+    fn broadcast(&self) -> Level {
+        self.level
+    }
+
+    fn receive(&mut self, inbox: &[(u8, Level)]) -> bool {
+        // Dimensions that delivered nothing (faulty neighbor or faulty
+        // link) read as level 0.
+        let mut levels = vec![0 as Level; self.n as usize];
+        for &(dim, lv) in inbox {
+            levels[dim as usize] = lv;
+        }
+        let new = level_from_neighbors(self.n, &mut levels);
+        let changed = new != self.level;
+        self.level = new;
+        changed
+    }
+}
+
+/// Outcome of a distributed GS run.
+#[derive(Clone, Debug)]
+pub struct GsRun {
+    /// The converged safety levels.
+    pub map: SafetyMap,
+    /// Engine statistics (rounds, messages).
+    pub stats: SyncStats,
+}
+
+/// Runs synchronous GS to quiescence (at most `max_rounds` rounds; the
+/// Corollary to Property 1 guarantees `n − 1` suffices, and the default
+/// entry point [`run_gs`] uses exactly that bound plus the quiescence
+/// probe).
+pub fn run_gs_bounded(cfg: &FaultConfig, max_rounds: u32) -> GsRun {
+    let n = cfg.cube().dim();
+    let mut eng = SyncEngine::new(cfg, |_| GsNode::new(n));
+    eng.run_until_stable(max_rounds);
+    let stats = eng.stats().clone();
+    let levels = cfg
+        .cube()
+        .nodes()
+        .map(|a| eng.node(a).map_or(0, GsNode::level))
+        .collect();
+    let rounds = stats.active_rounds;
+    GsRun { map: SafetyMap::from_levels(cfg.cube(), levels).with_rounds(rounds), stats }
+}
+
+/// Runs synchronous GS with the paper's bound `D = n − 1` (plus one
+/// quiescence-detection round so the active-round count is exact).
+///
+/// # Examples
+///
+/// ```
+/// use hypersafe_topology::{Hypercube, FaultSet, FaultConfig};
+/// use hypersafe_core::{run_gs, SafetyMap};
+///
+/// let cube = Hypercube::new(4);
+/// let faults = FaultSet::from_binary_strs(cube, &["0011", "0100"]);
+/// let cfg = FaultConfig::with_node_faults(cube, faults);
+/// let run = run_gs(&cfg);
+/// // The distributed protocol converges to the centralized fixed point.
+/// assert_eq!(run.map.as_slice(), SafetyMap::compute(&cfg).as_slice());
+/// assert!(run.stats.messages > 0);
+/// ```
+pub fn run_gs(cfg: &FaultConfig) -> GsRun {
+    run_gs_bounded(cfg, cfg.cube().dim() as u32)
+}
+
+/// Asynchronous GS actor: re-evaluates on every received level and
+/// gossips its own level whenever it changes (state-change-driven,
+/// §2.2 item 3).
+///
+/// Initial knowledge follows the paper's assumption 2 ("each node knows
+/// exactly the safety status of all its neighbors" via local fault
+/// detection): a healthy neighbor is presumed `n`-safe until it says
+/// otherwise, a faulty neighbor (or one behind a faulty link) reads 0
+/// permanently. Starting from this top element, Definition 1's operator
+/// is monotone, so every update strictly *decreases* some level —
+/// termination is guaranteed after at most `n · 2ⁿ` announcements and
+/// the quiescent state is Theorem 1's unique fixed point.
+#[derive(Clone, Debug)]
+pub struct AsyncGsNode {
+    n: u8,
+    level: Level,
+    /// Best current knowledge of each neighbor's level, by dimension.
+    heard: Vec<Level>,
+    latency: u64,
+}
+
+impl AsyncGsNode {
+    fn new(cfg: &FaultConfig, me: NodeId, latency: u64) -> Self {
+        let n = cfg.cube().dim();
+        let heard = cfg
+            .cube()
+            .neighbors_with_dims(me)
+            .map(|(_, b)| {
+                if cfg.node_faulty(b) || cfg.link_faults().contains(me, b) {
+                    0
+                } else {
+                    n
+                }
+            })
+            .collect();
+        AsyncGsNode { n, level: n, heard, latency }
+    }
+
+    /// Current safety level.
+    pub fn level(&self) -> Level {
+        self.level
+    }
+
+    fn reevaluate(&mut self) -> bool {
+        let mut scratch = self.heard.clone();
+        let new = level_from_neighbors(self.n, &mut scratch);
+        if new != self.level {
+            debug_assert!(new < self.level, "levels only decrease from the top start");
+            self.level = new;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn announce(&self, ctx: &mut Ctx<Level>) {
+        for i in 0..self.n {
+            ctx.send(ctx.self_id().neighbor(i), self.level, self.latency);
+        }
+    }
+}
+
+impl Actor for AsyncGsNode {
+    type Msg = Level;
+
+    fn on_start(&mut self, ctx: &mut Ctx<Level>) {
+        // Nodes whose adjacent faults alone lower their level kick off
+        // the wave; everyone else stays silent (zero cost when
+        // fault-free, §2.2).
+        if self.reevaluate() {
+            self.announce(ctx);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<Level>, from: NodeId, msg: Level) {
+        let dim = ctx.self_id().xor(from).set_dims().next().expect("neighbor");
+        self.heard[dim as usize] = msg;
+        if self.reevaluate() {
+            self.announce(ctx);
+        }
+    }
+}
+
+/// Runs the asynchronous GS protocol with the given per-hop message
+/// latency and returns the converged map plus engine statistics.
+pub fn run_gs_async(cfg: &FaultConfig, latency: u64) -> (SafetyMap, hypersafe_simkit::EventStats) {
+    let mut eng = EventEngine::new(cfg, |a| AsyncGsNode::new(cfg, a, latency.max(1)));
+    eng.run(u64::MAX);
+    let levels = cfg
+        .cube()
+        .nodes()
+        .map(|a| eng.actor(a).map_or(0, AsyncGsNode::level))
+        .collect();
+    let stats = eng.stats().clone();
+    (SafetyMap::from_levels(cfg.cube(), levels), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypersafe_topology::{FaultSet, Hypercube};
+
+    fn cfg4(faults: &[&str]) -> FaultConfig {
+        let cube = Hypercube::new(4);
+        FaultConfig::with_node_faults(cube, FaultSet::from_binary_strs(cube, faults))
+    }
+
+    #[test]
+    fn sync_gs_matches_centralized_fig1() {
+        let cfg = cfg4(&["0011", "0100", "0110", "1001"]);
+        let run = run_gs(&cfg);
+        let central = SafetyMap::compute(&cfg);
+        assert_eq!(run.map.as_slice(), central.as_slice());
+        assert_eq!(run.map.rounds(), 2, "Fig. 1 stabilizes after two rounds");
+    }
+
+    #[test]
+    fn async_gs_matches_centralized_fig1() {
+        let cfg = cfg4(&["0011", "0100", "0110", "1001"]);
+        let (map, stats) = run_gs_async(&cfg, 3);
+        let central = SafetyMap::compute(&cfg);
+        assert_eq!(map.as_slice(), central.as_slice());
+        assert!(stats.delivered > 0);
+    }
+
+    #[test]
+    fn theorem1_uniqueness_exhaustive_q3() {
+        // Sync, async, centralized, and constructive all agree on every
+        // fault pattern of Q_3 — Theorem 1 in executable form.
+        let cube = Hypercube::new(3);
+        for mask in 0u64..256 {
+            let mut f = FaultSet::new(cube);
+            for i in 0..8 {
+                if (mask >> i) & 1 == 1 {
+                    f.insert(NodeId::new(i));
+                }
+            }
+            let cfg = FaultConfig::with_node_faults(cube, f);
+            let central = SafetyMap::compute(&cfg);
+            let sync = run_gs(&cfg);
+            assert_eq!(sync.map.as_slice(), central.as_slice(), "sync mask {mask:#b}");
+            let (async_map, _) = run_gs_async(&cfg, 1);
+            assert_eq!(async_map.as_slice(), central.as_slice(), "async mask {mask:#b}");
+        }
+    }
+
+    #[test]
+    fn async_with_heterogeneous_latencies_still_converges() {
+        // Latency 7 ≫ 1 stresses reordering across rounds.
+        let cfg = cfg4(&["0000", "0110", "1111"]);
+        let (map, _) = run_gs_async(&cfg, 7);
+        assert_eq!(map.as_slice(), SafetyMap::compute(&cfg).as_slice());
+    }
+
+    #[test]
+    fn fault_free_costs_zero_active_rounds() {
+        let cfg = cfg4(&[]);
+        let run = run_gs(&cfg);
+        assert_eq!(run.stats.active_rounds, 0);
+        assert_eq!(run.stats.rounds_run, 1, "single quiescence probe");
+    }
+
+    #[test]
+    fn message_count_per_round_is_two_per_usable_link() {
+        let cfg = cfg4(&["0011"]);
+        let run = run_gs(&cfg);
+        // 15 healthy nodes; usable links = 32 − 4 (links of 0011).
+        let usable = 28u64;
+        assert_eq!(run.stats.messages % (2 * usable), 0);
+    }
+}

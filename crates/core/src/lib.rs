@@ -1,0 +1,90 @@
+//! # hypersafe-core
+//!
+//! The paper's primary contribution: **safety levels** and **reliable
+//! unicasting** in faulty hypercubes (Wu, ICPP'95 / IEEE TC Feb'97).
+//!
+//! * [`safety`] — Definition 1 and the unique fixed point (Theorem 1).
+//! * [`gs`] — the distributed `GLOBAL_STATUS` protocol, synchronous and
+//!   asynchronous, executed message-by-message on `hypersafe-simkit`.
+//! * [`navigation`] + [`unicast`] — the optimal/suboptimal unicasting
+//!   algorithm with the `C1`/`C2`/`C3` source feasibility check.
+//! * [`unicast_distributed`] — the same algorithm as per-node actors
+//!   exchanging real messages.
+//! * [`egs`] — the §4.1 extension to faulty links (`N1`/`N2` views).
+//! * [`gh_safety`] + [`gh_unicast`] — the §4.2 extension to
+//!   generalized hypercubes.
+//! * [`properties`] — executable checkers for Theorems 1–3 and
+//!   Properties 1–2.
+//! * [`maintenance`] — the §2.2 demand-driven / periodic /
+//!   state-change-driven update strategies.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use hypersafe_topology::{Hypercube, FaultSet, FaultConfig, NodeId};
+//! use hypersafe_core::{SafetyMap, route, Decision};
+//!
+//! // The paper's Fig. 1: a 4-cube with four faulty nodes.
+//! let cube = Hypercube::new(4);
+//! let faults = FaultSet::from_binary_strs(cube, &["0011", "0100", "0110", "1001"]);
+//! let cfg = FaultConfig::with_node_faults(cube, faults);
+//!
+//! // Safety levels (Definition 1 / Theorem 1 fixed point).
+//! let map = SafetyMap::compute(&cfg);
+//! assert_eq!(map.level(NodeId::from_binary("1110").unwrap()), 4);
+//!
+//! // Route the paper's first worked unicast: 1110 → 0001, H = 4.
+//! let res = route(&cfg, &map,
+//!     NodeId::from_binary("1110").unwrap(),
+//!     NodeId::from_binary("0001").unwrap());
+//! assert!(matches!(res.decision, Decision::Optimal { .. }));
+//! assert!(res.delivered);
+//! assert!(res.path.unwrap().is_optimal());
+//! ```
+#![warn(missing_docs)]
+
+pub mod broadcast;
+pub mod broadcast_distributed;
+pub mod diagnosis;
+pub mod egs;
+pub mod exact;
+pub mod gh_broadcast;
+pub mod gh_safety;
+pub mod gh_unicast;
+pub mod gh_unicast_distributed;
+pub mod gs;
+pub mod maintenance;
+pub mod multicast;
+pub mod navigation;
+pub mod properties;
+pub mod reroute;
+pub mod safety;
+pub mod safety_vector;
+pub mod unicast;
+pub mod unicast_distributed;
+
+pub use broadcast::{broadcast, BroadcastResult};
+pub use broadcast_distributed::{run_broadcast, BcastMsg, BcastNode};
+pub use diagnosis::{detect, DetectionResult, DetectorParams, Heartbeat};
+pub use egs::{route_egs, route_egs_traced, run_egs, EgsNode, ExtendedSafetyMap};
+pub use exact::{tightness, ExactReach, TightnessSummary};
+pub use gh_broadcast::{gh_broadcast, GhBroadcastResult};
+pub use gh_safety::{run_gh_gs, GhGsNode, GhSafetyMap};
+pub use gh_unicast::{gh_route, gh_source_decision, GhDecision, GhRouteResult};
+pub use gh_unicast_distributed::{run_gh_unicast, GhDistributedRun, GhMsg, GhUnicastNode};
+pub use gs::{run_gs, run_gs_async, run_gs_bounded, GsRun};
+pub use maintenance::{replay, MaintenanceReport, Strategy, Timeline, TimelineEvent};
+pub use multicast::{multicast, MulticastResult};
+pub use navigation::NavVector;
+pub use properties::{
+    check_never_fails_under_n_faults, check_property1, check_property2, check_theorem2,
+    check_theorem2_at, check_theorem3, Violation,
+};
+pub use reroute::{route_dynamic, DynamicOutcome, DynamicRun, FaultEvent};
+pub use safety::{level_from_neighbors, level_from_sorted, Level, SafetyMap};
+pub use safety_vector::{vector_dominates_level, SafetyVectorMap};
+pub use unicast::{
+    intermediate_dim, intermediate_dim_tb, route, route_tb, route_traced, route_traced_tb,
+    source_decision, source_decision_tb, Condition, Decision, RouteResult, TieBreak,
+};
+pub use unicast_distributed::{run_unicast, DistributedRun, UnicastMsg, UnicastNode};

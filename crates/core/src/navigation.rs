@@ -1,0 +1,122 @@
+//! Navigation vectors (paper, §3.1).
+//!
+//! A unicast message carries a *navigation vector* `N = s ⊕ d`,
+//! computed at the source. Forwarding to the neighbor along dimension
+//! `i` replaces `N` by `N ⊕ eⁱ`: a preferred hop *resets* bit `i`, a
+//! spare hop *sets* it. The unicast completes exactly when `N = 0`, so
+//! intermediate nodes need neither the source nor the destination
+//! address — the vector alone identifies the remaining work.
+
+use hypersafe_topology::{e, BitDims, NodeId};
+
+/// The navigation vector of an in-flight unicast.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct NavVector(pub u64);
+
+impl NavVector {
+    /// Computes `N = s ⊕ d` at the source.
+    #[inline]
+    pub fn new(s: NodeId, d: NodeId) -> Self {
+        NavVector(s.xor(d).raw())
+    }
+
+    /// The remaining distance `|N|` — at the source this is `H(s, d)`.
+    #[inline]
+    pub fn remaining(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Whether the message has arrived (`N = 0`).
+    #[inline]
+    pub fn is_done(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Whether dimension `i` is preferred (`N(i) = 1`).
+    #[inline]
+    pub fn is_preferred(self, i: u8) -> bool {
+        (self.0 >> i) & 1 == 1
+    }
+
+    /// The vector after crossing dimension `i` (`N ⊕ eⁱ`).
+    #[inline]
+    pub fn after_hop(self, i: u8) -> NavVector {
+        NavVector(self.0 ^ e(i).raw())
+    }
+
+    /// Iterator over the preferred dimensions.
+    #[inline]
+    pub fn preferred_dims(self) -> BitDims {
+        BitDims(self.0)
+    }
+
+    /// Iterator over the spare dimensions of an `n`-cube message.
+    #[inline]
+    pub fn spare_dims(self, n: u8) -> BitDims {
+        BitDims(!self.0 & ((1u64 << n) - 1))
+    }
+
+    /// The destination implied by the current holder `at` and this
+    /// vector: `at ⊕ N`.
+    #[inline]
+    pub fn destination(self, at: NodeId) -> NodeId {
+        at.xor(NodeId::new(self.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_first_unicast_vector() {
+        // §3.2: s₁ = 1110, d₁ = 0001 → N₁ = 1111, H = 4.
+        let s = NodeId::from_binary("1110").unwrap();
+        let d = NodeId::from_binary("0001").unwrap();
+        let nv = NavVector::new(s, d);
+        assert_eq!(nv.0, 0b1111);
+        assert_eq!(nv.remaining(), 4);
+        // Forwarding along dimension 0 resets bit 0 → 1110.
+        assert_eq!(nv.after_hop(0).0, 0b1110);
+    }
+
+    #[test]
+    fn spare_hop_sets_bit() {
+        let nv = NavVector(0b0101);
+        assert!(!nv.is_preferred(1));
+        assert_eq!(nv.after_hop(1).0, 0b0111, "spare hop grows the vector");
+        assert_eq!(nv.after_hop(1).remaining(), 3);
+    }
+
+    #[test]
+    fn preferred_and_spare_dims_partition() {
+        let nv = NavVector(0b0110);
+        assert_eq!(nv.preferred_dims().collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(nv.spare_dims(4).collect::<Vec<_>>(), vec![0, 3]);
+    }
+
+    #[test]
+    fn done_exactly_at_destination() {
+        let s = NodeId::new(0b101);
+        let d = NodeId::new(0b011);
+        let mut nv = NavVector::new(s, d);
+        let mut at = s;
+        while !nv.is_done() {
+            let dim = nv.preferred_dims().next().unwrap();
+            at = at.neighbor(dim);
+            nv = nv.after_hop(dim);
+        }
+        assert_eq!(at, d);
+    }
+
+    #[test]
+    fn destination_recoverable_from_vector() {
+        let s = NodeId::new(0b1100);
+        let d = NodeId::new(0b0011);
+        let nv = NavVector::new(s, d);
+        assert_eq!(nv.destination(s), d);
+        // After one preferred hop the implied destination is unchanged.
+        let dim = nv.preferred_dims().next().unwrap();
+        assert_eq!(nv.after_hop(dim).destination(s.neighbor(dim)), d);
+    }
+}

@@ -1,0 +1,315 @@
+//! Executable statements of the paper's theorems and properties.
+//!
+//! Each checker returns `Ok(())` or a descriptive counterexample; the
+//! test suite and the experiment harness run them over exhaustive small
+//! instances and randomized large ones. A reproduction that merely
+//! *implements* the algorithms could silently drift from the paper —
+//! these checkers pin the semantics.
+
+use crate::navigation::NavVector;
+use crate::safety::{Level, SafetyMap};
+use crate::unicast::{intermediate_dim, route, Decision};
+use hypersafe_topology::{FaultConfig, NodeId, Path};
+
+/// A counterexample to one of the paper's claims.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// Which claim failed.
+    pub claim: &'static str,
+    /// Offending node(s).
+    pub witness: Vec<NodeId>,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+impl Violation {
+    fn new(claim: &'static str, witness: Vec<NodeId>, detail: String) -> Self {
+        Violation { claim, witness, detail }
+    }
+}
+
+/// **Theorem 2.** If `S(a) = k > 0`, greedy max-safety preferred-
+/// neighbor forwarding reaches every node within Hamming distance `k`
+/// of `a` along an optimal path whose intermediate nodes are nonfaulty.
+///
+/// Checks all destinations within distance `k` of `a`.
+pub fn check_theorem2_at(
+    cfg: &FaultConfig,
+    map: &SafetyMap,
+    a: NodeId,
+) -> Result<(), Violation> {
+    let cube = cfg.cube();
+    let k = map.level(a);
+    if k == 0 {
+        return Ok(());
+    }
+    for d in cube.nodes() {
+        let h = a.distance(d);
+        if h == 0 || h > k as u32 {
+            continue;
+        }
+        // Greedy walk driven purely by safety levels.
+        let mut nv = NavVector::new(a, d);
+        let mut at = a;
+        let mut path = Path::starting_at(a);
+        while !nv.is_done() {
+            let dim = intermediate_dim(map, at, nv).expect("nv non-zero has preferred dims");
+            nv = nv.after_hop(dim);
+            at = at.neighbor(dim);
+            path.push(at);
+            if cfg.node_faulty(at) && !nv.is_done() {
+                return Err(Violation::new(
+                    "Theorem 2",
+                    vec![a, d, at],
+                    format!(
+                        "greedy walk from {a} (level {k}) to {d} (H = {h}) entered faulty {at}"
+                    ),
+                ));
+            }
+        }
+        debug_assert_eq!(at, d);
+        if !path.is_optimal() {
+            return Err(Violation::new(
+                "Theorem 2",
+                vec![a, d],
+                format!("walk length {} ≠ H = {h}", path.len()),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// **Theorem 2** over every nonfaulty node of the instance.
+pub fn check_theorem2(cfg: &FaultConfig, map: &SafetyMap) -> Result<(), Violation> {
+    for a in cfg.healthy_nodes() {
+        check_theorem2_at(cfg, map, a)?;
+    }
+    Ok(())
+}
+
+/// **Property 1.** The GS algorithm identifies a `k`-safe (`k ≠ n`)
+/// node in `k` rounds: replaying the synchronous iteration, every node
+/// with final level `k < n` holds that level from round `k` onward,
+/// and the whole map is stable after `n − 1` rounds (the Corollary).
+pub fn check_property1(cfg: &FaultConfig) -> Result<(), Violation> {
+    let cube = cfg.cube();
+    let n = cube.dim();
+    // Replay Jacobi iteration, recording each round's snapshot.
+    let mut snapshots: Vec<Vec<Level>> = Vec::new();
+    let mut levels: Vec<Level> =
+        cube.nodes().map(|a| if cfg.node_faulty(a) { 0 } else { n }).collect();
+    snapshots.push(levels.clone());
+    let mut scratch = vec![0 as Level; n as usize];
+    loop {
+        let mut next = levels.clone();
+        let mut changed = false;
+        for a in cube.nodes() {
+            if cfg.node_faulty(a) {
+                continue;
+            }
+            for (i, b) in cube.neighbors(a).enumerate() {
+                scratch[i] = levels[b.raw() as usize];
+            }
+            let lv = crate::safety::level_from_neighbors(n, &mut scratch);
+            changed |= lv != levels[a.raw() as usize];
+            next[a.raw() as usize] = lv;
+        }
+        if !changed {
+            break;
+        }
+        levels = next;
+        snapshots.push(levels.clone());
+    }
+    let active_rounds = snapshots.len() as u32 - 1;
+    if active_rounds > (n - 1) as u32 {
+        return Err(Violation::new(
+            "Property 1 Corollary",
+            vec![],
+            format!("GS needed {active_rounds} rounds > n − 1 = {}", n - 1),
+        ));
+    }
+    let final_levels = snapshots.last().expect("≥ 1 snapshot");
+    for a in cube.nodes() {
+        let idx = a.raw() as usize;
+        let k = final_levels[idx];
+        if k == n || cfg.node_faulty(a) {
+            continue;
+        }
+        // From round k (snapshot index min(k, last)) onward the value
+        // must equal the final one.
+        for (r, snap) in snapshots.iter().enumerate().skip(k as usize) {
+            if snap[idx] != k {
+                return Err(Violation::new(
+                    "Property 1",
+                    vec![a],
+                    format!("node {a} final level {k} but level {} at round {r}", snap[idx]),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// **Property 2.** In a faulty `n`-cube with fewer than `n` faulty
+/// nodes, every nonfaulty but unsafe node has a safe neighbor.
+///
+/// Returns `Ok` vacuously when the instance has `≥ n` faults.
+pub fn check_property2(cfg: &FaultConfig, map: &SafetyMap) -> Result<(), Violation> {
+    let cube = cfg.cube();
+    let n = cube.dim();
+    if cfg.node_faults().len() >= n as usize {
+        return Ok(());
+    }
+    for a in cfg.healthy_nodes() {
+        if map.is_safe(a) {
+            continue;
+        }
+        if !cube.neighbors(a).any(|b| map.is_safe(b)) {
+            return Err(Violation::new(
+                "Property 2",
+                vec![a],
+                format!(
+                    "unsafe node {a} (level {}) has no safe neighbor with {} < n faults",
+                    map.level(a),
+                    cfg.node_faults().len()
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// **Theorem 3.** For every source/destination pair: under `C1`/`C2`
+/// the algorithm delivers along a path of length exactly `H`; under
+/// `C3` of length exactly `H + 2`; both avoiding faulty intermediate
+/// nodes.
+pub fn check_theorem3(cfg: &FaultConfig, map: &SafetyMap) -> Result<(), Violation> {
+    for s in cfg.healthy_nodes() {
+        for d in cfg.healthy_nodes() {
+            if s == d {
+                continue;
+            }
+            let res = route(cfg, map, s, d);
+            match res.decision {
+                Decision::Optimal { .. } => {
+                    let p = res.path.as_ref().expect("path on optimal");
+                    if !res.delivered || !p.is_optimal() || !p.traversable(cfg, false) {
+                        return Err(Violation::new(
+                            "Theorem 3 (optimal)",
+                            vec![s, d],
+                            format!("delivered={} path={p}", res.delivered),
+                        ));
+                    }
+                }
+                Decision::Suboptimal { .. } => {
+                    let p = res.path.as_ref().expect("path on suboptimal");
+                    if !res.delivered || !p.is_suboptimal() || !p.traversable(cfg, false) {
+                        return Err(Violation::new(
+                            "Theorem 3 (suboptimal)",
+                            vec![s, d],
+                            format!("delivered={} path={p}", res.delivered),
+                        ));
+                    }
+                }
+                Decision::Failure | Decision::AlreadyThere => {}
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Combination of **Property 2** and **Theorem 3**: with fewer than `n`
+/// faults the unicast algorithm *never fails* — every healthy
+/// source/destination pair gets at least a suboptimal route (§3.1).
+pub fn check_never_fails_under_n_faults(
+    cfg: &FaultConfig,
+    map: &SafetyMap,
+) -> Result<(), Violation> {
+    let n = cfg.cube().dim();
+    if cfg.node_faults().len() >= n as usize {
+        return Ok(());
+    }
+    for s in cfg.healthy_nodes() {
+        for d in cfg.healthy_nodes() {
+            if s == d {
+                continue;
+            }
+            let res = route(cfg, map, s, d);
+            if matches!(res.decision, Decision::Failure) || !res.delivered {
+                return Err(Violation::new(
+                    "no-failure under n−1 faults",
+                    vec![s, d],
+                    format!("decision {:?}, delivered {}", res.decision, res.delivered),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypersafe_topology::{FaultSet, Hypercube};
+
+    fn cfg_n(n: u8, faults: &[&str]) -> FaultConfig {
+        let cube = Hypercube::new(n);
+        FaultConfig::with_node_faults(cube, FaultSet::from_binary_strs(cube, faults))
+    }
+
+    #[test]
+    fn all_claims_hold_on_fig1() {
+        let cfg = cfg_n(4, &["0011", "0100", "0110", "1001"]);
+        let map = SafetyMap::compute(&cfg);
+        assert_eq!(check_theorem2(&cfg, &map), Ok(()));
+        assert_eq!(check_property1(&cfg), Ok(()));
+        assert_eq!(check_property2(&cfg, &map), Ok(()));
+        assert_eq!(check_theorem3(&cfg, &map), Ok(()));
+    }
+
+    #[test]
+    fn all_claims_hold_on_fig3_disconnected() {
+        let cfg = cfg_n(4, &["0110", "1010", "1100", "1111"]);
+        let map = SafetyMap::compute(&cfg);
+        assert_eq!(check_theorem2(&cfg, &map), Ok(()));
+        assert_eq!(check_property1(&cfg), Ok(()));
+        assert_eq!(check_theorem3(&cfg, &map), Ok(()));
+    }
+
+    #[test]
+    fn exhaustive_q3_all_fault_patterns() {
+        let cube = Hypercube::new(3);
+        for mask in 0u64..256 {
+            let mut f = FaultSet::new(cube);
+            for i in 0..8 {
+                if (mask >> i) & 1 == 1 {
+                    f.insert(NodeId::new(i));
+                }
+            }
+            let cfg = FaultConfig::with_node_faults(cube, f);
+            let map = SafetyMap::compute(&cfg);
+            assert_eq!(check_theorem2(&cfg, &map), Ok(()), "mask {mask:#b}");
+            assert_eq!(check_property1(&cfg), Ok(()), "mask {mask:#b}");
+            assert_eq!(check_property2(&cfg, &map), Ok(()), "mask {mask:#b}");
+            assert_eq!(check_theorem3(&cfg, &map), Ok(()), "mask {mask:#b}");
+            assert_eq!(check_never_fails_under_n_faults(&cfg, &map), Ok(()), "mask {mask:#b}");
+        }
+    }
+
+    #[test]
+    fn property2_example_from_section23() {
+        // §2.3: faults {0000, 0110, 1101} — "all nonfaulty but unsafe
+        // nodes have at least one safe neighbor".
+        let cfg = cfg_n(4, &["0000", "0110", "1101"]);
+        let map = SafetyMap::compute(&cfg);
+        assert_eq!(check_property2(&cfg, &map), Ok(()));
+    }
+
+    #[test]
+    fn violation_renders_detail() {
+        let v = Violation::new("X", vec![NodeId::new(3)], "boom".into());
+        assert_eq!(v.claim, "X");
+        assert_eq!(v.witness, vec![NodeId::new(3)]);
+        assert!(v.detail.contains("boom"));
+    }
+}

@@ -1,0 +1,469 @@
+//! Safety levels — Definition 1 and Theorem 1 of the paper.
+//!
+//! Each node of a faulty `n`-cube carries a *safety level*
+//! `0 ≤ k ≤ n`: faulty nodes are 0-safe; a nonfaulty node's level is
+//! determined by the nondecreasing sequence `(S_0, …, S_{n-1})` of its
+//! neighbors' levels:
+//!
+//! > if `(S_0, …, S_{n-1}) ≥ (0, 1, …, n−1)` then `S(a) = n`
+//! > else if `(S_0, …, S_{k-1}) ≥ (0, …, k−1) ∧ S_k = k−1` then `S(a) = k`.
+//!
+//! Equivalently (and the form used by [`level_from_sorted`]):
+//! `S(a)` is the least index `k` with `S_k < k`, or `n` when no such
+//! index exists. The two forms agree on every reachable state because
+//! the sequence is sorted: `S_{k-1} ≥ k−1` and `S_k < k` force
+//! `S_k = k−1`.
+//!
+//! Theorem 1 states the fixed point exists and is unique; this module
+//! computes it two independent ways (Jacobi iteration from the all-`n`
+//! start, and the constructive round-by-round assignment from the
+//! theorem's proof), which the test suite cross-checks.
+
+use hypersafe_topology::{FaultConfig, Hypercube, NodeId};
+
+/// Safety level of one node: `0..=n`. `n` means *safe*; anything less
+/// is *unsafe*; `0` is the level of a faulty node.
+pub type Level = u8;
+
+/// Applies Definition 1 to an already-sorted (nondecreasing) neighbor
+/// level sequence of length `n`. Returns the node's safety level.
+/// # Examples
+///
+/// ```
+/// use hypersafe_core::level_from_sorted;
+/// // Two faulty neighbors → 1-safe; the borderline (0,1,2,3) → safe.
+/// assert_eq!(level_from_sorted(4, &[0, 0, 4, 4]), 1);
+/// assert_eq!(level_from_sorted(4, &[0, 1, 2, 3]), 4);
+/// ```
+#[inline]
+pub fn level_from_sorted(n: u8, sorted: &[Level]) -> Level {
+    debug_assert_eq!(sorted.len(), n as usize);
+    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "sequence must be sorted");
+    for (i, &s) in sorted.iter().enumerate() {
+        if (s as usize) < i {
+            return i as Level;
+        }
+    }
+    n
+}
+
+/// Applies Definition 1 to an unsorted neighbor level sequence
+/// (sorts a scratch copy in place).
+#[inline]
+pub fn level_from_neighbors(n: u8, levels: &mut [Level]) -> Level {
+    levels.sort_unstable();
+    level_from_sorted(n, levels)
+}
+
+/// The safety level of every node of one faulty hypercube instance,
+/// indexed by raw address.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SafetyMap {
+    n: u8,
+    levels: Vec<Level>,
+    /// Active rounds the computation needed (Fig. 2's metric); 0 for a
+    /// map built directly from levels.
+    rounds: u32,
+}
+
+impl SafetyMap {
+    /// Wraps precomputed levels.
+    pub fn from_levels(cube: Hypercube, levels: Vec<Level>) -> Self {
+        assert_eq!(levels.len() as u64, cube.num_nodes());
+        SafetyMap { n: cube.dim(), levels, rounds: 0 }
+    }
+
+    /// # Examples
+    ///
+    /// ```
+    /// use hypersafe_topology::{Hypercube, FaultSet, FaultConfig, NodeId};
+    /// use hypersafe_core::SafetyMap;
+    ///
+    /// // Fig. 1: the faulty 4-cube of the paper.
+    /// let cube = Hypercube::new(4);
+    /// let faults = FaultSet::from_binary_strs(cube, &["0011", "0100", "0110", "1001"]);
+    /// let cfg = FaultConfig::with_node_faults(cube, faults);
+    /// let map = SafetyMap::compute(&cfg);
+    /// assert_eq!(map.level(NodeId::from_binary("0101").unwrap()), 2);
+    /// assert_eq!(map.rounds(), 2); // stable after two rounds
+    /// ```
+    /// Computes the unique fixed point for `cfg` by synchronous Jacobi
+    /// iteration from the paper's initial state (faulty = 0, nonfaulty
+    /// = `n`), exactly the centralized shadow of `GLOBAL_STATUS`.
+    ///
+    /// Node faults only; for node + link faults use
+    /// [`crate::egs::ExtendedSafetyMap`].
+    pub fn compute(cfg: &FaultConfig) -> Self {
+        assert!(
+            cfg.link_faults().is_empty(),
+            "SafetyMap::compute handles node faults only; use egs for link faults"
+        );
+        let cube = cfg.cube();
+        let n = cube.dim();
+        let mut levels: Vec<Level> = cube
+            .nodes()
+            .map(|a| if cfg.node_faulty(a) { 0 } else { n })
+            .collect();
+
+        let mut rounds = 0u32;
+        let mut scratch = vec![0 as Level; n as usize];
+        let mut next = levels.clone();
+        loop {
+            let mut changed = false;
+            for a in cube.nodes() {
+                let idx = a.raw() as usize;
+                if cfg.node_faulty(a) {
+                    continue;
+                }
+                for (i, b) in cube.neighbors(a).enumerate() {
+                    scratch[i] = levels[b.raw() as usize];
+                }
+                let lv = level_from_neighbors(n, &mut scratch);
+                next[idx] = lv;
+                changed |= lv != levels[idx];
+            }
+            if !changed {
+                break;
+            }
+            std::mem::swap(&mut levels, &mut next);
+            rounds += 1;
+        }
+        SafetyMap { n, levels, rounds }
+    }
+
+    /// [`SafetyMap::compute`] with each Jacobi round parallelized over
+    /// nodes via rayon — bitwise-identical results (the rounds are
+    /// data-parallel by construction: every node reads only the
+    /// previous round's levels).
+    ///
+    /// Measured caveat (see the `exact_vs_gs` bench): each round is a
+    /// cheap memory-bound sweep, so up to at least `n = 14` the rayon
+    /// fork/join overhead *loses* to the sequential version. Prefer
+    /// [`SafetyMap::compute`] unless cubes are huge or the per-node
+    /// work grows (e.g. an instrumented variant); the function mainly
+    /// documents — and tests — that the rounds are data-parallel.
+    pub fn compute_parallel(cfg: &FaultConfig) -> Self {
+        use rayon::prelude::*;
+        assert!(cfg.link_faults().is_empty(), "node faults only");
+        let cube = cfg.cube();
+        let n = cube.dim();
+        let mut levels: Vec<Level> = cube
+            .nodes()
+            .map(|a| if cfg.node_faulty(a) { 0 } else { n })
+            .collect();
+        let mut rounds = 0u32;
+        loop {
+            let prev = &levels;
+            let next: Vec<Level> = (0..cube.num_nodes())
+                .into_par_iter()
+                .map(|raw| {
+                    let a = NodeId::new(raw);
+                    if cfg.node_faulty(a) {
+                        return 0;
+                    }
+                    let mut scratch: Vec<Level> =
+                        cube.neighbors(a).map(|b| prev[b.raw() as usize]).collect();
+                    level_from_neighbors(n, &mut scratch)
+                })
+                .collect();
+            if next == levels {
+                break;
+            }
+            levels = next;
+            rounds += 1;
+        }
+        SafetyMap { n, levels, rounds }
+    }
+
+    /// Computes the same fixed point by the constructive assignment in
+    /// the proof of Theorem 1: at round `k`, every still-unassigned
+    /// nonfaulty node with `k + 1` or more neighbors of level `≤ k − 1`
+    /// receives level `k`; after round `n − 1`, survivors receive `n`.
+    pub fn compute_constructive(cfg: &FaultConfig) -> Self {
+        assert!(cfg.link_faults().is_empty(), "node faults only");
+        let cube = cfg.cube();
+        let n = cube.dim();
+        const UNASSIGNED: Level = u8::MAX;
+        let mut levels: Vec<Level> = cube
+            .nodes()
+            .map(|a| if cfg.node_faulty(a) { 0 } else { UNASSIGNED })
+            .collect();
+        for k in 1..n {
+            // Round k reads only levels assigned in earlier rounds, so a
+            // same-round snapshot is unnecessary: levels ≤ k−1 were all
+            // assigned strictly before round k.
+            let assignments: Vec<NodeId> = cube
+                .nodes()
+                .filter(|&a| {
+                    levels[a.raw() as usize] == UNASSIGNED
+                        && cube
+                            .neighbors(a)
+                            .filter(|&b| {
+                                let l = levels[b.raw() as usize];
+                                l != UNASSIGNED && l < k
+                            })
+                            .count() > (k as usize)
+                })
+                .collect();
+            for a in assignments {
+                levels[a.raw() as usize] = k;
+            }
+        }
+        for l in &mut levels {
+            if *l == UNASSIGNED {
+                *l = n;
+            }
+        }
+        SafetyMap { n, levels, rounds: (n - 1) as u32 }
+    }
+
+    /// Dimension of the underlying cube.
+    #[inline]
+    pub fn dim(&self) -> u8 {
+        self.n
+    }
+
+    /// Safety level of node `a`.
+    #[inline]
+    pub fn level(&self, a: NodeId) -> Level {
+        self.levels[a.raw() as usize]
+    }
+
+    /// Whether `a` is *safe* (level `n`).
+    #[inline]
+    pub fn is_safe(&self, a: NodeId) -> bool {
+        self.level(a) == self.n
+    }
+
+    /// Active rounds the producing computation used.
+    #[inline]
+    pub fn rounds(&self) -> u32 {
+        self.rounds
+    }
+
+    /// Overrides the recorded round count (used by the distributed
+    /// engines that measure rounds themselves).
+    pub fn with_rounds(mut self, rounds: u32) -> Self {
+        self.rounds = rounds;
+        self
+    }
+
+    /// All safe nodes, ascending.
+    pub fn safe_nodes(&self) -> Vec<NodeId> {
+        self.levels
+            .iter()
+            .enumerate()
+            .filter(|&(_, &l)| l == self.n)
+            .map(|(i, _)| NodeId::new(i as u64))
+            .collect()
+    }
+
+    /// The raw level array, indexed by address.
+    pub fn as_slice(&self) -> &[Level] {
+        &self.levels
+    }
+
+    /// Verifies that this map satisfies Definition 1 for `cfg` — i.e.
+    /// that it is *the* fixed point promised by Theorem 1. Returns the
+    /// first violating node, if any.
+    pub fn check_fixed_point(&self, cfg: &FaultConfig) -> Option<NodeId> {
+        let cube = cfg.cube();
+        let mut scratch = vec![0 as Level; self.n as usize];
+        for a in cube.nodes() {
+            let want = if cfg.node_faulty(a) {
+                0
+            } else {
+                for (i, b) in cube.neighbors(a).enumerate() {
+                    scratch[i] = self.level(b);
+                }
+                level_from_neighbors(self.n, &mut scratch)
+            };
+            if self.level(a) != want {
+                return Some(a);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypersafe_topology::FaultSet;
+
+    fn cfg4(faults: &[&str]) -> FaultConfig {
+        let cube = Hypercube::new(4);
+        FaultConfig::with_node_faults(cube, FaultSet::from_binary_strs(cube, faults))
+    }
+
+    fn n(s: &str) -> NodeId {
+        NodeId::from_binary(s).unwrap()
+    }
+
+    #[test]
+    fn definition_rule_examples() {
+        // A node all of whose neighbors are safe is safe.
+        assert_eq!(level_from_sorted(4, &[4, 4, 4, 4]), 4);
+        // Two faulty neighbors → 1-safe (first round of Thm 1's proof).
+        assert_eq!(level_from_sorted(4, &[0, 0, 4, 4]), 1);
+        // Three neighbors of level ≤ 1 → 2-safe.
+        assert_eq!(level_from_sorted(4, &[0, 1, 1, 4]), 2);
+        // Exactly the borderline sequence (0,1,2,3) → safe.
+        assert_eq!(level_from_sorted(4, &[0, 1, 2, 3]), 4);
+        // One faulty neighbor alone does not lower the level.
+        assert_eq!(level_from_sorted(4, &[0, 4, 4, 4]), 4);
+    }
+
+    #[test]
+    fn fig1_levels_exact() {
+        // Fig. 1: faults {0011, 0100, 0110, 1001}. The paper narrates:
+        //   0001, 0010, 0111, 1011 become 1-safe after round one;
+        //   0101 and 0000 become 2-safe after round two;
+        //   1010, 1100, 1111, 1110 (and the rest) are 4-safe;
+        //   stability after two rounds.
+        let cfg = cfg4(&["0011", "0100", "0110", "1001"]);
+        let m = SafetyMap::compute(&cfg);
+        // Faulty nodes.
+        for f in ["0011", "0100", "0110", "1001"] {
+            assert_eq!(m.level(n(f)), 0, "{f}");
+        }
+        // Narrated levels.
+        for u in ["0001", "0010", "0111", "1011"] {
+            assert_eq!(m.level(n(u)), 1, "{u}");
+        }
+        assert_eq!(m.level(n("0101")), 2);
+        assert_eq!(m.level(n("0000")), 2);
+        // §3.2 uses these levels for the worked unicasts.
+        assert_eq!(m.level(n("1110")), 4);
+        assert_eq!(m.level(n("1111")), 4);
+        assert_eq!(m.level(n("1010")), 4);
+        assert_eq!(m.level(n("1100")), 4);
+        assert_eq!(m.level(n("1101")), 4);
+        assert_eq!(m.level(n("1000")), 4);
+        // "The safety level of each node remains stable after two rounds."
+        assert_eq!(m.rounds(), 2);
+        assert_eq!(m.check_fixed_point(&cfg), None);
+    }
+
+    #[test]
+    fn fault_free_cube_needs_no_rounds() {
+        let cfg = cfg4(&[]);
+        let m = SafetyMap::compute(&cfg);
+        assert_eq!(m.rounds(), 0, "no extra overhead without faults (§2.2)");
+        assert!(cfg.cube().nodes().all(|a| m.is_safe(a)));
+    }
+
+    #[test]
+    fn constructive_matches_iterative_fig1() {
+        let cfg = cfg4(&["0011", "0100", "0110", "1001"]);
+        let a = SafetyMap::compute(&cfg);
+        let b = SafetyMap::compute_constructive(&cfg);
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn constructive_matches_iterative_exhaustive_q3() {
+        // All 2^8 fault subsets of Q_3: Theorem 1's two constructions
+        // agree everywhere.
+        let cube = Hypercube::new(3);
+        for mask in 0u64..256 {
+            let mut f = FaultSet::new(cube);
+            for i in 0..8 {
+                if (mask >> i) & 1 == 1 {
+                    f.insert(NodeId::new(i));
+                }
+            }
+            let cfg = FaultConfig::with_node_faults(cube, f);
+            let a = SafetyMap::compute(&cfg);
+            let b = SafetyMap::compute_constructive(&cfg);
+            assert_eq!(a.as_slice(), b.as_slice(), "mask {mask:#b}");
+            assert_eq!(a.check_fixed_point(&cfg), None, "mask {mask:#b}");
+            assert!(a.rounds() <= 2, "Corollary: ≤ n−1 rounds, mask {mask:#b}");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        // Fig. 1 instance plus exhaustive Q_3: bitwise-identical maps
+        // and round counts.
+        let cfg = cfg4(&["0011", "0100", "0110", "1001"]);
+        let seq = SafetyMap::compute(&cfg);
+        let par = SafetyMap::compute_parallel(&cfg);
+        assert_eq!(seq, par);
+
+        let cube = Hypercube::new(3);
+        for mask in 0u64..256 {
+            let mut f = FaultSet::new(cube);
+            for i in 0..8 {
+                if (mask >> i) & 1 == 1 {
+                    f.insert(NodeId::new(i));
+                }
+            }
+            let cfg = FaultConfig::with_node_faults(cube, f);
+            assert_eq!(
+                SafetyMap::compute(&cfg),
+                SafetyMap::compute_parallel(&cfg),
+                "mask {mask:#b}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_on_a_big_cube() {
+        // n = 12: 4096 nodes, a realistically "large" instance.
+        let cube = Hypercube::new(12);
+        let mut f = FaultSet::new(cube);
+        for i in 0..11u64 {
+            f.insert(NodeId::new(i * 373 % 4096));
+        }
+        let cfg = FaultConfig::with_node_faults(cube, f);
+        let seq = SafetyMap::compute(&cfg);
+        let par = SafetyMap::compute_parallel(&cfg);
+        assert_eq!(seq.as_slice(), par.as_slice());
+        assert!(seq.rounds() <= 11);
+    }
+
+    #[test]
+    fn safe_node_set_section23_example() {
+        // §2.3: faults {0000, 0110, 1111} → SL-safe set is
+        // {0001, 0011, 0101, 1000, 1001, 1010, 1011, 1100, 1101}.
+        let cfg = cfg4(&["0000", "0110", "1111"]);
+        let m = SafetyMap::compute(&cfg);
+        let safe: Vec<String> = m.safe_nodes().iter().map(|a| a.to_binary(4)).collect();
+        assert_eq!(
+            safe,
+            vec!["0001", "0011", "0101", "1000", "1001", "1010", "1011", "1100", "1101"]
+        );
+    }
+
+    #[test]
+    fn all_faulty_map() {
+        let cube = Hypercube::new(2);
+        let mut f = FaultSet::new(cube);
+        for a in cube.nodes() {
+            f.insert(a);
+        }
+        let cfg = FaultConfig::with_node_faults(cube, f);
+        let m = SafetyMap::compute(&cfg);
+        assert!(m.as_slice().iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn check_fixed_point_catches_corruption() {
+        let cfg = cfg4(&["0011"]);
+        let m = SafetyMap::compute(&cfg);
+        let mut levels = m.as_slice().to_vec();
+        levels[0] = 1; // corrupt node 0000
+        let bad = SafetyMap::from_levels(cfg.cube(), levels);
+        assert_eq!(bad.check_fixed_point(&cfg), Some(NodeId::ZERO));
+    }
+
+    #[test]
+    #[should_panic]
+    fn compute_rejects_link_faults() {
+        let cube = Hypercube::new(3);
+        let mut cfg = FaultConfig::fault_free(cube);
+        cfg.link_faults_mut().insert(NodeId::new(0), NodeId::new(1));
+        SafetyMap::compute(&cfg);
+    }
+}

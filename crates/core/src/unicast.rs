@@ -1,0 +1,498 @@
+//! The paper's unicasting algorithm (§3.1–§3.2).
+//!
+//! At the **source** `s` with destination `d`, `H = H(s, d)`:
+//!
+//! * `C1`: `S(s) ≥ H` — the source itself is safe enough; **or**
+//! * `C2`: some *preferred* neighbor `sⁱ` has `S(sⁱ) ≥ H − 1`
+//!   → **optimal** unicasting: forward to the preferred neighbor with
+//!   the highest safety level; the path has length exactly `H`.
+//! * else `C3`: some *spare* neighbor has `S ≥ H + 1`
+//!   → **suboptimal** unicasting: forward to the spare neighbor with
+//!   the highest safety level; the path has length exactly `H + 2`.
+//! * else the unicast **fails** — detected locally at the source
+//!   (too many nearby faults, or `d` lies in another component of a
+//!   disconnected cube, §3.3).
+//!
+//! At every **intermediate** node the rule is uniform: forward to the
+//! preferred neighbor (w.r.t. the navigation vector) with the highest
+//! safety level; stop when the vector is zero.
+//!
+//! Tie-breaking: the paper chooses arbitrarily among equal-level
+//! neighbors ("say 1111 along dimension 0"); we deterministically take
+//! the lowest dimension among the maxima, which reproduces the paper's
+//! narrated routes exactly.
+
+use crate::navigation::NavVector;
+use crate::safety::{Level, SafetyMap};
+use hypersafe_simkit::Trace;
+use hypersafe_topology::{FaultConfig, NodeId, Path};
+
+/// The source-side routing decision.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Decision {
+    /// `C1 ∨ C2` holds: an optimal (Hamming-length) path is guaranteed.
+    Optimal {
+        /// Which condition fired (`C1` may hold together with `C2`;
+        /// `C1` is reported when it holds).
+        condition: Condition,
+        /// First-hop dimension.
+        first_dim: u8,
+    },
+    /// Only `C3` holds: a suboptimal (`H + 2`) path is guaranteed.
+    Suboptimal {
+        /// First-hop (spare) dimension.
+        first_dim: u8,
+    },
+    /// All three conditions fail; the unicast is aborted at the source.
+    Failure,
+    /// `s == d`: nothing to route.
+    AlreadyThere,
+}
+
+/// Which feasibility condition admitted the unicast.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Condition {
+    /// `S(s) ≥ H`.
+    C1,
+    /// `∃ i: S(sⁱ) ≥ H − 1 ∧ N(i) = 1`.
+    C2,
+    /// `∃ i: S(sⁱ) ≥ H + 1 ∧ N(i) = 0`.
+    C3,
+}
+
+/// Full outcome of routing one unicast to completion.
+#[derive(Clone, Debug)]
+pub struct RouteResult {
+    /// The source decision taken.
+    pub decision: Decision,
+    /// The realized path (present unless the decision was `Failure`;
+    /// for `AlreadyThere` it is the zero-length path).
+    pub path: Option<Path>,
+    /// Whether the message reached `d` over nonfaulty intermediate
+    /// nodes and usable links. (`true` even if `d` itself is faulty —
+    /// footnote 3: delivery to a faulty destination is still delivery.)
+    pub delivered: bool,
+}
+
+/// How to break ties among equally-safe candidate neighbors.
+///
+/// The paper chooses arbitrarily ("say 1111 along dimension 0"); the
+/// policy only affects *which* of several equally-guaranteed routes is
+/// taken, never feasibility or length — but it does affect how traffic
+/// spreads over links (measured by the E17 experiment).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum TieBreak {
+    /// Lowest dimension among the maxima — the workspace default,
+    /// which reproduces the paper's narrated walks.
+    #[default]
+    LowestDim,
+    /// Highest dimension among the maxima.
+    HighestDim,
+    /// Pseudo-random among the maxima, seeded by `(node, salt)` so the
+    /// choice is deterministic per hop yet decorrelated across sources
+    /// — spreads load without carrying an RNG through the router.
+    Hashed {
+        /// Per-unicast salt (e.g. a message id).
+        salt: u64,
+    },
+}
+
+/// Picks the neighbor of `at` along the dimension set `dims` with the
+/// highest safety level, breaking ties per `tb`. Returns
+/// `(dim, level)`.
+fn argmax_level_tb(
+    map: &SafetyMap,
+    at: NodeId,
+    dims: impl Iterator<Item = u8>,
+    tb: TieBreak,
+) -> Option<(u8, Level)> {
+    let mut ties: Vec<u8> = Vec::new();
+    let mut best_level: Option<Level> = None;
+    for i in dims {
+        let lv = map.level(at.neighbor(i));
+        match best_level {
+            Some(b) if b > lv => {}
+            Some(b) if b == lv => ties.push(i),
+            _ => {
+                best_level = Some(lv);
+                ties.clear();
+                ties.push(i);
+            }
+        }
+    }
+    let lv = best_level?;
+    let dim = match tb {
+        TieBreak::LowestDim => ties[0],
+        TieBreak::HighestDim => *ties.last().expect("non-empty"),
+        TieBreak::Hashed { salt } => {
+            // SplitMix64 over (node, salt): cheap, stateless, uniform.
+            let mut z = at.raw() ^ salt.wrapping_mul(0x9E3779B97F4A7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^= z >> 31;
+            ties[(z % ties.len() as u64) as usize]
+        }
+    };
+    Some((dim, lv))
+}
+
+fn argmax_level(
+    map: &SafetyMap,
+    at: NodeId,
+    dims: impl Iterator<Item = u8>,
+) -> Option<(u8, Level)> {
+    argmax_level_tb(map, at, dims, TieBreak::LowestDim)
+}
+
+/// `UNICASTING_AT_SOURCE_NODE`: evaluates `C1`/`C2`/`C3` and returns
+/// the decision, without forwarding.
+pub fn source_decision(map: &SafetyMap, s: NodeId, d: NodeId) -> Decision {
+    source_decision_tb(map, s, d, TieBreak::LowestDim)
+}
+
+/// [`source_decision`] with an explicit tie-break policy.
+pub fn source_decision_tb(map: &SafetyMap, s: NodeId, d: NodeId, tb: TieBreak) -> Decision {
+    let n = map.dim();
+    let nv = NavVector::new(s, d);
+    let h = nv.remaining() as u16;
+    if h == 0 {
+        return Decision::AlreadyThere;
+    }
+
+    let c1 = (map.level(s) as u16) >= h;
+    let preferred_best = argmax_level_tb(map, s, nv.preferred_dims(), tb);
+    let c2 = preferred_best.is_some_and(|(_, lv)| (lv as u16) + 1 >= h);
+    if c1 || c2 {
+        let (first_dim, _) = preferred_best.expect("H ≥ 1 gives ≥ 1 preferred dim");
+        let condition = if c1 { Condition::C1 } else { Condition::C2 };
+        return Decision::Optimal { condition, first_dim };
+    }
+
+    let spare_best = argmax_level_tb(map, s, nv.spare_dims(n), tb);
+    if let Some((i, lv)) = spare_best {
+        if (lv as u16) > h {
+            return Decision::Suboptimal { first_dim: i };
+        }
+    }
+    Decision::Failure
+}
+
+/// `UNICASTING_AT_INTERMEDIATE_NODE`: the forwarding dimension chosen
+/// at `at` for navigation vector `nv` — the preferred neighbor with
+/// the highest safety level. `None` when `nv` is zero.
+pub fn intermediate_dim(map: &SafetyMap, at: NodeId, nv: NavVector) -> Option<u8> {
+    argmax_level(map, at, nv.preferred_dims()).map(|(i, _)| i)
+}
+
+/// [`intermediate_dim`] with an explicit tie-break policy.
+pub fn intermediate_dim_tb(
+    map: &SafetyMap,
+    at: NodeId,
+    nv: NavVector,
+    tb: TieBreak,
+) -> Option<u8> {
+    argmax_level_tb(map, at, nv.preferred_dims(), tb).map(|(i, _)| i)
+}
+
+/// Routes one unicast from `s` to `d` to completion, simulating every
+/// hop, with an optional trace of the hops taken.
+///
+/// The route is driven purely by safety levels, exactly as the
+/// distributed algorithm would run; `cfg` is consulted only to *judge*
+/// the outcome (was a faulty node entered?), never to steer. If the
+/// message enters a faulty node before the navigation vector empties,
+/// the unicast is recorded as undelivered (fault-stop nodes drop
+/// traffic) — with a correct safety map this can only happen when the
+/// source decision was already `Failure` and the caller forced routing
+/// anyway, or when `d` itself is faulty.
+///
+/// # Examples
+///
+/// ```
+/// use hypersafe_topology::{Hypercube, FaultSet, FaultConfig, NodeId};
+/// use hypersafe_core::{route, SafetyMap, Decision};
+///
+/// let cube = Hypercube::new(4);
+/// let faults = FaultSet::from_binary_strs(cube, &["0011", "0100", "0110", "1001"]);
+/// let cfg = FaultConfig::with_node_faults(cube, faults);
+/// let map = SafetyMap::compute(&cfg);
+/// let res = route(&cfg, &map,
+///     NodeId::from_binary("1110").unwrap(),
+///     NodeId::from_binary("0001").unwrap());
+/// assert!(res.delivered);
+/// assert!(res.path.unwrap().is_optimal());
+/// ```
+pub fn route(cfg: &FaultConfig, map: &SafetyMap, s: NodeId, d: NodeId) -> RouteResult {
+    route_traced(cfg, map, s, d, &mut Trace::disabled())
+}
+
+/// [`route`] with an explicit tie-break policy (default routing uses
+/// [`TieBreak::LowestDim`]). Feasibility and path length are policy-
+/// independent; only the choice among equally-guaranteed routes moves.
+pub fn route_tb(
+    cfg: &FaultConfig,
+    map: &SafetyMap,
+    s: NodeId,
+    d: NodeId,
+    tb: TieBreak,
+) -> RouteResult {
+    route_traced_tb(cfg, map, s, d, tb, &mut Trace::disabled())
+}
+
+/// [`route`] with hop tracing.
+pub fn route_traced(
+    cfg: &FaultConfig,
+    map: &SafetyMap,
+    s: NodeId,
+    d: NodeId,
+    trace: &mut Trace,
+) -> RouteResult {
+    route_traced_tb(cfg, map, s, d, TieBreak::LowestDim, trace)
+}
+
+/// [`route_tb`] with hop tracing.
+pub fn route_traced_tb(
+    cfg: &FaultConfig,
+    map: &SafetyMap,
+    s: NodeId,
+    d: NodeId,
+    tb: TieBreak,
+    trace: &mut Trace,
+) -> RouteResult {
+    let decision = source_decision_tb(map, s, d, tb);
+    let first_dim = match decision {
+        Decision::AlreadyThere => {
+            return RouteResult {
+                decision,
+                path: Some(Path::starting_at(s)),
+                delivered: !cfg.node_faulty(s),
+            }
+        }
+        Decision::Failure => return RouteResult { decision, path: None, delivered: false },
+        Decision::Optimal { first_dim, .. } | Decision::Suboptimal { first_dim } => first_dim,
+    };
+
+    let mut nv = NavVector::new(s, d);
+    let mut at = s;
+    let mut path = Path::starting_at(s);
+    let mut dim = first_dim;
+
+    loop {
+        let next = at.neighbor(dim);
+        if cfg.link_faults().contains(at, next) {
+            // The physical send is lost on the faulty link.
+            return RouteResult { decision, path: Some(path), delivered: false };
+        }
+        nv = nv.after_hop(dim);
+        trace.hop(at, next, dim, nv.0);
+        path.push(next);
+        at = next;
+        if cfg.node_faulty(at) {
+            // The message just entered a faulty node: lost, unless this
+            // *is* the destination (footnote 3 — the physical link
+            // delivered it to the dead node's doorstep).
+            return RouteResult { decision, path: Some(path), delivered: nv.is_done() };
+        }
+        if nv.is_done() {
+            return RouteResult { decision, path: Some(path), delivered: true };
+        }
+        match intermediate_dim_tb(map, at, nv, tb) {
+            Some(i) => dim = i,
+            None => return RouteResult { decision, path: Some(path), delivered: false },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypersafe_topology::{FaultSet, Hypercube};
+
+    fn n(s: &str) -> NodeId {
+        NodeId::from_binary(s).unwrap()
+    }
+
+    fn fig1() -> (FaultConfig, SafetyMap) {
+        let cube = Hypercube::new(4);
+        let cfg = FaultConfig::with_node_faults(
+            cube,
+            FaultSet::from_binary_strs(cube, &["0011", "0100", "0110", "1001"]),
+        );
+        let map = SafetyMap::compute(&cfg);
+        (cfg, map)
+    }
+
+    #[test]
+    fn fig1_unicast_1110_to_0001_is_the_narrated_path() {
+        // §3.2 first worked example: optimal via C1 (S(1110) = 4 = H),
+        // route 1110 → 1111 → 1101 → 0101 → 0001.
+        let (cfg, map) = fig1();
+        let s = n("1110");
+        let d = n("0001");
+        let res = route(&cfg, &map, s, d);
+        assert!(matches!(
+            res.decision,
+            Decision::Optimal { condition: Condition::C1, first_dim: 0 }
+        ));
+        assert!(res.delivered);
+        let p = res.path.unwrap();
+        assert!(p.is_optimal());
+        let expected: Vec<NodeId> =
+            ["1110", "1111", "1101", "0101", "0001"].iter().map(|s| n(s)).collect();
+        assert_eq!(p.nodes(), expected.as_slice());
+    }
+
+    #[test]
+    fn fig1_unicast_0001_to_1100_uses_c2() {
+        // §3.2 second worked example: S(0001) = 1 < H = 3, but preferred
+        // neighbors 0000 and 0101 have level 2 = H − 1 → optimal via C2,
+        // route 0001 → 0000 → 1000 → 1100.
+        let (cfg, map) = fig1();
+        let s = n("0001");
+        let d = n("1100");
+        assert_eq!(map.level(s), 1);
+        let res = route(&cfg, &map, s, d);
+        assert!(matches!(res.decision, Decision::Optimal { condition: Condition::C2, .. }));
+        assert!(res.delivered);
+        let p = res.path.unwrap();
+        assert!(p.is_optimal());
+        let expected: Vec<NodeId> = ["0001", "0000", "1000", "1100"].iter().map(|s| n(s)).collect();
+        assert_eq!(p.nodes(), expected.as_slice());
+    }
+
+    #[test]
+    fn safe_source_always_optimal() {
+        // "If the source node is safe, optimality is automatically
+        // guaranteed for any unicasting." Check every destination from
+        // each safe node in Fig. 1.
+        let (cfg, map) = fig1();
+        for s in cfg.healthy_nodes().filter(|&a| map.is_safe(a)) {
+            for d in cfg.healthy_nodes() {
+                if s == d {
+                    continue;
+                }
+                let res = route(&cfg, &map, s, d);
+                assert!(matches!(res.decision, Decision::Optimal { .. }), "{s} → {d}");
+                assert!(res.delivered, "{s} → {d}");
+                assert!(res.path.unwrap().is_optimal(), "{s} → {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn optimal_paths_avoid_faulty_intermediates() {
+        let (cfg, map) = fig1();
+        for s in cfg.healthy_nodes() {
+            for d in cfg.healthy_nodes() {
+                let res = route(&cfg, &map, s, d);
+                if let Some(p) = &res.path {
+                    if res.delivered {
+                        assert!(p.traversable(&cfg, false), "{s} → {d}: {p}");
+                        match res.decision {
+                            Decision::Optimal { .. } => assert!(p.is_optimal(), "{s} → {d}"),
+                            Decision::Suboptimal { .. } => {
+                                assert!(p.is_suboptimal(), "{s} → {d}")
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn already_there_is_trivial() {
+        let (cfg, map) = fig1();
+        let res = route(&cfg, &map, n("0000"), n("0000"));
+        assert_eq!(res.decision, Decision::AlreadyThere);
+        assert!(res.delivered);
+        assert!(res.path.unwrap().is_empty());
+    }
+
+    #[test]
+    fn delivery_to_adjacent_faulty_destination() {
+        // Footnote 3 semantics: H = 1 to a faulty destination is
+        // "delivered" (the physical link carries it out).
+        let (cfg, map) = fig1();
+        let res = route(&cfg, &map, n("0010"), n("0011"));
+        assert!(matches!(res.decision, Decision::Optimal { .. }));
+        assert!(res.delivered);
+    }
+
+    #[test]
+    fn trace_records_hops() {
+        let (cfg, map) = fig1();
+        let mut trace = Trace::enabled();
+        let res = route_traced(&cfg, &map, n("1110"), n("0001"), &mut trace);
+        assert!(res.delivered);
+        assert_eq!(trace.events().len(), 4, "one event per hop");
+        let rendered = trace.render();
+        assert!(rendered.contains("1110 → 1111"));
+    }
+
+    #[test]
+    fn tiebreak_changes_route_not_contract() {
+        // All tie-break policies keep the decision, delivery and length
+        // identical; only the realized route may differ.
+        let (cfg, map) = fig1();
+        let policies = [
+            TieBreak::LowestDim,
+            TieBreak::HighestDim,
+            TieBreak::Hashed { salt: 1 },
+            TieBreak::Hashed { salt: 99 },
+        ];
+        for s in cfg.healthy_nodes() {
+            for d in cfg.healthy_nodes() {
+                if s == d {
+                    continue;
+                }
+                let base = route(&cfg, &map, s, d);
+                for tb in policies {
+                    let r = route_tb(&cfg, &map, s, d, tb);
+                    assert_eq!(
+                        std::mem::discriminant(&base.decision),
+                        std::mem::discriminant(&r.decision),
+                        "{s} → {d} {tb:?}"
+                    );
+                    assert_eq!(base.delivered, r.delivered, "{s} → {d} {tb:?}");
+                    if let (Some(a), Some(b)) = (&base.path, &r.path) {
+                        assert_eq!(a.len(), b.len(), "{s} → {d} {tb:?}");
+                        assert!(b.traversable(&cfg, true), "{s} → {d} {tb:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn highest_dim_takes_a_different_fig1_route() {
+        let (cfg, map) = fig1();
+        let s = n("1110");
+        let d = n("0001");
+        let low = route_tb(&cfg, &map, s, d, TieBreak::LowestDim);
+        let high = route_tb(&cfg, &map, s, d, TieBreak::HighestDim);
+        assert_ne!(low.path.unwrap().nodes(), high.path.unwrap().nodes());
+        assert!(high.delivered);
+    }
+
+    #[test]
+    fn failure_when_surrounded() {
+        // Isolate 1110 as in Fig. 3; routing from it must fail at the
+        // source for any destination.
+        let cube = Hypercube::new(4);
+        let cfg = FaultConfig::with_node_faults(
+            cube,
+            FaultSet::from_binary_strs(cube, &["0110", "1010", "1100", "1111"]),
+        );
+        let map = SafetyMap::compute(&cfg);
+        for d in cfg.healthy_nodes() {
+            if d == n("1110") {
+                continue;
+            }
+            let res = route(&cfg, &map, n("1110"), d);
+            assert_eq!(res.decision, Decision::Failure, "→ {d}");
+            assert!(!res.delivered);
+        }
+    }
+}

@@ -1,0 +1,255 @@
+//! The unicasting algorithm executed as an actual distributed protocol
+//! on the discrete-event engine.
+//!
+//! [`crate::unicast::route`] simulates the algorithm centrally (fast,
+//! used by the Monte-Carlo experiments); this module runs it for real:
+//! each node is an actor holding only its own safety level and its
+//! neighbors' levels (the paper's locality assumption), messages carry
+//! `(payload, navigation vector)`, and the destination raises a flag on
+//! arrival. The test suite checks the two implementations take the
+//! same path hop for hop — evidence that the centralized shortcut is
+//! faithful.
+
+use crate::navigation::NavVector;
+use crate::safety::{Level, SafetyMap};
+use crate::unicast::{source_decision, Decision};
+use hypersafe_simkit::{Actor, Ctx, EventEngine, Time};
+use hypersafe_topology::{FaultConfig, NodeId};
+
+/// A unicast message in flight: the navigation vector plus the hop
+/// trail (the trail is measurement instrumentation, not protocol state
+/// — the algorithm itself reads only the vector).
+#[derive(Clone, Debug)]
+pub struct UnicastMsg {
+    /// Navigation vector after the hop that delivered this message.
+    pub nav: NavVector,
+    /// Nodes visited so far, including the source.
+    pub trail: Vec<NodeId>,
+}
+
+/// Per-node actor: local safety knowledge plus delivery flag.
+pub struct UnicastNode {
+    n: u8,
+    /// Own level and the levels of the `n` neighbors, by dimension —
+    /// exactly the information the paper's algorithm requires a node
+    /// to hold after GS.
+    own_level: Level,
+    neighbor_levels: Vec<Level>,
+    /// Set when this node receives a message with a zero vector.
+    pub received: Option<UnicastMsg>,
+    /// Pending unicast to start from this node: `(destination)`.
+    start: Option<NodeId>,
+    latency: Time,
+}
+
+impl UnicastNode {
+    fn new(map: &SafetyMap, cfg: &FaultConfig, me: NodeId, latency: Time) -> Self {
+        let cube = cfg.cube();
+        UnicastNode {
+            n: cube.dim(),
+            own_level: map.level(me),
+            neighbor_levels: cube.neighbors(me).map(|b| map.level(b)).collect(),
+            received: None,
+            start: None,
+            latency,
+        }
+    }
+
+    fn best_preferred_dim(&self, nav: NavVector) -> Option<u8> {
+        let mut best: Option<(u8, Level)> = None;
+        for i in nav.preferred_dims() {
+            let lv = self.neighbor_levels[i as usize];
+            match best {
+                Some((_, b)) if b >= lv => {}
+                _ => best = Some((i, lv)),
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+
+    fn forward(&self, ctx: &mut Ctx<UnicastMsg>, mut msg: UnicastMsg, dim: u8) {
+        let next = ctx.self_id().neighbor(dim);
+        msg.nav = msg.nav.after_hop(dim);
+        msg.trail.push(next);
+        ctx.send(next, msg, self.latency);
+    }
+}
+
+/// Timer tag used to kick off a unicast at the source.
+const START_TAG: u64 = 0xCAFE;
+
+impl Actor for UnicastNode {
+    type Msg = UnicastMsg;
+
+    fn on_timer(&mut self, ctx: &mut Ctx<UnicastMsg>, tag: u64) {
+        if tag != START_TAG {
+            return;
+        }
+        let Some(d) = self.start.take() else { return };
+        let s = ctx.self_id();
+        // UNICASTING_AT_SOURCE_NODE, evaluated from purely local state.
+        let nav = NavVector::new(s, d);
+        let h = nav.remaining() as u16;
+        if h == 0 {
+            self.received = Some(UnicastMsg { nav, trail: vec![s] });
+            return;
+        }
+        let c1 = (self.own_level as u16) >= h;
+        let best_pref = self.best_preferred_dim(nav);
+        let c2 = best_pref
+            .is_some_and(|i| (self.neighbor_levels[i as usize] as u16) + 1 >= h);
+        if c1 || c2 {
+            let dim = best_pref.expect("h ≥ 1");
+            self.forward(ctx, UnicastMsg { nav, trail: vec![s] }, dim);
+            return;
+        }
+        // C3: best spare neighbor with level ≥ H + 1.
+        let mut best: Option<(u8, Level)> = None;
+        for i in nav.spare_dims(self.n) {
+            let lv = self.neighbor_levels[i as usize];
+            if (lv as u16) > h {
+                match best {
+                    Some((_, b)) if b >= lv => {}
+                    _ => best = Some((i, lv)),
+                }
+            }
+        }
+        if let Some((dim, _)) = best {
+            self.forward(ctx, UnicastMsg { nav, trail: vec![s] }, dim);
+        }
+        // else: failure detected locally; nothing is sent.
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<UnicastMsg>, _from: NodeId, msg: UnicastMsg) {
+        if msg.nav.is_done() {
+            // UNICASTING_AT_INTERMEDIATE_NODE: N = 0 → we are the
+            // destination.
+            self.received = Some(msg);
+            return;
+        }
+        if let Some(dim) = self.best_preferred_dim(msg.nav) {
+            self.forward(ctx, msg, dim);
+        }
+    }
+}
+
+/// Outcome of a distributed unicast run.
+#[derive(Clone, Debug)]
+pub struct DistributedRun {
+    /// The source's (purely local) decision, recomputed for reporting.
+    pub decision: Decision,
+    /// Trail recorded at the destination, if the message arrived.
+    pub trail: Option<Vec<NodeId>>,
+    /// Virtual time of arrival (hops × latency).
+    pub arrival_time: Option<Time>,
+    /// Messages delivered in the run.
+    pub messages: u64,
+}
+
+/// Runs one unicast `s → d` as a distributed protocol over `cfg`,
+/// with per-hop `latency`. The safety map must already be converged
+/// (run GS first).
+pub fn run_unicast(
+    cfg: &FaultConfig,
+    map: &SafetyMap,
+    s: NodeId,
+    d: NodeId,
+    latency: Time,
+) -> DistributedRun {
+    let latency = latency.max(1);
+    let mut eng = EventEngine::new(cfg, |a| {
+        let mut node = UnicastNode::new(map, cfg, a, latency);
+        if a == s {
+            node.start = Some(d);
+        }
+        node
+    });
+    eng.inject(s, START_TAG, 0);
+    eng.run(u64::MAX);
+    let messages = eng.stats().delivered;
+    let arrival = eng.stats().end_time;
+    let received = eng
+        .actor(d)
+        .and_then(|n| n.received.as_ref())
+        .map(|m| m.trail.clone());
+    DistributedRun {
+        decision: source_decision(map, s, d),
+        arrival_time: received.as_ref().map(|_| arrival),
+        trail: received,
+        messages,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::unicast::route;
+    use hypersafe_topology::{FaultSet, Hypercube};
+
+    fn fig1() -> (FaultConfig, SafetyMap) {
+        let cube = Hypercube::new(4);
+        let cfg = FaultConfig::with_node_faults(
+            cube,
+            FaultSet::from_binary_strs(cube, &["0011", "0100", "0110", "1001"]),
+        );
+        let map = SafetyMap::compute(&cfg);
+        (cfg, map)
+    }
+
+    fn n(s: &str) -> NodeId {
+        NodeId::from_binary(s).unwrap()
+    }
+
+    #[test]
+    fn distributed_matches_centralized_on_fig1_pairs() {
+        let (cfg, map) = fig1();
+        for s in cfg.healthy_nodes() {
+            for d in cfg.healthy_nodes() {
+                let central = route(&cfg, &map, s, d);
+                let dist = run_unicast(&cfg, &map, s, d, 1);
+                assert_eq!(central.decision, dist.decision, "{s} → {d}");
+                match (central.delivered, &dist.trail) {
+                    (true, Some(trail)) => {
+                        assert_eq!(
+                            central.path.as_ref().unwrap().nodes(),
+                            trail.as_slice(),
+                            "{s} → {d}: same hop-for-hop path"
+                        );
+                    }
+                    (false, None) => {}
+                    (c, t) => panic!("{s} → {d}: centralized={c} distributed={t:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn arrival_time_is_hops_times_latency() {
+        let (cfg, map) = fig1();
+        let run = run_unicast(&cfg, &map, n("1110"), n("0001"), 5);
+        assert_eq!(run.arrival_time, Some(20), "4 hops × latency 5");
+        assert_eq!(run.messages, 4);
+    }
+
+    #[test]
+    fn failure_sends_nothing() {
+        let cube = Hypercube::new(4);
+        let cfg = FaultConfig::with_node_faults(
+            cube,
+            FaultSet::from_binary_strs(cube, &["0110", "1010", "1100", "1111"]),
+        );
+        let map = SafetyMap::compute(&cfg);
+        let run = run_unicast(&cfg, &map, n("1110"), n("0000"), 1);
+        assert_eq!(run.decision, Decision::Failure);
+        assert_eq!(run.trail, None);
+        assert_eq!(run.messages, 0, "abort is local — zero network cost");
+    }
+
+    #[test]
+    fn self_unicast_terminates_immediately() {
+        let (cfg, map) = fig1();
+        let run = run_unicast(&cfg, &map, n("0000"), n("0000"), 1);
+        assert_eq!(run.trail, Some(vec![n("0000")]));
+        assert_eq!(run.messages, 0);
+    }
+}

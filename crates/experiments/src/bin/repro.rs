@@ -1,0 +1,428 @@
+//! `repro` — regenerate every figure and claim of the paper.
+//!
+//! ```text
+//! repro <experiment> [options]
+//!
+//! experiments:
+//!   fig1 fig2 fig3 fig4 fig5 safesets property2 thm4
+//!   compare rounds maintenance broadcast dynamic distribution
+//!   linkfaults tightness traffic multicast patterns vectors
+//!   congestion all
+//!
+//! options:
+//!   --n <dim>        cube dimension (where applicable)
+//!   --trials <k>     Monte-Carlo trials per point
+//!   --max-faults <m> largest fault count in sweeps
+//!   --seed <s>       master RNG seed
+//!   --csv <dir>      also write <dir>/<name>.csv per report
+//!   --md             print GitHub-flavored Markdown instead of text
+//!   --quick          small trial counts (CI-sized run)
+//! ```
+
+use hypersafe_experiments::table::Report;
+use hypersafe_experiments::{
+    broadcast_exp, congestion_exp, distribution_exp, dynamic_exp, fig1, fig2, fig3, fig4, fig5, linkfaults_exp,
+    maintenance_exp, multicast_exp, patterns_exp, property2, rounds_compare, routing_compare, safesets, thm4, tightness_exp, traffic_exp, vectors_exp,
+};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+#[derive(Debug, Clone)]
+struct Opts {
+    experiment: String,
+    n: Option<u8>,
+    trials: Option<u32>,
+    max_faults: Option<usize>,
+    seed: Option<u64>,
+    csv: Option<PathBuf>,
+    markdown: bool,
+    quick: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro <fig1|fig2|fig3|fig4|fig5|safesets|property2|thm4|compare|rounds|maintenance|broadcast|dynamic|distribution|linkfaults|tightness|traffic|multicast|patterns|vectors|congestion|all> \
+         [--n N] [--trials K] [--max-faults M] [--seed S] [--csv DIR] [--md] [--quick]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Opts {
+    let mut args = std::env::args().skip(1);
+    let Some(experiment) = args.next() else { usage() };
+    let mut opts = Opts {
+        experiment,
+        n: None,
+        trials: None,
+        max_faults: None,
+        seed: None,
+        csv: None,
+        markdown: false,
+        quick: false,
+    };
+    while let Some(flag) = args.next() {
+        let mut val = |name: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--n" => {
+                let n: u8 = val("--n").parse().unwrap_or_else(|_| usage());
+                if !(2..=16).contains(&n) {
+                    eprintln!("--n must be in 2..=16 (full-cube sweeps get huge beyond that)");
+                    std::process::exit(2);
+                }
+                opts.n = Some(n);
+            }
+            "--trials" => opts.trials = Some(val("--trials").parse().unwrap_or_else(|_| usage())),
+            "--max-faults" => {
+                opts.max_faults = Some(val("--max-faults").parse().unwrap_or_else(|_| usage()))
+            }
+            "--seed" => opts.seed = Some(val("--seed").parse().unwrap_or_else(|_| usage())),
+            "--csv" => opts.csv = Some(PathBuf::from(val("--csv"))),
+            "--md" => opts.markdown = true,
+            "--quick" => opts.quick = true,
+            _ => usage(),
+        }
+    }
+    opts
+}
+
+fn emit(rep: &Report, csv: &Option<PathBuf>, markdown: bool) {
+    if markdown {
+        println!("{}", rep.to_markdown());
+    } else {
+        println!("{}", rep.render());
+    }
+    if let Some(dir) = csv {
+        match rep.write_csv(dir) {
+            Ok(path) => println!("csv: {}", path.display()),
+            Err(e) => eprintln!("csv write failed: {e}"),
+        }
+    }
+}
+
+fn run_one(name: &str, o: &Opts) -> Vec<Report> {
+    let quick_div = if o.quick { 10 } else { 1 };
+    match name {
+        "fig1" => vec![fig1::run()],
+        "fig2" => {
+            let mut p = fig2::Fig2Params::default();
+            if let Some(n) = o.n {
+                p.n = n;
+            }
+            if let Some(t) = o.trials {
+                p.trials = t;
+            } else {
+                p.trials = (p.trials / quick_div).max(20);
+            }
+            if let Some(m) = o.max_faults {
+                p.max_faults = m;
+            } else if o.quick {
+                p.max_faults = 14;
+            }
+            if let Some(s) = o.seed {
+                p.seed = s;
+            }
+            vec![fig2::run(&p)]
+        }
+        "fig3" => vec![fig3::run()],
+        "fig4" => vec![fig4::run()],
+        "fig5" => vec![fig5::run()],
+        "safesets" => {
+            let mut p = safesets::SafeSetParams::default();
+            if let Some(n) = o.n {
+                p.n = n;
+            }
+            if let Some(t) = o.trials {
+                p.trials = t;
+            } else {
+                p.trials = (p.trials / quick_div).max(20);
+            }
+            if let Some(m) = o.max_faults {
+                p.max_faults = m;
+            }
+            if let Some(s) = o.seed {
+                p.seed = s;
+            }
+            vec![safesets::run_example(), safesets::run_sweep(&p)]
+        }
+        "property2" => {
+            let mut p = property2::Property2Params::default();
+            if let Some(t) = o.trials {
+                p.trials = t;
+            } else {
+                p.trials = (p.trials / quick_div).max(10);
+            }
+            if let Some(s) = o.seed {
+                p.seed = s;
+            }
+            if o.quick {
+                p.dims = [3, 4, 5, 6];
+            }
+            vec![property2::run(&p)]
+        }
+        "thm4" => {
+            let mut p = thm4::Thm4Params::default();
+            if let Some(t) = o.trials {
+                p.trials = t;
+            } else {
+                p.trials = (p.trials / quick_div).max(10);
+            }
+            if let Some(s) = o.seed {
+                p.seed = s;
+            }
+            vec![thm4::run(&p)]
+        }
+        "compare" => {
+            let mut p = routing_compare::CompareParams::default();
+            if let Some(n) = o.n {
+                p.n = n;
+            }
+            if let Some(t) = o.trials {
+                p.trials = t;
+            } else {
+                p.trials = (p.trials / quick_div).max(10);
+            }
+            if let Some(m) = o.max_faults {
+                p.max_faults = m;
+            }
+            if let Some(s) = o.seed {
+                p.seed = s;
+            }
+            vec![routing_compare::run(&p)]
+        }
+        "rounds" => {
+            let mut p = rounds_compare::RoundsParams::default();
+            if let Some(n) = o.n {
+                p.n = n;
+            }
+            if let Some(t) = o.trials {
+                p.trials = t;
+            } else {
+                p.trials = (p.trials / quick_div).max(10);
+            }
+            if let Some(m) = o.max_faults {
+                p.max_faults = m;
+            }
+            if let Some(s) = o.seed {
+                p.seed = s;
+            }
+            vec![rounds_compare::run(&p)]
+        }
+        "broadcast" => {
+            let mut p = broadcast_exp::BroadcastParams::default();
+            if let Some(n) = o.n {
+                p.n = n;
+            }
+            if let Some(t) = o.trials {
+                p.trials = t;
+            } else {
+                p.trials = (p.trials / quick_div).max(10);
+            }
+            if let Some(m) = o.max_faults {
+                p.max_faults = m;
+            }
+            if let Some(s) = o.seed {
+                p.seed = s;
+            }
+            vec![broadcast_exp::run(&p)]
+        }
+        "dynamic" => {
+            let mut p = dynamic_exp::DynamicParams::default();
+            if let Some(n) = o.n {
+                p.n = n;
+            }
+            if let Some(t) = o.trials {
+                p.trials = t;
+            } else {
+                p.trials = (p.trials / quick_div).max(20);
+            }
+            if let Some(s) = o.seed {
+                p.seed = s;
+            }
+            vec![dynamic_exp::run(&p)]
+        }
+        "distribution" => {
+            let mut p = distribution_exp::DistributionParams::default();
+            if let Some(n) = o.n {
+                p.n = n;
+            }
+            if let Some(t) = o.trials {
+                p.trials = t;
+            } else {
+                p.trials = (p.trials / quick_div).max(20);
+            }
+            if let Some(s) = o.seed {
+                p.seed = s;
+            }
+            vec![distribution_exp::run(&p)]
+        }
+        "linkfaults" => {
+            let mut p = linkfaults_exp::LinkFaultParams::default();
+            if let Some(n) = o.n {
+                p.n = n;
+            }
+            if let Some(t) = o.trials {
+                p.trials = t;
+            } else {
+                p.trials = (p.trials / quick_div).max(20);
+            }
+            if let Some(s) = o.seed {
+                p.seed = s;
+            }
+            vec![linkfaults_exp::run(&p)]
+        }
+        "tightness" => {
+            let mut p = tightness_exp::TightnessParams::default();
+            if let Some(n) = o.n {
+                p.n = n;
+            }
+            if let Some(t) = o.trials {
+                p.trials = t;
+            } else {
+                p.trials = (p.trials / quick_div).max(5);
+            }
+            if let Some(m) = o.max_faults {
+                p.max_faults = m;
+            }
+            if let Some(s) = o.seed {
+                p.seed = s;
+            }
+            vec![tightness_exp::run(&p)]
+        }
+        "traffic" => {
+            let mut p = traffic_exp::TrafficParams::default();
+            if let Some(n) = o.n {
+                p.n = n;
+            }
+            if let Some(t) = o.trials {
+                p.trials = t;
+            } else {
+                p.trials = (p.trials / quick_div).max(3);
+            }
+            if let Some(s) = o.seed {
+                p.seed = s;
+            }
+            vec![traffic_exp::run(&p)]
+        }
+        "multicast" => {
+            let mut p = multicast_exp::MulticastParams::default();
+            if let Some(n) = o.n {
+                p.n = n;
+            }
+            if let Some(t) = o.trials {
+                p.trials = t;
+            } else {
+                p.trials = (p.trials / quick_div).max(20);
+            }
+            if let Some(s) = o.seed {
+                p.seed = s;
+            }
+            vec![multicast_exp::run(&p)]
+        }
+        "patterns" => {
+            let mut p = patterns_exp::PatternsParams::default();
+            if let Some(n) = o.n {
+                p.n = n;
+            }
+            if let Some(t) = o.trials {
+                p.trials = t;
+            } else {
+                p.trials = (p.trials / quick_div).max(10);
+            }
+            if let Some(s) = o.seed {
+                p.seed = s;
+            }
+            vec![patterns_exp::run(&p)]
+        }
+        "vectors" => {
+            let mut p = vectors_exp::VectorsParams::default();
+            if let Some(n) = o.n {
+                p.n = n;
+            }
+            if let Some(t) = o.trials {
+                p.trials = t;
+            } else {
+                p.trials = (p.trials / quick_div).max(5);
+            }
+            if let Some(m) = o.max_faults {
+                p.max_faults = m;
+            }
+            if let Some(s) = o.seed {
+                p.seed = s;
+            }
+            vec![vectors_exp::run(&p)]
+        }
+        "congestion" => {
+            let mut p = congestion_exp::CongestionParams::default();
+            if let Some(n) = o.n {
+                p.n = n;
+            }
+            if let Some(t) = o.trials {
+                p.trials = t;
+            } else {
+                p.trials = (p.trials / quick_div).max(2);
+            }
+            if let Some(s) = o.seed {
+                p.seed = s;
+            }
+            vec![congestion_exp::run(&p)]
+        }
+        "maintenance" => {
+            let mut p = maintenance_exp::MaintenanceParams::default();
+            if let Some(n) = o.n {
+                p.n = n;
+            }
+            if let Some(t) = o.trials {
+                p.trials = t;
+            } else {
+                p.trials = (p.trials / quick_div).max(5);
+            }
+            if let Some(s) = o.seed {
+                p.seed = s;
+            }
+            vec![maintenance_exp::run(&p)]
+        }
+        _ => usage(),
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+    let names: Vec<&str> = if opts.experiment == "all" {
+        vec![
+            "fig1",
+            "fig2",
+            "fig3",
+            "fig4",
+            "fig5",
+            "safesets",
+            "property2",
+            "thm4",
+            "compare",
+            "rounds",
+            "maintenance",
+            "broadcast",
+            "dynamic",
+            "distribution",
+            "linkfaults",
+            "tightness",
+            "traffic",
+            "multicast",
+            "patterns",
+            "vectors",
+            "congestion",
+        ]
+    } else {
+        vec![opts.experiment.as_str()]
+    };
+    for name in names {
+        for rep in run_one(name, &opts) {
+            emit(&rep, &opts.csv, opts.markdown);
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,280 @@
+//! E21 — routing *time* under load. The paper's introduction motivates
+//! limited-global information with "global optimization, such as time
+//! and traffic in routing"; E17 measured traffic, this experiment
+//! measures time: a queueing simulation where each node serves one
+//! message per service interval, so concentrated routes create
+//! head-of-line blocking. Compares tie-break policies by delivered
+//! latency under increasing load.
+
+use crate::table::{f2, Report};
+use hypersafe_core::{intermediate_dim_tb, NavVector, SafetyMap, TieBreak};
+use hypersafe_simkit::{Actor, Ctx, EventEngine, Time};
+use hypersafe_topology::{FaultConfig, Hypercube, NodeId};
+use hypersafe_workloads::{mean, random_pair, uniform_faults, Sweep};
+use std::collections::HashMap;
+
+/// Injection bookkeeping: a tag plus the job's destination and id.
+type Injection = (u64, (NodeId, u32));
+
+/// A routed job in flight.
+#[derive(Clone, Copy, Debug)]
+struct Job {
+    nav: NavVector,
+    id: u32,
+    started: Time,
+}
+
+/// Queueing router node: one message per `service` ticks.
+struct QueueNode {
+    neighbor_levels_map: SafetyMap,
+    tb: TieBreak,
+    service: Time,
+    busy_until: Time,
+    /// Jobs this node originates: injection tag → (destination, id).
+    to_start: HashMap<u64, (NodeId, u32)>,
+    /// Completions observed at this node: (id, end_time, start_time).
+    completed: Vec<(u32, Time, Time)>,
+}
+
+impl QueueNode {
+    fn forward(&mut self, ctx: &mut Ctx<Job>, mut job: Job) {
+        let at = ctx.self_id();
+        if job.nav.is_done() {
+            self.completed.push((job.id, ctx.now(), job.started));
+            return;
+        }
+        let tb = match self.tb {
+            TieBreak::Hashed { .. } => TieBreak::Hashed { salt: job.id as u64 },
+            other => other,
+        };
+        let Some(dim) = intermediate_dim_tb(&self.neighbor_levels_map, at, job.nav, tb)
+        else {
+            return;
+        };
+        job.nav = job.nav.after_hop(dim);
+        // Head-of-line blocking: the node has a single injection
+        // channel (not per-port), so any send frees up only after the
+        // previous one finished its service interval.
+        let depart = self.busy_until.max(ctx.now()) + self.service;
+        self.busy_until = depart;
+        ctx.send(at.neighbor(dim), job, depart - ctx.now());
+    }
+}
+
+impl Actor for QueueNode {
+    type Msg = Job;
+
+    fn on_timer(&mut self, ctx: &mut Ctx<Job>, tag: u64) {
+        if let Some((d, id)) = self.to_start.remove(&tag) {
+            let job = Job { nav: NavVector::new(ctx.self_id(), d), id, started: ctx.now() };
+            self.forward(ctx, job);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<Job>, _from: NodeId, job: Job) {
+        self.forward(ctx, job);
+    }
+}
+
+/// Simulation summary for one load point.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LatencySummary {
+    /// Jobs delivered.
+    pub delivered: u64,
+    /// Mean end-to-end latency (ticks).
+    pub mean_latency: f64,
+    /// 100th-percentile latency.
+    pub max_latency: u64,
+    /// Mean latency divided by the job's Hamming distance × service —
+    /// the queueing slowdown factor (1.0 = no contention).
+    pub slowdown: f64,
+}
+
+/// Runs `jobs` unicasts injected in a burst at t = 0 over one faulty
+/// instance, with per-node service time 1.
+pub fn simulate_burst(
+    cfg: &FaultConfig,
+    map: &SafetyMap,
+    pairs: &[(NodeId, NodeId)],
+    tb: TieBreak,
+) -> LatencySummary {
+    let mut assignments: HashMap<u64, Vec<Injection>> = HashMap::new();
+    for (i, &(s, d)) in pairs.iter().enumerate() {
+        assignments.entry(s.raw()).or_default().push((i as u64, (d, i as u32)));
+    }
+    let mut eng = EventEngine::new(cfg, |a| QueueNode {
+        neighbor_levels_map: map.clone(),
+        tb,
+        service: 1,
+        busy_until: 0,
+        to_start: assignments
+            .get(&a.raw())
+            .map(|v| v.iter().copied().collect())
+            .unwrap_or_default(),
+        completed: Vec::new(),
+    });
+    for (s, jobs) in &assignments {
+        for &(tag, _) in jobs {
+            eng.inject(NodeId::new(*s), tag, 0);
+        }
+    }
+    eng.run(u64::MAX);
+
+    let mut latencies = Vec::new();
+    let mut per_job_h: HashMap<u32, u32> = HashMap::new();
+    for (i, &(s, d)) in pairs.iter().enumerate() {
+        per_job_h.insert(i as u32, s.distance(d));
+    }
+    let mut slowdowns = Vec::new();
+    for a in cfg.cube().nodes() {
+        if let Some(node) = eng.actor(a) {
+            for &(id, end, start) in &node.completed {
+                let lat = end - start;
+                latencies.push(lat as f64);
+                let h = per_job_h[&id].max(1) as f64;
+                slowdowns.push(lat as f64 / h);
+            }
+        }
+    }
+    LatencySummary {
+        delivered: latencies.len() as u64,
+        mean_latency: mean(&latencies),
+        max_latency: latencies.iter().cloned().fold(0.0, f64::max) as u64,
+        slowdown: mean(&slowdowns),
+    }
+}
+
+/// Parameters for the congestion sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct CongestionParams {
+    /// Cube dimension.
+    pub n: u8,
+    /// Fault count per instance.
+    pub faults: usize,
+    /// Burst sizes to sweep.
+    pub loads: [usize; 4],
+    /// Instances per point.
+    pub trials: u32,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for CongestionParams {
+    fn default() -> Self {
+        CongestionParams { n: 7, faults: 4, loads: [32, 128, 512, 2048], trials: 10, seed: 0xC047 }
+    }
+}
+
+/// Runs the sweep.
+pub fn run(p: &CongestionParams) -> Report {
+    let cube = Hypercube::new(p.n);
+    let mut rep = Report::new(
+        "congestion",
+        format!(
+            "queueing latency under burst load, {}-cube, {} faults, service 1 tick/node",
+            p.n, p.faults
+        ),
+        &["burst", "tiebreak", "delivered", "mean_latency", "max_latency", "slowdown"],
+    );
+    for &load in &p.loads {
+        for (name, tb) in [
+            ("lowest-dim", TieBreak::LowestDim),
+            ("hashed", TieBreak::Hashed { salt: 0 }),
+        ] {
+            let sweep = Sweep::new(p.trials, p.seed.wrapping_add(load as u64));
+            let sums: Vec<LatencySummary> = sweep.run(|_, rng| {
+                let cfg =
+                    FaultConfig::with_node_faults(cube, uniform_faults(cube, p.faults, rng));
+                let map = SafetyMap::compute(&cfg);
+                let pairs: Vec<(NodeId, NodeId)> =
+                    (0..load).map(|_| random_pair(&cfg, rng)).collect();
+                simulate_burst(&cfg, &map, &pairs, tb)
+            });
+            let t = sums.len() as f64;
+            rep.row(vec![
+                load.to_string(),
+                name.to_string(),
+                f2(sums.iter().map(|s| s.delivered as f64).sum::<f64>() / t),
+                f2(sums.iter().map(|s| s.mean_latency).sum::<f64>() / t),
+                f2(sums.iter().map(|s| s.max_latency as f64).sum::<f64>() / t),
+                f2(sums.iter().map(|s| s.slowdown).sum::<f64>() / t),
+            ]);
+        }
+    }
+    rep.note("slowdown = latency / (H × service); 1.00 means contention-free".to_string());
+    rep.note("burst injection at t = 0 is the worst case for head-of-line blocking".to_string());
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypersafe_topology::FaultSet;
+
+    #[test]
+    fn single_job_has_no_queueing() {
+        let cube = Hypercube::new(5);
+        let cfg = FaultConfig::fault_free(cube);
+        let map = SafetyMap::compute(&cfg);
+        let pairs = [(NodeId::new(0), NodeId::new(0b11111))];
+        let s = simulate_burst(&cfg, &map, &pairs, TieBreak::LowestDim);
+        assert_eq!(s.delivered, 1);
+        assert_eq!(s.mean_latency, 5.0, "H hops × service 1");
+        assert!((s.slowdown - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn contention_raises_latency() {
+        let cube = Hypercube::new(5);
+        let cfg = FaultConfig::fault_free(cube);
+        let map = SafetyMap::compute(&cfg);
+        // Everyone sends to the same destination: maximal contention.
+        let pairs: Vec<(NodeId, NodeId)> = cube
+            .nodes()
+            .filter(|&a| a != NodeId::new(0b11111))
+            .map(|a| (a, NodeId::new(0b11111)))
+            .collect();
+        let s = simulate_burst(&cfg, &map, &pairs, TieBreak::LowestDim);
+        assert_eq!(s.delivered as usize, pairs.len());
+        assert!(s.slowdown > 1.5, "hot-spot must queue: {s:?}");
+    }
+
+    #[test]
+    fn faulty_instance_still_delivers_burst() {
+        let cube = Hypercube::new(5);
+        let cfg = FaultConfig::with_node_faults(
+            cube,
+            FaultSet::from_binary_strs(cube, &["00011", "10100"]),
+        );
+        let map = SafetyMap::compute(&cfg);
+        let sweep = Sweep::new(1, 3);
+        let mut rng = sweep.trial_rng(0);
+        let pairs: Vec<(NodeId, NodeId)> =
+            (0..64).map(|_| random_pair(&cfg, &mut rng)).collect();
+        let s = simulate_burst(&cfg, &map, &pairs, TieBreak::Hashed { salt: 0 });
+        assert_eq!(s.delivered as usize, pairs.len(), "under n faults nothing is lost");
+    }
+
+    #[test]
+    fn report_structure() {
+        let p = CongestionParams {
+            n: 5,
+            faults: 2,
+            loads: [8, 16, 32, 64],
+            trials: 3,
+            seed: 1,
+        };
+        let rep = run(&p);
+        assert_eq!(rep.rows.len(), 8);
+        // Latency grows with load for each policy.
+        let lat = |load: &str, tb: &str| -> f64 {
+            rep.rows
+                .iter()
+                .find(|r| r[0] == load && r[1] == tb)
+                .unwrap()[3]
+                .parse()
+                .unwrap()
+        };
+        assert!(lat("64", "lowest-dim") >= lat("8", "lowest-dim"));
+    }
+}

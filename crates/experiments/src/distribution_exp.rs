@@ -1,0 +1,154 @@
+//! E14 — fault *distribution* sensitivity. The paper's pitch for
+//! safety levels is that they approximate "the number **and
+//! distribution** of faulty nodes", not just the count. This sweep
+//! holds the fault count fixed and varies the spatial pattern —
+//! uniform, Gray-clustered, whole subcube — measuring how the safety
+//! landscape and unicast feasibility respond.
+
+use crate::table::{f2, pct, Report};
+use hypersafe_core::{route, Decision, SafetyMap};
+use hypersafe_topology::{FaultConfig, FaultSet, Hypercube};
+use hypersafe_workloads::{clustered_faults, random_pair, subcube_faults, uniform_faults, Sweep};
+use rand_chacha::ChaCha8Rng;
+
+/// Parameters for the distribution sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct DistributionParams {
+    /// Cube dimension.
+    pub n: u8,
+    /// Subcube dimension to fault (fault count = 2^k for all patterns).
+    pub subcube_dim: u8,
+    /// Instances per pattern.
+    pub trials: u32,
+    /// Unicast pairs per instance.
+    pub pairs_per_instance: u32,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for DistributionParams {
+    fn default() -> Self {
+        DistributionParams { n: 8, subcube_dim: 3, trials: 300, pairs_per_instance: 8, seed: 0xD157 }
+    }
+}
+
+/// One pattern's aggregate measurements.
+#[derive(Clone, Copy, Debug, Default)]
+struct Agg {
+    mean_level_sum: f64,
+    safe_frac_sum: f64,
+    optimal: u64,
+    suboptimal: u64,
+    failed: u64,
+}
+
+/// Runs the sweep.
+pub fn run(p: &DistributionParams) -> Report {
+    let cube = Hypercube::new(p.n);
+    let m = 1usize << p.subcube_dim;
+    let mut rep = Report::new(
+        "distribution",
+        format!(
+            "fault-pattern sensitivity, {}-cube, {} faults per instance, {} instances",
+            p.n, m, p.trials
+        ),
+        &["pattern", "mean_level", "safe_frac", "optimal", "suboptimal", "failed"],
+    );
+
+    type Gen = fn(Hypercube, usize, u8, &mut ChaCha8Rng) -> FaultSet;
+    let uniform: Gen = |c, m, _, rng| uniform_faults(c, m, rng);
+    let clustered: Gen = |c, m, _, rng| clustered_faults(c, m, rng);
+    let subcube: Gen = |c, _, k, rng| subcube_faults(c, k, rng);
+    let patterns: [(&str, Gen); 3] =
+        [("uniform", uniform), ("clustered", clustered), ("subcube", subcube)];
+
+    for (name, gen) in patterns {
+        let sweep = Sweep::new(p.trials, p.seed);
+        let aggs: Vec<Agg> = sweep.run(|_, rng| {
+            let faults = gen(cube, m, p.subcube_dim, rng);
+            let cfg = FaultConfig::with_node_faults(cube, faults);
+            let map = SafetyMap::compute(&cfg);
+            let healthy = cfg.healthy_count() as f64;
+            let level_sum: f64 =
+                cfg.healthy_nodes().map(|a| map.level(a) as f64).sum::<f64>() / healthy;
+            let safe_frac =
+                cfg.healthy_nodes().filter(|&a| map.is_safe(a)).count() as f64 / healthy;
+            let mut agg = Agg {
+                mean_level_sum: level_sum,
+                safe_frac_sum: safe_frac,
+                ..Agg::default()
+            };
+            for _ in 0..p.pairs_per_instance {
+                let (s, d) = random_pair(&cfg, rng);
+                let res = route(&cfg, &map, s, d);
+                match res.decision {
+                    Decision::Optimal { .. } => agg.optimal += 1,
+                    Decision::Suboptimal { .. } => agg.suboptimal += 1,
+                    Decision::Failure => agg.failed += 1,
+                    Decision::AlreadyThere => {}
+                }
+            }
+            agg
+        });
+        let t = p.trials as f64;
+        let mean_level = aggs.iter().map(|a| a.mean_level_sum).sum::<f64>() / t;
+        let safe_frac = aggs.iter().map(|a| a.safe_frac_sum).sum::<f64>() / t;
+        let optimal: u64 = aggs.iter().map(|a| a.optimal).sum();
+        let suboptimal: u64 = aggs.iter().map(|a| a.suboptimal).sum();
+        let failed: u64 = aggs.iter().map(|a| a.failed).sum();
+        let total = optimal + suboptimal + failed;
+        rep.row(vec![
+            name.to_string(),
+            f2(mean_level),
+            f2(safe_frac),
+            pct(optimal, total),
+            pct(suboptimal, total),
+            pct(failed, total),
+        ]);
+    }
+    rep.note(format!(
+        "all patterns inject exactly {m} faults; only their placement differs"
+    ));
+    rep.note("clustered/subcube faults depress far fewer safety levels than uniform ones — \
+              the distribution-awareness the paper claims".to_string());
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subcube_pattern_is_gentler_than_uniform() {
+        let p = DistributionParams {
+            n: 7,
+            subcube_dim: 3,
+            trials: 60,
+            pairs_per_instance: 6,
+            seed: 44,
+        };
+        let rep = run(&p);
+        let level = |name: &str| -> f64 {
+            rep.rows.iter().find(|r| r[0] == name).unwrap()[1].parse().unwrap()
+        };
+        // A compact fault region leaves the rest of the cube safer than
+        // the same number of scattered faults.
+        assert!(level("subcube") > level("uniform"), "{rep:?}");
+    }
+
+    #[test]
+    fn rows_and_columns_complete() {
+        let p = DistributionParams {
+            n: 6,
+            subcube_dim: 2,
+            trials: 30,
+            pairs_per_instance: 4,
+            seed: 45,
+        };
+        let rep = run(&p);
+        assert_eq!(rep.rows.len(), 3);
+        for row in &rep.rows {
+            assert_eq!(row.len(), 6);
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! E4 — the paper's Fig. 3: unicasting in a *disconnected* four-cube.
+//!
+//! Faults {0110, 1010, 1100, 1111} isolate node 1110. The paper walks
+//! through three unicasts: 0101 → 0000 (optimal via C1), 0111 → 1011
+//! (optimal via C2 through preferred neighbor 0011), and 0111 → 1110
+//! (all three conditions fail → abort at the source, which is exactly
+//! the partition detection no safe-node scheme can perform).
+
+use crate::table::Report;
+use hypersafe_core::{route, source_decision, Condition, Decision, SafetyMap};
+use hypersafe_topology::{connectivity, FaultConfig, FaultSet, Hypercube, NodeId};
+
+/// The exact Fig. 3 instance.
+pub fn fig3_instance() -> FaultConfig {
+    let cube = Hypercube::new(4);
+    FaultConfig::with_node_faults(
+        cube,
+        FaultSet::from_binary_strs(cube, &["0110", "1010", "1100", "1111"]),
+    )
+}
+
+fn n(s: &str) -> NodeId {
+    NodeId::from_binary(s).unwrap()
+}
+
+/// Regenerates Fig. 3.
+pub fn run() -> Report {
+    let cfg = fig3_instance();
+    let map = SafetyMap::compute(&cfg);
+    let mut rep = Report::new(
+        "fig3",
+        "Fig. 3 — disconnected 4-cube, faults {0110, 1010, 1100, 1111}",
+        &["unicast", "H", "S(s)", "decision", "path", "delivered"],
+    );
+
+    let comps = connectivity::components(&cfg);
+    assert_eq!(comps.len(), 2, "the cube is split in two parts");
+    assert!(comps.iter().any(|c| c == &vec![n("1110")]), "1110 is isolated");
+    rep.note(format!(
+        "components: {:?}",
+        comps
+            .iter()
+            .map(|c| c.iter().map(|a| a.to_binary(4)).collect::<Vec<_>>())
+            .collect::<Vec<_>>()
+    ));
+
+    let mut case = |s: &str, d: &str| {
+        let (s, d) = (n(s), n(d));
+        let res = route(&cfg, &map, s, d);
+        let decision = match res.decision {
+            Decision::Optimal { condition: Condition::C1, .. } => "optimal (C1)",
+            Decision::Optimal { condition: Condition::C2, .. } => "optimal (C2)",
+            Decision::Optimal { .. } => "optimal",
+            Decision::Suboptimal { .. } => "suboptimal (C3)",
+            Decision::Failure => "FAILURE (detected at source)",
+            Decision::AlreadyThere => "trivial",
+        };
+        rep.row(vec![
+            format!("{} → {}", s.to_binary(4), d.to_binary(4)),
+            s.distance(d).to_string(),
+            map.level(s).to_string(),
+            decision.into(),
+            res.path.as_ref().map_or_else(|| "-".to_string(), |p| p.render(4)),
+            res.delivered.to_string(),
+        ]);
+        res
+    };
+
+    // Walk 1: s = 0101, d = 0000 — "H = 2 and the safety level of the
+    // source is 2. Therefore, optimal unicasting is possible."
+    let r1 = case("0101", "0000");
+    assert_eq!(map.level(n("0101")), 2);
+    assert!(matches!(r1.decision, Decision::Optimal { condition: Condition::C1, .. }));
+    assert!(r1.delivered && r1.path.unwrap().is_optimal());
+
+    // Walk 2: s = 0111, d = 1011 — source level 1 < H = 2, but the
+    // preferred neighbor 0011 has level 2 → optimal via C2.
+    assert_eq!(map.level(n("0111")), 1);
+    assert_eq!(map.level(n("0011")), 2);
+    let r2 = case("0111", "1011");
+    assert!(matches!(r2.decision, Decision::Optimal { condition: Condition::C2, .. }));
+    assert!(r2.delivered && r2.path.unwrap().is_optimal());
+
+    // Walk 3: s = 0111, d = 1110 — C1 fails (1 < 2), C2 fails (preferred
+    // neighbors 0110 faulty and 1111 faulty), C3 fails (spare neighbors
+    // 0101 and 0011 at level 2 < H + 1 = 3) → abort at the source.
+    let dec = source_decision(&map, n("0111"), n("1110"));
+    assert_eq!(dec, Decision::Failure);
+    let r3 = case("0111", "1110");
+    assert!(!r3.delivered);
+
+    // Any unicast initiated at the isolated 1110 fails too.
+    for d in cfg.healthy_nodes() {
+        if d == n("1110") {
+            continue;
+        }
+        assert_eq!(source_decision(&map, n("1110"), d), Decision::Failure);
+    }
+    rep.note("all unicasts from isolated 1110 abort locally (paper §3.3)".to_string());
+    rep.note("safe-node schemes (LH/WF/Chiu-Wu) are inapplicable here: safe sets are empty (Theorem 4)".to_string());
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_reproduces_all_three_walks() {
+        let rep = run();
+        assert_eq!(rep.rows.len(), 3);
+        assert!(rep.rows[0][3].contains("C1"));
+        assert!(rep.rows[1][3].contains("C2"));
+        assert!(rep.rows[2][3].contains("FAILURE"));
+    }
+
+    #[test]
+    fn safety_levels_of_key_nodes() {
+        let cfg = fig3_instance();
+        let map = SafetyMap::compute(&cfg);
+        assert_eq!(map.level(n("0101")), 2);
+        assert_eq!(map.level(n("0111")), 1);
+        assert_eq!(map.level(n("0011")), 2);
+        // The isolated node's level reflects its dead neighborhood.
+        assert_eq!(map.level(n("1110")), 1);
+    }
+}

@@ -1,0 +1,106 @@
+//! ASCII rendering of small cubes — Fig.-1-style diagrams in the
+//! terminal.
+//!
+//! A 3-cube is drawn in the classic wireframe projection; a 4-cube as
+//! its two dimension-3 subcubes side by side (cross-dimension links
+//! implied). Each vertex carries a caller-supplied label (typically
+//! `level` or `X` for faulty), so `cubeview --draw` can show the
+//! safety landscape at a glance.
+
+use hypersafe_topology::NodeId;
+
+/// Wireframe of a 3-cube. `{abc}` placeholders name vertices by their
+/// binary address; each is replaced by a 7-character label.
+const CUBE3: &str = r#"
+      {110}---------{111}
+      / |           / |
+     /  |          /  |
+  {010}---------{011} |
+    |   |         |   |
+    | {100}-------|-{101}
+    |  /          |  /
+    | /           | /
+  {000}---------{001}
+"#;
+
+/// Renders a 3-cube with per-node labels from `label` (padded/truncated
+/// to 7 characters, centered).
+pub fn render_q3(base: u64, label: &mut dyn FnMut(NodeId) -> String) -> String {
+    let mut out = CUBE3.to_string();
+    for raw in 0..8u64 {
+        let key = format!("{{{:03b}}}", raw);
+        let text = label(NodeId::new(base | raw));
+        out = out.replace(&key, &center7(&text));
+    }
+    out
+}
+
+/// Renders a 4-cube as its `0xxx` and `1xxx` subcubes side by side.
+pub fn render_q4(label: &mut dyn FnMut(NodeId) -> String) -> String {
+    let left = render_q3(0, label);
+    let right = render_q3(8, label);
+    let l: Vec<&str> = left.lines().collect();
+    let r: Vec<&str> = right.lines().collect();
+    let width = l.iter().map(|s| s.len()).max().unwrap_or(0) + 6;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<width$}{}\n",
+        "  subcube 0xxx",
+        "  subcube 1xxx (linked to 0xxx vertex-wise along dim 3)",
+        width = width
+    ));
+    for i in 0..l.len().max(r.len()) {
+        let a = l.get(i).copied().unwrap_or("");
+        let b = r.get(i).copied().unwrap_or("");
+        out.push_str(&format!("{a:<width$}{b}\n", width = width));
+    }
+    out
+}
+
+fn center7(s: &str) -> String {
+    let s: String = s.chars().take(7).collect();
+    let pad = 7 - s.chars().count();
+    let left = pad / 2;
+    format!("{}{}{}", "-".repeat(left), s, "-".repeat(pad - left))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn q3_replaces_all_placeholders() {
+        let mut label = |a: NodeId| format!("{}", a.raw());
+        let s = render_q3(0, &mut label);
+        assert!(!s.contains('{'), "all placeholders substituted:\n{s}");
+        for raw in 0..8 {
+            assert!(s.contains(&format!("{raw}")), "vertex {raw} labeled");
+        }
+    }
+
+    #[test]
+    fn q4_has_both_subcubes() {
+        let mut label = |a: NodeId| a.to_binary(4);
+        let s = render_q4(&mut label);
+        assert!(s.contains("0000"));
+        assert!(s.contains("1111"));
+        assert!(s.contains("subcube 0xxx"));
+        assert!(!s.contains('{'));
+    }
+
+    #[test]
+    fn labels_are_centered_to_seven() {
+        assert_eq!(center7("ab"), "--ab---");
+        assert_eq!(center7("abcdefg"), "abcdefg");
+        assert_eq!(center7("abcdefghij"), "abcdefg", "truncated");
+    }
+
+    #[test]
+    fn q3_wireframe_stays_aligned() {
+        // With uniform-width labels every line keeps the template
+        // geometry (same line count as the template).
+        let mut label = |_: NodeId| "x".to_string();
+        let s = render_q3(0, &mut label);
+        assert_eq!(s.lines().count(), CUBE3.lines().count());
+    }
+}

@@ -1,0 +1,145 @@
+//! E3 — safe-node set comparison across the three definitions
+//! (paper §2.3): Lee–Hayes (Def. 2) ⊆ Wu–Fernandez (Def. 3) ⊆
+//! safety-level-`n` nodes (Def. 1).
+//!
+//! Two parts: the paper's exact 4-cube example, and a randomized sweep
+//! measuring average safe-set sizes as fault count grows — the
+//! quantitative version of "the safety level defined here provides
+//! more accurate information than the previous ones".
+
+use crate::table::{f2, Report};
+use hypersafe_baselines::{LeeHayesStatus, WuFernandezStatus};
+use hypersafe_core::SafetyMap;
+use hypersafe_topology::{FaultConfig, FaultSet, Hypercube};
+use hypersafe_workloads::{mean, uniform_faults, Sweep};
+
+/// Parameters for the safe-set sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct SafeSetParams {
+    /// Cube dimension.
+    pub n: u8,
+    /// Largest fault count (inclusive).
+    pub max_faults: usize,
+    /// Trials per fault count.
+    pub trials: u32,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for SafeSetParams {
+    fn default() -> Self {
+        SafeSetParams { n: 7, max_faults: 21, trials: 300, seed: 0xB0B }
+    }
+}
+
+/// The paper's exact §2.3 example, as a report.
+pub fn run_example() -> Report {
+    let cube = Hypercube::new(4);
+    let cfg = FaultConfig::with_node_faults(
+        cube,
+        FaultSet::from_binary_strs(cube, &["0000", "0110", "1111"]),
+    );
+    let lh = LeeHayesStatus::compute(&cfg);
+    let wf = WuFernandezStatus::compute(&cfg);
+    let sl = SafetyMap::compute(&cfg);
+    let mut rep = Report::new(
+        "safesets_example",
+        "§2.3 example — safe sets under the three definitions, faults {0000, 0110, 1111}",
+        &["definition", "safe_set", "size"],
+    );
+    let fmt = |v: &[hypersafe_topology::NodeId]| {
+        v.iter().map(|a| a.to_binary(4)).collect::<Vec<_>>().join(" ")
+    };
+    rep.row(vec!["Lee-Hayes (Def. 2)".into(), fmt(&lh.safe_nodes()), lh.safe_nodes().len().to_string()]);
+    rep.row(vec!["Wu-Fernandez (Def. 3)".into(), fmt(&wf.safe_nodes()), wf.safe_nodes().len().to_string()]);
+    rep.row(vec!["Safety level = n (Def. 1)".into(), fmt(&sl.safe_nodes()), sl.safe_nodes().len().to_string()]);
+    assert!(lh.fully_unsafe(), "paper: LH set is empty");
+    assert_eq!(sl.safe_nodes().len(), 9, "paper: SL set has 9 members");
+    rep.note("paper lists the WF set without node 1100; Definition 3 as stated keeps it (see EXPERIMENTS.md E3)".to_string());
+    rep
+}
+
+/// The randomized size sweep.
+pub fn run_sweep(p: &SafeSetParams) -> Report {
+    let cube = Hypercube::new(p.n);
+    let mut rep = Report::new(
+        "safesets_sweep",
+        format!(
+            "safe-set sizes vs faults, {}-cube, {} trials/point",
+            p.n, p.trials
+        ),
+        &["faults", "lh_mean", "wf_mean", "sl_mean", "containment_violations"],
+    );
+    for m in 0..=p.max_faults {
+        let sweep = Sweep::new(p.trials, p.seed.wrapping_add(m as u64));
+        let results: Vec<(f64, f64, f64, u64)> = sweep.run(|_, rng| {
+            let cfg = FaultConfig::with_node_faults(cube, uniform_faults(cube, m, rng));
+            let lh = LeeHayesStatus::compute(&cfg);
+            let wf = WuFernandezStatus::compute(&cfg);
+            let sl = SafetyMap::compute(&cfg);
+            let mut violations = 0u64;
+            for a in cfg.cube().nodes() {
+                if lh.is_safe(a) && !wf.is_safe(a) {
+                    violations += 1;
+                }
+                if wf.is_safe(a) && !sl.is_safe(a) {
+                    violations += 1;
+                }
+            }
+            (
+                lh.safe_nodes().len() as f64,
+                wf.safe_nodes().len() as f64,
+                sl.safe_nodes().len() as f64,
+                violations,
+            )
+        });
+        let lh_m = mean(&results.iter().map(|r| r.0).collect::<Vec<_>>());
+        let wf_m = mean(&results.iter().map(|r| r.1).collect::<Vec<_>>());
+        let sl_m = mean(&results.iter().map(|r| r.2).collect::<Vec<_>>());
+        let viol: u64 = results.iter().map(|r| r.3).sum();
+        assert_eq!(viol, 0, "containment LH ⊆ WF ⊆ SL must never break");
+        rep.row(vec![
+            m.to_string(),
+            f2(lh_m),
+            f2(wf_m),
+            f2(sl_m),
+            viol.to_string(),
+        ]);
+    }
+    rep.note("containment chain verified on every sampled instance".to_string());
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_report_matches_paper_sizes() {
+        let rep = run_example();
+        assert_eq!(rep.rows[0][2], "0");
+        assert_eq!(rep.rows[2][2], "9");
+    }
+
+    #[test]
+    fn sweep_sizes_are_ordered() {
+        let p = SafeSetParams { n: 6, max_faults: 6, trials: 40, seed: 5 };
+        let rep = run_sweep(&p);
+        for row in &rep.rows {
+            let lh: f64 = row[1].parse().unwrap();
+            let wf: f64 = row[2].parse().unwrap();
+            let sl: f64 = row[3].parse().unwrap();
+            assert!(lh <= wf + 1e-9);
+            assert!(wf <= sl + 1e-9);
+            assert_eq!(row[4], "0");
+        }
+    }
+
+    #[test]
+    fn zero_faults_all_safe_everywhere() {
+        let p = SafeSetParams { n: 5, max_faults: 0, trials: 5, seed: 1 };
+        let rep = run_sweep(&p);
+        assert_eq!(rep.rows[0][1], "32.00");
+        assert_eq!(rep.rows[0][3], "32.00");
+    }
+}

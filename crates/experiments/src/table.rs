@@ -1,0 +1,241 @@
+//! Plain-text tables and CSV emission for experiment reports.
+//!
+//! Every experiment returns a [`Report`]; the `repro` binary renders it
+//! to the terminal and optionally writes the CSV next to it. No serde:
+//! the data is rectangular strings and two dozen lines of code beat a
+//! dependency (DESIGN.md §6).
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// A rendered experiment: a named table plus free-form notes (the
+/// paper-vs-measured commentary that lands in EXPERIMENTS.md).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Report {
+    /// Experiment identifier, e.g. `"fig2"`.
+    pub name: String,
+    /// Human title, e.g. `"Fig. 2 — average GS rounds, 7-cube"`.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Row-major cells; every row must match `headers.len()`.
+    pub rows: Vec<Vec<String>>,
+    /// Paper-vs-measured observations, claim checks, caveats.
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new(
+        name: impl Into<String>,
+        title: impl Into<String>,
+        headers: &[&str],
+    ) -> Self {
+        Report {
+            name: name.into(),
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the arity differs from the headers.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Appends a note line.
+    pub fn note(&mut self, s: impl Into<String>) -> &mut Self {
+        self.notes.push(s.into());
+        self
+    }
+
+    /// Renders an aligned text table with title and notes.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line = |out: &mut String, cells: &[String]| {
+            for (i, (c, w)) in cells.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{c:>w$}", w = w);
+            }
+            out.push('\n');
+        };
+        line(&mut out, &self.headers);
+        let rule: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        let _ = writeln!(out, "{}", "-".repeat(rule));
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "note: {n}");
+        }
+        out
+    }
+
+    /// Renders a GitHub-flavored Markdown table (title as a heading,
+    /// notes as a bullet list) — for pasting results into
+    /// EXPERIMENTS.md or issues.
+    pub fn to_markdown(&self) -> String {
+        fn cell(s: &str) -> String {
+            s.replace('|', "\\|")
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "### {}\n", self.title);
+        let _ = writeln!(
+            out,
+            "| {} |",
+            self.headers.iter().map(|h| cell(h)).collect::<Vec<_>>().join(" | ")
+        );
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "| {} |",
+                row.iter().map(|c| cell(c)).collect::<Vec<_>>().join(" | ")
+            );
+        }
+        if !self.notes.is_empty() {
+            out.push('\n');
+            for n in &self.notes {
+                let _ = writeln!(out, "- {}", n);
+            }
+        }
+        out
+    }
+
+    /// Serializes as RFC-4180-ish CSV (quotes only where needed).
+    pub fn to_csv(&self) -> String {
+        fn cell(s: &str) -> String {
+            if s.contains([',', '"', '\n']) {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers.iter().map(|s| cell(s)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|s| cell(s)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+
+    /// Writes the CSV into `dir/<name>.csv` and returns the path.
+    pub fn write_csv(&self, dir: &Path) -> io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.csv", self.name));
+        std::fs::write(&path, self.to_csv())?;
+        Ok(path)
+    }
+}
+
+/// Formats a float with 2 decimals (the table default).
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Formats a percentage with 1 decimal.
+pub fn pct(numer: u64, denom: u64) -> String {
+    if denom == 0 {
+        "-".to_string()
+    } else {
+        format!("{:.1}%", 100.0 * numer as f64 / denom as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        let mut r = Report::new("t", "Title", &["a", "long_header"]);
+        r.row(vec!["1".into(), "2".into()]);
+        r.row(vec!["10".into(), "x,y".into()]);
+        r.note("hello");
+        r
+    }
+
+    #[test]
+    fn render_is_aligned() {
+        let s = sample().render();
+        assert!(s.contains("== Title =="));
+        assert!(s.contains("note: hello"));
+        // Both data rows align under the headers.
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[1].len(), lines[3].len());
+    }
+
+    #[test]
+    fn markdown_renders_structure() {
+        let md = sample().to_markdown();
+        assert!(md.starts_with("### Title\n"));
+        assert!(md.contains("| a | long_header |"));
+        assert!(md.contains("|---|---|"));
+        assert!(md.contains("| 10 | x,y |"));
+        assert!(md.contains("- hello"));
+    }
+
+    #[test]
+    fn markdown_escapes_pipes() {
+        let mut r = Report::new("t", "T", &["a"]);
+        r.row(vec!["x|y".into()]);
+        assert!(r.to_markdown().contains("x\\|y"));
+    }
+
+    #[test]
+    fn csv_quotes_commas() {
+        let s = sample().to_csv();
+        assert!(s.contains("\"x,y\""));
+        assert!(s.starts_with("a,long_header\n"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn arity_checked() {
+        Report::new("t", "T", &["a"]).row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn helpers() {
+        assert_eq!(f2(1.234), "1.23");
+        assert_eq!(pct(1, 4), "25.0%");
+        assert_eq!(pct(0, 0), "-");
+    }
+
+    #[test]
+    fn write_csv_roundtrip() {
+        let dir = std::env::temp_dir().join("hypersafe_table_test");
+        let p = sample().write_csv(&dir).unwrap();
+        let back = std::fs::read_to_string(&p).unwrap();
+        assert_eq!(back, sample().to_csv());
+        let _ = std::fs::remove_file(p);
+    }
+}

@@ -1,0 +1,430 @@
+//! Discrete-event engine for asynchronous protocol execution.
+//!
+//! The paper remarks that `GLOBAL_STATUS` "can be implemented
+//! asynchronously" and that the demand-driven / state-change-driven
+//! maintenance modes are naturally asynchronous (§2.2). This engine
+//! provides the substrate: virtual-time message delivery between
+//! neighboring nodes with per-message latency, plus node-local timers.
+//!
+//! Determinism: events at equal virtual times are processed in
+//! scheduling order (a monotone sequence number breaks ties), so a run
+//! is a pure function of the initial state and the actors' logic.
+
+use crate::stats::EventStats;
+use hypersafe_topology::{FaultConfig, NodeId};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Virtual time, in abstract ticks.
+pub type Time = u64;
+
+/// What an actor may do in response to an event: collected by the
+/// [`Ctx`] handed to every callback.
+pub struct Ctx<M> {
+    /// The node this context belongs to.
+    self_id: NodeId,
+    now: Time,
+    sends: Vec<(Time, NodeId, M)>,
+    timers: Vec<(Time, u64)>,
+    halt: bool,
+}
+
+impl<M> Ctx<M> {
+    /// The node executing the current callback.
+    pub fn self_id(&self) -> NodeId {
+        self.self_id
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Sends `msg` to neighbor `dst`, arriving after `latency` ticks
+    /// (latency 0 is delivered at the current time, after all
+    /// already-queued same-time events).
+    pub fn send(&mut self, dst: NodeId, msg: M, latency: Time) {
+        self.sends.push((self.now + latency, dst, msg));
+    }
+
+    /// Arms a timer on this node firing after `delay` ticks, carrying an
+    /// opaque `tag`.
+    pub fn set_timer(&mut self, delay: Time, tag: u64) {
+        self.timers.push((self.now + delay, tag));
+    }
+
+    /// Requests the whole simulation to stop after this callback.
+    pub fn halt(&mut self) {
+        self.halt = true;
+    }
+}
+
+/// A per-node event handler.
+pub trait Actor: Sized {
+    /// The message type exchanged between nodes.
+    type Msg;
+
+    /// Called once per node before any event is processed.
+    fn on_start(&mut self, _ctx: &mut Ctx<Self::Msg>) {}
+
+    /// Called when a message from neighbor `from` is delivered.
+    fn on_message(&mut self, ctx: &mut Ctx<Self::Msg>, from: NodeId, msg: Self::Msg);
+
+    /// Called when a timer armed via [`Ctx::set_timer`] fires.
+    fn on_timer(&mut self, _ctx: &mut Ctx<Self::Msg>, _tag: u64) {}
+}
+
+enum Payload<M> {
+    Message { from: NodeId, msg: M },
+    Timer { tag: u64 },
+}
+
+struct Pending<M> {
+    time: Time,
+    seq: u64,
+    dst: NodeId,
+    payload: Payload<M>,
+}
+
+/// Min-heap ordering by (time, seq).
+impl<M> PartialEq for Pending<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for Pending<M> {}
+impl<M> PartialOrd for Pending<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Pending<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// The discrete-event executor.
+pub struct EventEngine<'a, A: Actor> {
+    cfg: &'a FaultConfig,
+    actors: Vec<Option<A>>,
+    queue: BinaryHeap<Reverse<Pending<A::Msg>>>,
+    seq: u64,
+    now: Time,
+    stats: EventStats,
+    halted: bool,
+}
+
+impl<'a, A: Actor> EventEngine<'a, A> {
+    /// Builds the engine with one actor per nonfaulty node and runs
+    /// every actor's `on_start`.
+    pub fn new(cfg: &'a FaultConfig, mut init: impl FnMut(NodeId) -> A) -> Self {
+        let actors: Vec<Option<A>> = cfg
+            .cube()
+            .nodes()
+            .map(|a| (!cfg.node_faulty(a)).then(|| init(a)))
+            .collect();
+        let mut eng = EventEngine {
+            cfg,
+            actors,
+            queue: BinaryHeap::new(),
+            seq: 0,
+            now: 0,
+            stats: EventStats::default(),
+            halted: false,
+        };
+        for a in cfg.cube().nodes() {
+            let idx = a.raw() as usize;
+            if eng.actors[idx].is_some() {
+                let mut ctx = eng.ctx_for(a);
+                eng.actors[idx].as_mut().expect("present").on_start(&mut ctx);
+                eng.absorb_ctx(a, ctx);
+            }
+        }
+        eng
+    }
+
+    fn ctx_for(&self, a: NodeId) -> Ctx<A::Msg> {
+        Ctx { self_id: a, now: self.now, sends: Vec::new(), timers: Vec::new(), halt: false }
+    }
+
+    fn absorb_ctx(&mut self, src: NodeId, ctx: Ctx<A::Msg>) {
+        for (time, dst, msg) in ctx.sends {
+            assert_eq!(src.distance(dst), 1, "{src} may only message neighbors, not {dst}");
+            // Messages into faulty nodes or across faulty links vanish
+            // (fault-stop model: no malicious behaviour, just silence).
+            if self.cfg.node_faulty(dst) || self.cfg.link_faults().contains(src, dst) {
+                self.stats.dropped += 1;
+                continue;
+            }
+            self.seq += 1;
+            self.queue.push(Reverse(Pending {
+                time,
+                seq: self.seq,
+                dst,
+                payload: Payload::Message { from: src, msg },
+            }));
+        }
+        for (time, tag) in ctx.timers {
+            self.seq += 1;
+            self.queue.push(Reverse(Pending {
+                time,
+                seq: self.seq,
+                dst: src,
+                payload: Payload::Timer { tag },
+            }));
+        }
+        if ctx.halt {
+            self.halted = true;
+        }
+    }
+
+    /// The fault configuration this engine runs over.
+    pub fn config(&self) -> &FaultConfig {
+        self.cfg
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &EventStats {
+        &self.stats
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Read access to a node's actor (`None` for faulty nodes).
+    pub fn actor(&self, a: NodeId) -> Option<&A> {
+        self.actors[a.raw() as usize].as_ref()
+    }
+
+    /// Processes a single event. Returns `false` when the queue is
+    /// empty or an actor requested a halt.
+    pub fn step(&mut self) -> bool {
+        if self.halted {
+            return false;
+        }
+        let Some(Reverse(ev)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(ev.time >= self.now, "time travels forward");
+        self.now = ev.time;
+        self.stats.end_time = self.now;
+        let idx = ev.dst.raw() as usize;
+        // Destination may have become faulty after the send.
+        if self.actors[idx].is_none() {
+            self.stats.dropped += 1;
+            return true;
+        }
+        let mut ctx = self.ctx_for(ev.dst);
+        match ev.payload {
+            Payload::Message { from, msg } => {
+                self.stats.delivered += 1;
+                self.actors[idx].as_mut().expect("present").on_message(&mut ctx, from, msg);
+            }
+            Payload::Timer { tag } => {
+                self.stats.timers += 1;
+                self.actors[idx].as_mut().expect("present").on_timer(&mut ctx, tag);
+            }
+        }
+        self.absorb_ctx(ev.dst, ctx);
+        !self.halted
+    }
+
+    /// Runs until the event queue drains, an actor halts, or
+    /// `max_events` have been processed. Returns the number of events
+    /// processed.
+    pub fn run(&mut self, max_events: u64) -> u64 {
+        let mut n = 0;
+        while n < max_events && self.step() {
+            n += 1;
+        }
+        n
+    }
+
+    /// Injects an external message to `dst` from outside the network
+    /// (e.g. the "host" handing a unicast request to the source node).
+    /// Delivered as a timer-like self event via `on_timer` would be
+    /// wrong; instead the message appears to come from `dst` itself.
+    pub fn inject(&mut self, dst: NodeId, tag: u64, delay: Time) {
+        self.seq += 1;
+        self.queue.push(Reverse(Pending {
+            time: self.now + delay,
+            seq: self.seq,
+            dst,
+            payload: Payload::Timer { tag },
+        }));
+    }
+
+    /// Extracts all actors as `(node, actor)` pairs.
+    pub fn into_actors(self) -> Vec<(NodeId, A)> {
+        self.actors
+            .into_iter()
+            .enumerate()
+            .filter_map(|(i, a)| a.map(|a| (NodeId::new(i as u64), a)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypersafe_topology::{FaultSet, Hypercube};
+
+    /// Flood protocol: on start, node 0 floods a token; every node
+    /// remembers the earliest time it saw it and forwards once.
+    struct Flood {
+        seen_at: Option<Time>,
+        origin: bool,
+        n: u8,
+    }
+
+    impl Actor for Flood {
+        type Msg = ();
+
+        fn on_start(&mut self, ctx: &mut Ctx<()>) {
+            if self.origin {
+                self.seen_at = Some(0);
+                for i in 0..self.n {
+                    ctx.send(ctx.self_id().neighbor(i), (), 1);
+                }
+            }
+        }
+
+        fn on_message(&mut self, ctx: &mut Ctx<()>, _from: NodeId, _msg: ()) {
+            if self.seen_at.is_none() {
+                self.seen_at = Some(ctx.now());
+                for i in 0..self.n {
+                    ctx.send(ctx.self_id().neighbor(i), (), 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flood_reaches_everyone_at_hamming_time() {
+        let cube = Hypercube::new(4);
+        let cfg = FaultConfig::fault_free(cube);
+        let mut eng = EventEngine::new(&cfg, |a| Flood {
+            seen_at: None,
+            origin: a == NodeId::ZERO,
+            n: 4,
+        });
+        eng.run(u64::MAX);
+        for a in cube.nodes() {
+            // With unit latency the first arrival equals BFS distance.
+            assert_eq!(eng.actor(a).unwrap().seen_at, Some(a.weight() as u64), "node {a}");
+        }
+        assert!(eng.stats().delivered > 0);
+    }
+
+    #[test]
+    fn faulty_node_blocks_flood_component() {
+        let cube = Hypercube::new(2);
+        // 2-cube path: 00 - 01/10 - 11. Make 01 and 10 faulty → 11 unreachable.
+        let cfg = FaultConfig::with_node_faults(
+            cube,
+            FaultSet::from_binary_strs(cube, &["01", "10"]),
+        );
+        let mut eng = EventEngine::new(&cfg, |a| Flood {
+            seen_at: None,
+            origin: a == NodeId::ZERO,
+            n: 2,
+        });
+        eng.run(u64::MAX);
+        assert_eq!(eng.actor(NodeId::new(0b11)).unwrap().seen_at, None);
+        assert_eq!(eng.stats().dropped, 2, "two sends into faulty neighbors");
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        struct T {
+            fired: Vec<u64>,
+        }
+        impl Actor for T {
+            type Msg = ();
+            fn on_start(&mut self, ctx: &mut Ctx<()>) {
+                ctx.set_timer(5, 5);
+                ctx.set_timer(1, 1);
+                ctx.set_timer(3, 3);
+            }
+            fn on_message(&mut self, _: &mut Ctx<()>, _: NodeId, _: ()) {}
+            fn on_timer(&mut self, _ctx: &mut Ctx<()>, tag: u64) {
+                self.fired.push(tag);
+            }
+        }
+        let cube = Hypercube::new(1);
+        let mut faults = FaultSet::new(cube);
+        faults.insert(NodeId::new(1));
+        let cfg = FaultConfig::with_node_faults(cube, faults);
+        let mut eng = EventEngine::new(&cfg, |_| T { fired: vec![] });
+        eng.run(u64::MAX);
+        assert_eq!(eng.actor(NodeId::new(0)).unwrap().fired, vec![1, 3, 5]);
+        assert_eq!(eng.stats().timers, 3);
+        assert_eq!(eng.stats().end_time, 5);
+    }
+
+    #[test]
+    fn halt_stops_the_run() {
+        struct H;
+        impl Actor for H {
+            type Msg = ();
+            fn on_start(&mut self, ctx: &mut Ctx<()>) {
+                ctx.set_timer(1, 0);
+                ctx.set_timer(2, 1);
+            }
+            fn on_message(&mut self, _: &mut Ctx<()>, _: NodeId, _: ()) {}
+            fn on_timer(&mut self, ctx: &mut Ctx<()>, tag: u64) {
+                if tag == 0 {
+                    ctx.halt();
+                }
+            }
+        }
+        let cube = Hypercube::new(1);
+        let mut faults = FaultSet::new(cube);
+        faults.insert(NodeId::new(1));
+        let cfg = FaultConfig::with_node_faults(cube, faults);
+        let mut eng = EventEngine::new(&cfg, |_| H);
+        eng.run(u64::MAX);
+        assert_eq!(eng.stats().timers, 1, "second timer never fires");
+    }
+
+    #[test]
+    fn inject_delivers_as_timer() {
+        struct I {
+            tags: Vec<u64>,
+        }
+        impl Actor for I {
+            type Msg = ();
+            fn on_message(&mut self, _: &mut Ctx<()>, _: NodeId, _: ()) {}
+            fn on_timer(&mut self, _: &mut Ctx<()>, tag: u64) {
+                self.tags.push(tag);
+            }
+        }
+        let cube = Hypercube::new(2);
+        let cfg = FaultConfig::fault_free(cube);
+        let mut eng = EventEngine::new(&cfg, |_| I { tags: vec![] });
+        eng.inject(NodeId::new(2), 42, 0);
+        eng.run(u64::MAX);
+        assert_eq!(eng.actor(NodeId::new(2)).unwrap().tags, vec![42]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn sending_to_non_neighbor_panics() {
+        struct Bad;
+        impl Actor for Bad {
+            type Msg = ();
+            fn on_start(&mut self, ctx: &mut Ctx<()>) {
+                if ctx.self_id() == NodeId::ZERO {
+                    ctx.send(NodeId::new(0b11), (), 1);
+                }
+            }
+            fn on_message(&mut self, _: &mut Ctx<()>, _: NodeId, _: ()) {}
+        }
+        let cube = Hypercube::new(2);
+        let cfg = FaultConfig::fault_free(cube);
+        let _ = EventEngine::new(&cfg, |_| Bad);
+    }
+}

@@ -1,0 +1,28 @@
+//! # hypersafe-simkit
+//!
+//! Message-passing simulation substrate: a lock-step synchronous round
+//! engine (the execution model of the paper's `GLOBAL_STATUS`
+//! algorithm) and a deterministic discrete-event engine (for the
+//! asynchronous and maintenance-mode variants), plus statistics and
+//! tracing.
+//!
+//! The engines are generic over per-node state machines and enforce the
+//! paper's system model: fault-stop nodes (faulty nodes neither run nor
+//! send), neighbor-only communication, and silent loss across faulty
+//! links.
+
+#![warn(missing_docs)]
+
+pub mod event_engine;
+pub mod generic_event;
+pub mod network;
+pub mod stats;
+pub mod sync_engine;
+pub mod trace;
+
+pub use event_engine::{Actor, Ctx, EventEngine, Time};
+pub use generic_event::{GActor, GCtx, GenericEventEngine};
+pub use network::{gh_port_dim, GenericSyncEngine, Network, PortNode};
+pub use stats::{EventStats, Histogram, SyncStats};
+pub use sync_engine::{SyncEngine, SyncNode};
+pub use trace::{Trace, TraceEvent};

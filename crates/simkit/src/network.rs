@@ -1,0 +1,260 @@
+//! Topology-generic synchronous execution.
+//!
+//! [`crate::sync_engine::SyncEngine`] is specialized to binary
+//! hypercubes (ports ≡ dimensions). The paper's §4.2 runs the same
+//! round-exchange protocols on *generalized* hypercubes, where a node
+//! has `Σ (m_i − 1)` neighbors grouped by dimension; this module
+//! provides a [`Network`] abstraction (nodes with numbered ports) and
+//! a lock-step engine over it, so `GLOBAL_STATUS`-style protocols can
+//! be executed message-accurately on any port-labeled topology.
+
+use crate::stats::SyncStats;
+use hypersafe_topology::{GeneralizedHypercube, Hypercube};
+
+/// A static point-to-point topology: `num_nodes` endpoints, each with
+/// `degree(a)` numbered ports; `neighbor(a, p)` is the node at the far
+/// end of port `p`.
+///
+/// Port numbering is *local to each node* and stable; protocols that
+/// need structure (e.g. the GH dimension grouping) receive it at node
+/// construction time.
+pub trait Network {
+    /// Number of nodes; addresses are `0..num_nodes`.
+    fn num_nodes(&self) -> u64;
+
+    /// Number of ports of node `a`.
+    fn degree(&self, a: u64) -> usize;
+
+    /// The node reached from `a` through port `p` (`p < degree(a)`).
+    fn neighbor(&self, a: u64, p: usize) -> u64;
+}
+
+impl Network for Hypercube {
+    fn num_nodes(&self) -> u64 {
+        Hypercube::num_nodes(*self)
+    }
+
+    fn degree(&self, _a: u64) -> usize {
+        self.dim() as usize
+    }
+
+    fn neighbor(&self, a: u64, p: usize) -> u64 {
+        a ^ (1 << p)
+    }
+}
+
+impl Network for GeneralizedHypercube {
+    fn num_nodes(&self) -> u64 {
+        GeneralizedHypercube::num_nodes(self)
+    }
+
+    fn degree(&self, _a: u64) -> usize {
+        self.degree() as usize
+    }
+
+    /// Ports are numbered dimension-major: dimension 0's `m_0 − 1`
+    /// clique peers first (by ascending digit, skipping the node's own
+    /// digit), then dimension 1's, and so on.
+    fn neighbor(&self, a: u64, p: usize) -> u64 {
+        let mut p = p;
+        let node = hypersafe_topology::GhNode(a);
+        for i in 0..self.dim() {
+            let peers = self.radix(i) as usize - 1;
+            if p < peers {
+                let own = self.digit(node, i);
+                // The p-th peer digit, skipping `own`.
+                let digit = if (p as u16) < own { p as u16 } else { p as u16 + 1 };
+                return self.with_digit(node, i, digit).raw();
+            }
+            p -= peers;
+        }
+        panic!("port out of range");
+    }
+}
+
+/// The dimension a GH port belongs to, mirroring the port numbering of
+/// the [`Network`] impl. Protocol nodes use this to group inbox
+/// entries by dimension.
+pub fn gh_port_dim(gh: &GeneralizedHypercube, mut p: usize) -> u8 {
+    for i in 0..gh.dim() {
+        let peers = gh.radix(i) as usize - 1;
+        if p < peers {
+            return i;
+        }
+        p -= peers;
+    }
+    panic!("port out of range");
+}
+
+/// Per-node state machine for the generic engine. Identical contract
+/// to [`crate::sync_engine::SyncNode`], with ports instead of
+/// dimensions.
+pub trait PortNode {
+    /// The value exchanged with neighbors each round.
+    type Msg: Clone;
+
+    /// The value this node shares with all neighbors this round.
+    fn broadcast(&self) -> Self::Msg;
+
+    /// Absorbs `(port, value)` pairs (only healthy neighbors deliver).
+    /// Returns `true` iff state changed.
+    fn receive(&mut self, inbox: &[(usize, Self::Msg)]) -> bool;
+}
+
+/// Lock-step engine over any [`Network`].
+pub struct GenericSyncEngine<'a, N: Network, S: PortNode> {
+    net: &'a N,
+    faulty: Vec<bool>,
+    nodes: Vec<Option<S>>,
+    stats: SyncStats,
+}
+
+impl<'a, N: Network, S: PortNode> GenericSyncEngine<'a, N, S> {
+    /// Builds the engine; `faulty[a]` marks dead nodes (no state, no
+    /// messages), `init` constructs each healthy node's state machine.
+    pub fn new(net: &'a N, faulty: Vec<bool>, mut init: impl FnMut(u64) -> S) -> Self {
+        assert_eq!(faulty.len() as u64, net.num_nodes());
+        let nodes = (0..net.num_nodes())
+            .map(|a| (!faulty[a as usize]).then(|| init(a)))
+            .collect();
+        GenericSyncEngine { net, faulty, nodes, stats: SyncStats::default() }
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &SyncStats {
+        &self.stats
+    }
+
+    /// Read access to a node's state machine.
+    pub fn node(&self, a: u64) -> Option<&S> {
+        self.nodes[a as usize].as_ref()
+    }
+
+    /// One lock-step round; returns the number of changed nodes.
+    pub fn run_round(&mut self) -> usize {
+        let outgoing: Vec<Option<S::Msg>> =
+            self.nodes.iter().map(|n| n.as_ref().map(PortNode::broadcast)).collect();
+        let mut changed = 0usize;
+        let mut inbox: Vec<(usize, S::Msg)> = Vec::new();
+        for a in 0..self.net.num_nodes() {
+            if self.faulty[a as usize] {
+                continue;
+            }
+            inbox.clear();
+            for p in 0..self.net.degree(a) {
+                let b = self.net.neighbor(a, p);
+                if let Some(msg) = &outgoing[b as usize] {
+                    inbox.push((p, msg.clone()));
+                    self.stats.messages += 1;
+                }
+            }
+            let node = self.nodes[a as usize].as_mut().expect("healthy");
+            if node.receive(&inbox) {
+                changed += 1;
+            }
+        }
+        self.stats.rounds_run += 1;
+        if changed > 0 {
+            self.stats.active_rounds += 1;
+            self.stats.state_changes += changed as u64;
+        }
+        changed
+    }
+
+    /// Runs until a quiescent round or `max_rounds`; returns active
+    /// rounds.
+    pub fn run_until_stable(&mut self, max_rounds: u32) -> u32 {
+        for _ in 0..max_rounds {
+            if self.run_round() == 0 {
+                break;
+            }
+        }
+        self.stats.active_rounds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Min-propagation, as in the hypercube engine tests.
+    struct MinNode {
+        value: u64,
+    }
+
+    impl PortNode for MinNode {
+        type Msg = u64;
+        fn broadcast(&self) -> u64 {
+            self.value
+        }
+        fn receive(&mut self, inbox: &[(usize, u64)]) -> bool {
+            let m = inbox.iter().map(|&(_, v)| v).min().unwrap_or(self.value);
+            if m < self.value {
+                self.value = m;
+                true
+            } else {
+                false
+            }
+        }
+    }
+
+    #[test]
+    fn hypercube_network_matches_bit_flips() {
+        let q = Hypercube::new(4);
+        assert_eq!(Network::num_nodes(&q), 16);
+        assert_eq!(q.degree(3), 4);
+        assert_eq!(Network::neighbor(&q, 0b0101, 1), 0b0111);
+    }
+
+    #[test]
+    fn gh_network_port_enumeration() {
+        let gh = GeneralizedHypercube::from_product(&[2, 3, 2]);
+        // degree = 1 + 2 + 1 = 4 ports.
+        assert_eq!(Network::degree(&gh, 0), 4);
+        let a = gh.parse("010").unwrap().raw();
+        let neighbors: Vec<String> = (0..4)
+            .map(|p| gh.format(hypersafe_topology::GhNode(Network::neighbor(&gh, a, p))))
+            .collect();
+        // Port 0: dim-0 peer; ports 1–2: dim-1 peers by ascending digit
+        // (skipping own digit 1); port 3: dim-2 peer.
+        assert_eq!(neighbors, vec!["011", "000", "020", "110"]);
+        assert_eq!(gh_port_dim(&gh, 0), 0);
+        assert_eq!(gh_port_dim(&gh, 1), 1);
+        assert_eq!(gh_port_dim(&gh, 2), 1);
+        assert_eq!(gh_port_dim(&gh, 3), 2);
+    }
+
+    #[test]
+    fn min_converges_on_gh() {
+        let gh = GeneralizedHypercube::from_product(&[3, 4]);
+        let faulty = vec![false; gh.num_nodes() as usize];
+        let mut eng = GenericSyncEngine::new(&gh, faulty, |a| MinNode { value: a });
+        let rounds = eng.run_until_stable(16);
+        assert!(rounds <= 2, "GH diameter = #dims");
+        for a in 0..Network::num_nodes(&gh) {
+            assert_eq!(eng.node(a).unwrap().value, 0);
+        }
+    }
+
+    #[test]
+    fn faulty_nodes_excluded_generically() {
+        let q = Hypercube::new(3);
+        let mut faulty = vec![false; 8];
+        faulty[0] = true;
+        let mut eng = GenericSyncEngine::new(&q, faulty, |a| MinNode { value: a });
+        eng.run_until_stable(8);
+        assert!(eng.node(0).is_none());
+        for a in 1..8 {
+            assert_eq!(eng.node(a).unwrap().value, 1, "min among healthy");
+        }
+    }
+
+    #[test]
+    fn generic_engine_message_accounting() {
+        let q = Hypercube::new(3);
+        let faulty = vec![false; 8];
+        let mut eng = GenericSyncEngine::new(&q, faulty, |a| MinNode { value: a });
+        eng.run_round();
+        assert_eq!(eng.stats().messages, 8 * 3, "full exchange per round");
+    }
+}

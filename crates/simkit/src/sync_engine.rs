@@ -1,0 +1,249 @@
+//! Lock-step synchronous round engine.
+//!
+//! The paper's `GLOBAL_STATUS` algorithm (Fig. in §2.2) is a
+//! synchronous iteration: in each round every nonfaulty node sends its
+//! current status to all neighbors, then recomputes its own status from
+//! the received values (`parbegin NODE_STATUS(a) ∀a parend`). This
+//! engine reproduces that execution model exactly for any protocol
+//! expressible as "broadcast my state, absorb neighbor states":
+//! deliveries are strictly round-synchronous, and a node never observes
+//! a neighbor's *current*-round update, only last round's value.
+
+use crate::stats::SyncStats;
+use hypersafe_topology::{FaultConfig, NodeId};
+
+/// A per-node state machine driven by the synchronous engine.
+pub trait SyncNode {
+    /// The value exchanged with neighbors each round.
+    type Msg: Clone;
+
+    /// The value this node shares with *all* its neighbors this round.
+    fn broadcast(&self) -> Self::Msg;
+
+    /// Absorbs the neighbor values received this round as
+    /// `(dimension, value)` pairs (only usable links deliver). Returns
+    /// `true` iff the node's state changed.
+    fn receive(&mut self, inbox: &[(u8, Self::Msg)]) -> bool;
+}
+
+/// Synchronous round executor over the nonfaulty nodes of one faulty
+/// hypercube instance.
+///
+/// Faulty nodes do not execute and do not send; messages across faulty
+/// links are not delivered. Protocols that must still *account for*
+/// faulty neighbors (like GS, where a faulty neighbor reads as safety
+/// level 0) encode that in the node state at construction time.
+pub struct SyncEngine<'a, N: SyncNode> {
+    cfg: &'a FaultConfig,
+    nodes: Vec<Option<N>>,
+    stats: SyncStats,
+}
+
+impl<'a, N: SyncNode> SyncEngine<'a, N> {
+    /// Builds the engine, instantiating a state machine for every
+    /// nonfaulty node via `init`.
+    pub fn new(cfg: &'a FaultConfig, mut init: impl FnMut(NodeId) -> N) -> Self {
+        let nodes = cfg
+            .cube()
+            .nodes()
+            .map(|a| (!cfg.node_faulty(a)).then(|| init(a)))
+            .collect();
+        SyncEngine { cfg, nodes, stats: SyncStats::default() }
+    }
+
+    /// The fault configuration this engine runs over.
+    pub fn config(&self) -> &FaultConfig {
+        self.cfg
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &SyncStats {
+        &self.stats
+    }
+
+    /// Read access to a node's state machine (`None` for faulty nodes).
+    pub fn node(&self, a: NodeId) -> Option<&N> {
+        self.nodes[a.raw() as usize].as_ref()
+    }
+
+    /// Executes one lock-step round: every nonfaulty node broadcasts,
+    /// then every nonfaulty node absorbs. Returns the number of nodes
+    /// whose state changed.
+    pub fn run_round(&mut self) -> usize {
+        let cube = self.cfg.cube();
+        // Snapshot phase: collect every node's outgoing value first so
+        // that all receives observe pre-round state (parbegin/parend).
+        let outgoing: Vec<Option<N::Msg>> = self
+            .nodes
+            .iter()
+            .map(|n| n.as_ref().map(SyncNode::broadcast))
+            .collect();
+
+        let mut changed = 0usize;
+        let mut inbox: Vec<(u8, N::Msg)> = Vec::with_capacity(cube.dim() as usize);
+        for a in cube.nodes() {
+            let idx = a.raw() as usize;
+            if self.nodes[idx].is_none() {
+                continue;
+            }
+            inbox.clear();
+            for (dim, b) in cube.neighbors_with_dims(a) {
+                if self.cfg.link_faults().contains(a, b) {
+                    continue;
+                }
+                if let Some(msg) = &outgoing[b.raw() as usize] {
+                    inbox.push((dim, msg.clone()));
+                    self.stats.messages += 1;
+                }
+            }
+            let node = self.nodes[idx].as_mut().expect("checked above");
+            if node.receive(&inbox) {
+                changed += 1;
+            }
+        }
+        self.stats.rounds_run += 1;
+        if changed > 0 {
+            self.stats.active_rounds += 1;
+            self.stats.state_changes += changed as u64;
+        }
+        changed
+    }
+
+    /// Runs rounds until a fully quiescent round occurs or `max_rounds`
+    /// have executed. Returns the number of *active* rounds (rounds in
+    /// which some node changed) — the paper's Fig. 2 metric.
+    pub fn run_until_stable(&mut self, max_rounds: u32) -> u32 {
+        for _ in 0..max_rounds {
+            if self.run_round() == 0 {
+                break;
+            }
+        }
+        self.stats.active_rounds
+    }
+
+    /// Runs exactly `rounds` rounds regardless of quiescence — the
+    /// paper's fixed-`D` formulation of `GLOBAL_STATUS`.
+    pub fn run_fixed(&mut self, rounds: u32) {
+        for _ in 0..rounds {
+            self.run_round();
+        }
+    }
+
+    /// Extracts every node's final state as `(node, state)` pairs.
+    pub fn into_states(self) -> Vec<(NodeId, N)> {
+        let cube = self.cfg.cube();
+        self.nodes
+            .into_iter()
+            .enumerate()
+            .filter_map(|(i, n)| {
+                let _ = cube;
+                n.map(|n| (NodeId::new(i as u64), n))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hypersafe_topology::{FaultSet, Hypercube};
+
+    /// Toy protocol: every node computes min(own, neighbors) each round
+    /// — converges to the global minimum in diameter rounds.
+    struct MinNode {
+        value: u64,
+    }
+
+    impl SyncNode for MinNode {
+        type Msg = u64;
+
+        fn broadcast(&self) -> u64 {
+            self.value
+        }
+
+        fn receive(&mut self, inbox: &[(u8, u64)]) -> bool {
+            let m = inbox.iter().map(|&(_, v)| v).min().unwrap_or(self.value);
+            if m < self.value {
+                self.value = m;
+                true
+            } else {
+                false
+            }
+        }
+    }
+
+    #[test]
+    fn min_converges_in_diameter_rounds() {
+        let cube = Hypercube::new(5);
+        let cfg = FaultConfig::fault_free(cube);
+        let mut eng = SyncEngine::new(&cfg, |a| MinNode { value: a.raw() });
+        let rounds = eng.run_until_stable(32);
+        assert!(rounds <= 5, "diameter bound, got {rounds}");
+        for a in cube.nodes() {
+            assert_eq!(eng.node(a).unwrap().value, 0);
+        }
+        // Message accounting: every active+quiescent round delivers
+        // 2 · num_links messages.
+        let per_round = 2 * cube.num_links();
+        assert_eq!(eng.stats().messages % per_round, 0);
+    }
+
+    #[test]
+    fn faulty_nodes_do_not_participate() {
+        let cube = Hypercube::new(3);
+        // Make node 0 (the global min) faulty: min among healthy is 1.
+        let cfg = FaultConfig::with_node_faults(
+            cube,
+            FaultSet::from_binary_strs(cube, &["000"]),
+        );
+        let mut eng = SyncEngine::new(&cfg, |a| MinNode { value: a.raw() });
+        eng.run_until_stable(16);
+        assert!(eng.node(NodeId::new(0)).is_none());
+        for a in cfg.healthy_nodes() {
+            assert_eq!(eng.node(a).unwrap().value, 1, "node {a}");
+        }
+    }
+
+    #[test]
+    fn link_fault_blocks_exchange() {
+        let cube = Hypercube::new(1);
+        let mut cfg = FaultConfig::fault_free(cube);
+        cfg.link_faults_mut().insert(NodeId::new(0), NodeId::new(1));
+        let mut eng = SyncEngine::new(&cfg, |a| MinNode { value: a.raw() });
+        eng.run_until_stable(8);
+        // With the only link down, node 1 never learns of value 0.
+        assert_eq!(eng.node(NodeId::new(1)).unwrap().value, 1);
+        assert_eq!(eng.stats().messages, 0);
+    }
+
+    #[test]
+    fn fixed_round_execution_counts_rounds() {
+        let cube = Hypercube::new(3);
+        let cfg = FaultConfig::fault_free(cube);
+        let mut eng = SyncEngine::new(&cfg, |a| MinNode { value: a.raw() });
+        eng.run_fixed(3);
+        assert_eq!(eng.stats().rounds_run, 3);
+    }
+
+    #[test]
+    fn quiescent_start_reports_zero_active_rounds() {
+        let cube = Hypercube::new(4);
+        let cfg = FaultConfig::fault_free(cube);
+        let mut eng = SyncEngine::new(&cfg, |_| MinNode { value: 7 });
+        assert_eq!(eng.run_until_stable(10), 0);
+        assert_eq!(eng.stats().rounds_run, 1, "one probe round to detect quiescence");
+    }
+
+    #[test]
+    fn into_states_returns_healthy_nodes() {
+        let cube = Hypercube::new(3);
+        let cfg = FaultConfig::with_node_faults(
+            cube,
+            FaultSet::from_binary_strs(cube, &["101"]),
+        );
+        let eng = SyncEngine::new(&cfg, |a| MinNode { value: a.raw() });
+        let states = eng.into_states();
+        assert_eq!(states.len(), 7);
+        assert!(states.iter().all(|(a, _)| *a != NodeId::new(0b101)));
+    }
+}

@@ -1,0 +1,142 @@
+//! Lightweight execution traces.
+//!
+//! Protocol implementations in `hypersafe-core` optionally record what
+//! happened at each hop/round so tests and examples can assert on — and
+//! humans can read — the exact execution, mirroring the worked examples
+//! in the paper (§3.2's step-by-step unicast narration).
+
+use hypersafe_topology::NodeId;
+use std::fmt;
+
+/// One recorded step of a protocol execution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A message hop from one node to a neighbor.
+    Hop {
+        /// Sender.
+        from: NodeId,
+        /// Receiver.
+        to: NodeId,
+        /// Dimension crossed.
+        dim: u8,
+        /// Navigation vector (or other per-hop word) after the hop.
+        word: u64,
+    },
+    /// A node changed local state (e.g. its safety level).
+    StateChange {
+        /// The node.
+        node: NodeId,
+        /// Previous value.
+        old: u64,
+        /// New value.
+        new: u64,
+        /// Round at which the change happened.
+        round: u32,
+    },
+    /// Free-form annotation.
+    Note(String),
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceEvent::Hop { from, to, dim, word } => {
+                write!(f, "hop {from} → {to} (dim {dim}, word {word:b})")
+            }
+            TraceEvent::StateChange { node, old, new, round } => {
+                write!(f, "round {round}: {node} level {old} → {new}")
+            }
+            TraceEvent::Note(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// An append-only trace. The `enabled` flag lets hot paths skip
+/// recording without the callers branching.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    enabled: bool,
+}
+
+impl Trace {
+    /// A recording trace.
+    pub fn enabled() -> Self {
+        Trace { events: Vec::new(), enabled: true }
+    }
+
+    /// A no-op trace that drops all events.
+    pub fn disabled() -> Self {
+        Trace::default()
+    }
+
+    /// Whether events are being kept.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records an event (no-op when disabled).
+    pub fn push(&mut self, ev: TraceEvent) {
+        if self.enabled {
+            self.events.push(ev);
+        }
+    }
+
+    /// Records a hop event.
+    pub fn hop(&mut self, from: NodeId, to: NodeId, dim: u8, word: u64) {
+        self.push(TraceEvent::Hop { from, to, dim, word });
+    }
+
+    /// Records a free-form note (formatted eagerly only when enabled).
+    pub fn note(&mut self, f: impl FnOnce() -> String) {
+        if self.enabled {
+            self.events.push(TraceEvent::Note(f()));
+        }
+    }
+
+    /// The recorded events.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Renders the trace one event per line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for ev in &self.events {
+            out.push_str(&ev.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_drops_events() {
+        let mut t = Trace::disabled();
+        t.hop(NodeId::new(0), NodeId::new(1), 0, 0b1);
+        t.note(|| panic!("must not be evaluated"));
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn enabled_trace_records_and_renders() {
+        let mut t = Trace::enabled();
+        t.hop(NodeId::new(0b1110), NodeId::new(0b1111), 0, 0b1110);
+        t.push(TraceEvent::StateChange {
+            node: NodeId::new(0b0101),
+            old: 4,
+            new: 2,
+            round: 2,
+        });
+        t.note(|| "done".to_string());
+        assert_eq!(t.events().len(), 3);
+        let s = t.render();
+        assert!(s.contains("hop 1110 → 1111"));
+        assert!(s.contains("round 2: 101 level 4 → 2"));
+        assert!(s.ends_with("done\n"));
+    }
+}

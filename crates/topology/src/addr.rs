@@ -1,0 +1,244 @@
+//! Node addressing and bitwise primitives for binary hypercubes.
+//!
+//! A node of the *n*-dimensional hypercube `Q_n` is identified by an
+//! `n`-bit address `a_{n-1} a_{n-2} … a_0`. Two nodes are adjacent iff
+//! their addresses differ in exactly one bit position; that position is
+//! the *dimension* of the connecting link (paper, §2.1).
+
+use std::fmt;
+
+/// Maximum supported hypercube dimension.
+///
+/// All addresses fit a `u64`; full-cube enumeration (needed by the fault
+/// bitsets and the experiment harness) keeps practical sizes below this.
+pub const MAX_DIM: u8 = 30;
+
+/// Address of a hypercube node: the `n` low bits of the wrapped `u64`.
+///
+/// `NodeId` is topology-agnostic — the dimension `n` lives in
+/// [`crate::cube::Hypercube`]. Bits above position `n − 1` must be zero
+/// for a node belonging to `Q_n`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub u64);
+
+impl NodeId {
+    /// The all-zero address, the conventional "origin" corner.
+    pub const ZERO: NodeId = NodeId(0);
+
+    /// Builds a node from its raw integer address.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        NodeId(raw)
+    }
+
+    /// The raw integer address.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The `i`th address bit (the coordinate along dimension `i`).
+    #[inline]
+    pub const fn bit(self, i: u8) -> bool {
+        (self.0 >> i) & 1 == 1
+    }
+
+    /// The neighbor along dimension `i`: flips the `i`th bit
+    /// (`a ⊕ eⁱ` in the paper's notation).
+    #[inline]
+    pub const fn neighbor(self, i: u8) -> NodeId {
+        NodeId(self.0 ^ (1 << i))
+    }
+
+    /// Bitwise exclusive OR of two addresses (`s ⊕ d`). The result has a
+    /// one exactly at each *preferred dimension* of a route from `s` to
+    /// `d`.
+    #[inline]
+    pub const fn xor(self, other: NodeId) -> NodeId {
+        NodeId(self.0 ^ other.0)
+    }
+
+    /// Number of one bits — for a navigation vector `s ⊕ d` this is the
+    /// Hamming distance `H(s, d)`.
+    #[inline]
+    pub const fn weight(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Hamming distance between two node addresses.
+    #[inline]
+    pub const fn distance(self, other: NodeId) -> u32 {
+        (self.0 ^ other.0).count_ones()
+    }
+
+    /// Iterator over the dimensions in which `self` and `other` differ,
+    /// in increasing order — the *preferred dimensions* of the pair.
+    #[inline]
+    pub fn differing_dims(self, other: NodeId) -> BitDims {
+        BitDims(self.0 ^ other.0)
+    }
+
+    /// Iterator over the set bit positions of this address.
+    #[inline]
+    pub fn set_dims(self) -> BitDims {
+        BitDims(self.0)
+    }
+
+    /// Renders the address as an `n`-bit binary string, MSB first,
+    /// matching the paper's figures (e.g. `0b1101` with `n = 4` → `"1101"`).
+    pub fn to_binary(self, n: u8) -> String {
+        (0..n)
+            .rev()
+            .map(|i| if self.bit(i) { '1' } else { '0' })
+            .collect()
+    }
+
+    /// Parses a binary address string (MSB first), the inverse of
+    /// [`NodeId::to_binary`]. Returns `None` on any non-binary character
+    /// or on overflow past [`MAX_DIM`] bits.
+    pub fn from_binary(s: &str) -> Option<NodeId> {
+        if s.is_empty() || s.len() > MAX_DIM as usize + 1 {
+            return None;
+        }
+        let mut v: u64 = 0;
+        for c in s.chars() {
+            v = (v << 1)
+                | match c {
+                    '0' => 0,
+                    '1' => 1,
+                    _ => return None,
+                };
+        }
+        Some(NodeId(v))
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "NodeId({:#b})", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:b}", self.0)
+    }
+}
+
+impl From<u64> for NodeId {
+    fn from(v: u64) -> Self {
+        NodeId(v)
+    }
+}
+
+/// The unit vector `eᵏ` of the paper: an address with only bit `k` set,
+/// so `a ⊕ eᵏ` sets or resets the `k`th bit of `a`.
+#[inline]
+pub const fn e(k: u8) -> NodeId {
+    NodeId(1 << k)
+}
+
+/// Iterator over the positions of set bits of a mask, ascending.
+///
+/// Yields each dimension index exactly once; the underlying mask is
+/// consumed lowest-bit-first, so iteration is `O(popcount)`.
+#[derive(Clone, Copy, Debug)]
+pub struct BitDims(pub u64);
+
+impl Iterator for BitDims {
+    type Item = u8;
+
+    #[inline]
+    fn next(&mut self) -> Option<u8> {
+        if self.0 == 0 {
+            return None;
+        }
+        let i = self.0.trailing_zeros() as u8;
+        self.0 &= self.0 - 1;
+        Some(i)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let c = self.0.count_ones() as usize;
+        (c, Some(c))
+    }
+}
+
+impl ExactSizeIterator for BitDims {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neighbor_flips_exactly_one_bit() {
+        let a = NodeId::new(0b1101);
+        for i in 0..4 {
+            let b = a.neighbor(i);
+            assert_eq!(a.distance(b), 1);
+            assert_eq!(a.xor(b), e(i));
+            assert_eq!(b.neighbor(i), a, "flipping twice returns");
+        }
+    }
+
+    #[test]
+    fn paper_example_e2() {
+        // Paper §2.1: 1101 ⊕ e² = 1001.
+        let a = NodeId::from_binary("1101").unwrap();
+        assert_eq!(a.xor(e(2)), NodeId::from_binary("1001").unwrap());
+    }
+
+    #[test]
+    fn distance_is_popcount_of_xor() {
+        let s = NodeId::new(0b1110);
+        let d = NodeId::new(0b0001);
+        assert_eq!(s.distance(d), 4);
+        assert_eq!(s.xor(d).weight(), 4);
+        assert_eq!(s.distance(s), 0);
+    }
+
+    #[test]
+    fn differing_dims_enumerates_preferred_dimensions() {
+        let s = NodeId::new(0b10110);
+        let d = NodeId::new(0b00011);
+        let dims: Vec<u8> = s.differing_dims(d).collect();
+        assert_eq!(dims, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn set_dims_on_zero_is_empty() {
+        assert_eq!(NodeId::ZERO.set_dims().count(), 0);
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        for raw in [0u64, 1, 0b1011, 0b111111, 0b1000000] {
+            let n = 7;
+            let id = NodeId::new(raw);
+            let s = id.to_binary(n);
+            assert_eq!(s.len(), n as usize);
+            assert_eq!(NodeId::from_binary(&s), Some(id));
+        }
+    }
+
+    #[test]
+    fn from_binary_rejects_garbage() {
+        assert_eq!(NodeId::from_binary(""), None);
+        assert_eq!(NodeId::from_binary("10201"), None);
+        assert_eq!(NodeId::from_binary("abc"), None);
+    }
+
+    #[test]
+    fn bitdims_exact_size() {
+        let it = BitDims(0b1011);
+        assert_eq!(it.len(), 3);
+        assert_eq!(it.collect::<Vec<_>>(), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn display_and_debug_render() {
+        let a = NodeId::new(0b101);
+        assert_eq!(format!("{a}"), "101");
+        assert!(format!("{a:?}").contains("0b101"));
+    }
+}

@@ -1,0 +1,187 @@
+//! The binary hypercube topology `Q_n`.
+
+use crate::addr::{BitDims, NodeId, MAX_DIM};
+
+/// The `n`-dimensional binary hypercube `Q_n`: `2ⁿ` nodes, each adjacent
+/// to the `n` nodes whose addresses differ from it in exactly one bit.
+///
+/// `Hypercube` is a pure topology descriptor — it carries no fault state
+/// (see [`crate::faults`]) and is `Copy`-cheap to pass around.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Hypercube {
+    n: u8,
+}
+
+impl Hypercube {
+    /// Creates `Q_n`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `n > MAX_DIM`: a zero-dimensional cube has
+    /// no links and none of the paper's machinery applies to it.
+    pub fn new(n: u8) -> Self {
+        assert!((1..=MAX_DIM).contains(&n), "dimension must be in 1..={MAX_DIM}, got {n}");
+        Hypercube { n }
+    }
+
+    /// The dimension `n`.
+    #[inline]
+    pub const fn dim(self) -> u8 {
+        self.n
+    }
+
+    /// Number of nodes, `2ⁿ`.
+    #[inline]
+    pub const fn num_nodes(self) -> u64 {
+        1 << self.n
+    }
+
+    /// Number of (undirected) links, `n · 2ⁿ⁻¹`.
+    #[inline]
+    pub const fn num_links(self) -> u64 {
+        (self.n as u64) << (self.n - 1)
+    }
+
+    /// Whether `a` is a valid address of this cube.
+    #[inline]
+    pub const fn contains(self, a: NodeId) -> bool {
+        a.raw() < self.num_nodes()
+    }
+
+    /// Iterator over all node addresses, ascending.
+    pub fn nodes(self) -> impl Iterator<Item = NodeId> {
+        (0..self.num_nodes()).map(NodeId::new)
+    }
+
+    /// Iterator over the `n` neighbors of `a`, by ascending dimension.
+    pub fn neighbors(self, a: NodeId) -> impl Iterator<Item = NodeId> {
+        (0..self.n).map(move |i| a.neighbor(i))
+    }
+
+    /// Iterator over `(dimension, neighbor)` pairs of `a`.
+    pub fn neighbors_with_dims(self, a: NodeId) -> impl Iterator<Item = (u8, NodeId)> {
+        (0..self.n).map(move |i| (i, a.neighbor(i)))
+    }
+
+    /// Iterator over all undirected links as `(low, high)` node pairs,
+    /// each link reported exactly once.
+    pub fn links(self) -> impl Iterator<Item = (NodeId, NodeId)> {
+        let n = self.n;
+        self.nodes().flat_map(move |a| {
+            (0..n).filter_map(move |i| {
+                let b = a.neighbor(i);
+                (a < b).then_some((a, b))
+            })
+        })
+    }
+
+    /// Hamming distance between two nodes of this cube.
+    #[inline]
+    pub fn distance(self, a: NodeId, b: NodeId) -> u32 {
+        a.distance(b)
+    }
+
+    /// The *preferred dimensions* of the pair `(s, d)`: dimensions in
+    /// which `s` and `d` differ. Any optimal (Hamming-distance) path
+    /// from `s` to `d` crosses each of them exactly once (paper, §2.1).
+    #[inline]
+    pub fn preferred_dims(self, s: NodeId, d: NodeId) -> BitDims {
+        s.differing_dims(d)
+    }
+
+    /// The *spare dimensions* of `(s, d)`: the remaining
+    /// `n − H(s, d)` dimensions.
+    #[inline]
+    pub fn spare_dims(self, s: NodeId, d: NodeId) -> BitDims {
+        BitDims(!s.xor(d).raw() & (self.num_nodes() - 1))
+    }
+
+    /// Preferred neighbors of `s` w.r.t. destination `d`
+    /// (paper, §2.1): neighbors along preferred dimensions.
+    pub fn preferred_neighbors(self, s: NodeId, d: NodeId) -> impl Iterator<Item = NodeId> {
+        self.preferred_dims(s, d).map(move |i| s.neighbor(i))
+    }
+
+    /// Spare neighbors of `s` w.r.t. destination `d`.
+    pub fn spare_neighbors(self, s: NodeId, d: NodeId) -> impl Iterator<Item = NodeId> {
+        self.spare_dims(s, d).map(move |i| s.neighbor(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn q4_counts() {
+        let q = Hypercube::new(4);
+        assert_eq!(q.num_nodes(), 16);
+        assert_eq!(q.num_links(), 32);
+        assert_eq!(q.nodes().count(), 16);
+        assert_eq!(q.links().count(), 32);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_dim_rejected() {
+        Hypercube::new(0);
+    }
+
+    #[test]
+    fn neighbors_are_distance_one() {
+        let q = Hypercube::new(5);
+        let a = NodeId::new(0b10110);
+        let ns: Vec<NodeId> = q.neighbors(a).collect();
+        assert_eq!(ns.len(), 5);
+        for b in &ns {
+            assert_eq!(a.distance(*b), 1);
+            assert!(q.contains(*b));
+        }
+        // All distinct.
+        let mut sorted = ns.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 5);
+    }
+
+    #[test]
+    fn preferred_and_spare_partition_dimensions() {
+        let q = Hypercube::new(6);
+        let s = NodeId::new(0b101010);
+        let d = NodeId::new(0b011010);
+        let mut dims: Vec<u8> = q.preferred_dims(s, d).chain(q.spare_dims(s, d)).collect();
+        dims.sort();
+        assert_eq!(dims, (0..6).collect::<Vec<u8>>());
+        assert_eq!(q.preferred_dims(s, d).count() as u32, q.distance(s, d));
+    }
+
+    #[test]
+    fn preferred_neighbors_move_closer() {
+        let q = Hypercube::new(7);
+        let s = NodeId::new(0b1010101);
+        let d = NodeId::new(0b0110011);
+        for p in q.preferred_neighbors(s, d) {
+            assert_eq!(p.distance(d) + 1, s.distance(d));
+        }
+        for sp in q.spare_neighbors(s, d) {
+            assert_eq!(sp.distance(d), s.distance(d) + 1);
+        }
+    }
+
+    #[test]
+    fn links_each_once_and_valid() {
+        let q = Hypercube::new(3);
+        for (a, b) in q.links() {
+            assert!(a < b);
+            assert_eq!(a.distance(b), 1);
+        }
+    }
+
+    #[test]
+    fn neighbors_with_dims_matches_neighbor_fn() {
+        let q = Hypercube::new(4);
+        let a = NodeId::new(0b0110);
+        for (i, b) in q.neighbors_with_dims(a) {
+            assert_eq!(b, a.neighbor(i));
+        }
+    }
+}

@@ -1,0 +1,345 @@
+//! Fault state of a hypercube: faulty nodes and faulty links.
+//!
+//! The paper's main development (§2–§3) assumes *fault-stop node faults*
+//! only; §4.1 extends to faulty links. [`FaultSet`] is a dense bitset of
+//! faulty node addresses; [`LinkFaultSet`] stores faulty undirected
+//! links; [`FaultConfig`] combines both and is what algorithms consume.
+
+use crate::addr::NodeId;
+use crate::cube::Hypercube;
+
+/// A set of faulty nodes of a hypercube, stored as a dense bitset over
+/// the `2ⁿ` addresses.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultSet {
+    bits: Vec<u64>,
+    len: usize,
+    capacity: u64,
+}
+
+impl FaultSet {
+    /// Empty fault set for the given cube.
+    pub fn new(cube: Hypercube) -> Self {
+        Self::with_capacity(cube.num_nodes())
+    }
+
+    /// Empty fault set able to hold addresses `0..capacity`.
+    pub fn with_capacity(capacity: u64) -> Self {
+        let words = capacity.div_ceil(64) as usize;
+        FaultSet { bits: vec![0; words], len: 0, capacity }
+    }
+
+    /// Builds a fault set from an iterator of faulty addresses.
+    pub fn from_nodes<I: IntoIterator<Item = NodeId>>(cube: Hypercube, nodes: I) -> Self {
+        let mut f = Self::new(cube);
+        for a in nodes {
+            f.insert(a);
+        }
+        f
+    }
+
+    /// Convenience constructor from binary-string addresses, as the
+    /// paper's figures list them (e.g. `["0011", "0100"]`).
+    ///
+    /// # Panics
+    /// Panics on an unparsable address — figure instances are static
+    /// data, so a typo should fail loudly.
+    pub fn from_binary_strs(cube: Hypercube, strs: &[&str]) -> Self {
+        Self::from_nodes(
+            cube,
+            strs.iter().map(|s| {
+                NodeId::from_binary(s).unwrap_or_else(|| panic!("bad binary address {s:?}"))
+            }),
+        )
+    }
+
+    /// Number of faulty nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no node is faulty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether node `a` is faulty.
+    #[inline]
+    pub fn contains(&self, a: NodeId) -> bool {
+        let i = a.raw();
+        debug_assert!(i < self.capacity, "address {i} out of range");
+        (self.bits[(i / 64) as usize] >> (i % 64)) & 1 == 1
+    }
+
+    /// Marks `a` faulty; returns `true` if it was previously nonfaulty.
+    pub fn insert(&mut self, a: NodeId) -> bool {
+        let i = a.raw();
+        assert!(i < self.capacity, "address {i} out of range");
+        let (w, b) = ((i / 64) as usize, i % 64);
+        let fresh = (self.bits[w] >> b) & 1 == 0;
+        if fresh {
+            self.bits[w] |= 1 << b;
+            self.len += 1;
+        }
+        fresh
+    }
+
+    /// Marks `a` nonfaulty again (fault recovery, §2.2); returns `true`
+    /// if it was previously faulty.
+    pub fn remove(&mut self, a: NodeId) -> bool {
+        let i = a.raw();
+        assert!(i < self.capacity, "address {i} out of range");
+        let (w, b) = ((i / 64) as usize, i % 64);
+        let present = (self.bits[w] >> b) & 1 == 1;
+        if present {
+            self.bits[w] &= !(1 << b);
+            self.len -= 1;
+        }
+        present
+    }
+
+    /// Iterator over the faulty node addresses, ascending.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.bits.iter().enumerate().flat_map(|(w, &word)| {
+            crate::addr::BitDims(word).map(move |b| NodeId::new((w as u64) * 64 + b as u64))
+        })
+    }
+
+    /// Number of faulty neighbors of `a` in `cube`.
+    pub fn faulty_neighbor_count(&self, cube: Hypercube, a: NodeId) -> usize {
+        cube.neighbors(a).filter(|&b| self.contains(b)).count()
+    }
+}
+
+/// A set of faulty undirected links, keyed by `(min, max)` endpoints.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LinkFaultSet {
+    links: std::collections::HashSet<(NodeId, NodeId)>,
+}
+
+impl LinkFaultSet {
+    /// Empty link-fault set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn key(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+        if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+
+    /// Marks the link between `a` and `b` faulty.
+    ///
+    /// # Panics
+    /// Panics if `a` and `b` are not adjacent (`H(a,b) ≠ 1`).
+    pub fn insert(&mut self, a: NodeId, b: NodeId) -> bool {
+        assert_eq!(a.distance(b), 1, "({a}, {b}) is not a hypercube link");
+        self.links.insert(Self::key(a, b))
+    }
+
+    /// Restores the link between `a` and `b`.
+    pub fn remove(&mut self, a: NodeId, b: NodeId) -> bool {
+        self.links.remove(&Self::key(a, b))
+    }
+
+    /// Whether the link between `a` and `b` is faulty.
+    #[inline]
+    pub fn contains(&self, a: NodeId, b: NodeId) -> bool {
+        self.links.contains(&Self::key(a, b))
+    }
+
+    /// Number of faulty links.
+    pub fn len(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Whether no link is faulty.
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty()
+    }
+
+    /// Iterator over faulty links as `(low, high)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.links.iter().copied()
+    }
+
+    /// Whether node `a` has at least one adjacent faulty link — i.e.
+    /// whether `a` belongs to the paper's set `N2` (§4.1).
+    pub fn touches(&self, cube: Hypercube, a: NodeId) -> bool {
+        cube.neighbors(a).any(|b| self.contains(a, b))
+    }
+
+    /// Iterator over the far endpoints of `a`'s adjacent faulty links.
+    pub fn faulty_ends_of<'a>(
+        &'a self,
+        cube: Hypercube,
+        a: NodeId,
+    ) -> impl Iterator<Item = NodeId> + 'a {
+        cube.neighbors(a).filter(move |&b| self.contains(a, b))
+    }
+}
+
+/// Complete fault state of one faulty hypercube instance: the cube, its
+/// faulty nodes, and its faulty links.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultConfig {
+    cube: Hypercube,
+    nodes: FaultSet,
+    links: LinkFaultSet,
+}
+
+impl FaultConfig {
+    /// A fault-free instance of `cube`.
+    pub fn fault_free(cube: Hypercube) -> Self {
+        FaultConfig { cube, nodes: FaultSet::new(cube), links: LinkFaultSet::new() }
+    }
+
+    /// An instance with the given faulty nodes and no faulty links.
+    pub fn with_node_faults(cube: Hypercube, nodes: FaultSet) -> Self {
+        FaultConfig { cube, nodes, links: LinkFaultSet::new() }
+    }
+
+    /// An instance with both faulty nodes and faulty links (§4.1).
+    pub fn with_faults(cube: Hypercube, nodes: FaultSet, links: LinkFaultSet) -> Self {
+        FaultConfig { cube, nodes, links }
+    }
+
+    /// The underlying topology.
+    #[inline]
+    pub fn cube(&self) -> Hypercube {
+        self.cube
+    }
+
+    /// The faulty-node set.
+    #[inline]
+    pub fn node_faults(&self) -> &FaultSet {
+        &self.nodes
+    }
+
+    /// Mutable access to the faulty-node set (fault injection/recovery).
+    #[inline]
+    pub fn node_faults_mut(&mut self) -> &mut FaultSet {
+        &mut self.nodes
+    }
+
+    /// The faulty-link set.
+    #[inline]
+    pub fn link_faults(&self) -> &LinkFaultSet {
+        &self.links
+    }
+
+    /// Mutable access to the faulty-link set.
+    #[inline]
+    pub fn link_faults_mut(&mut self) -> &mut LinkFaultSet {
+        &mut self.links
+    }
+
+    /// Whether node `a` is faulty.
+    #[inline]
+    pub fn node_faulty(&self, a: NodeId) -> bool {
+        self.nodes.contains(a)
+    }
+
+    /// Whether the link `a`–`b` is usable: both endpoints nonfaulty and
+    /// the link itself nonfaulty.
+    #[inline]
+    pub fn link_usable(&self, a: NodeId, b: NodeId) -> bool {
+        !self.nodes.contains(a) && !self.nodes.contains(b) && !self.links.contains(a, b)
+    }
+
+    /// Iterator over the nonfaulty nodes.
+    pub fn healthy_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.cube.nodes().filter(move |&a| !self.nodes.contains(a))
+    }
+
+    /// Number of nonfaulty nodes.
+    pub fn healthy_count(&self) -> u64 {
+        self.cube.num_nodes() - self.nodes.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q4() -> Hypercube {
+        Hypercube::new(4)
+    }
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let mut f = FaultSet::new(q4());
+        let a = NodeId::new(0b0110);
+        assert!(!f.contains(a));
+        assert!(f.insert(a));
+        assert!(!f.insert(a), "double insert is a no-op");
+        assert!(f.contains(a));
+        assert_eq!(f.len(), 1);
+        assert!(f.remove(a));
+        assert!(!f.remove(a));
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn fig1_fault_set() {
+        // Fig. 1: faults {0011, 0100, 0110, 1001}.
+        let f = FaultSet::from_binary_strs(q4(), &["0011", "0100", "0110", "1001"]);
+        assert_eq!(f.len(), 4);
+        assert!(f.contains(NodeId::new(0b0011)));
+        assert!(!f.contains(NodeId::new(0b0000)));
+        let listed: Vec<u64> = f.iter().map(NodeId::raw).collect();
+        assert_eq!(listed, vec![0b0011, 0b0100, 0b0110, 0b1001]);
+    }
+
+    #[test]
+    fn faulty_neighbor_count_matches_fig1() {
+        // In Fig. 1, node 0010 has faulty neighbors 0011, 0110 → count 2.
+        let f = FaultSet::from_binary_strs(q4(), &["0011", "0100", "0110", "1001"]);
+        assert_eq!(f.faulty_neighbor_count(q4(), NodeId::new(0b0010)), 2);
+        assert_eq!(f.faulty_neighbor_count(q4(), NodeId::new(0b1111)), 0);
+    }
+
+    #[test]
+    fn link_faults_are_undirected() {
+        let mut lf = LinkFaultSet::new();
+        let a = NodeId::new(0b1000);
+        let b = NodeId::new(0b1001);
+        assert!(lf.insert(b, a));
+        assert!(lf.contains(a, b));
+        assert!(lf.contains(b, a));
+        assert!(lf.touches(q4(), a));
+        assert!(lf.touches(q4(), b));
+        assert!(!lf.touches(q4(), NodeId::new(0b0000)));
+        assert_eq!(lf.faulty_ends_of(q4(), a).collect::<Vec<_>>(), vec![b]);
+        assert!(lf.remove(a, b));
+        assert!(lf.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn link_faults_reject_non_links() {
+        let mut lf = LinkFaultSet::new();
+        lf.insert(NodeId::new(0b0000), NodeId::new(0b0011));
+    }
+
+    #[test]
+    fn config_link_usable_accounts_for_everything() {
+        let cube = q4();
+        let mut cfg = FaultConfig::fault_free(cube);
+        let a = NodeId::new(0b0000);
+        let b = NodeId::new(0b0001);
+        assert!(cfg.link_usable(a, b));
+        cfg.link_faults_mut().insert(a, b);
+        assert!(!cfg.link_usable(a, b));
+        cfg.link_faults_mut().remove(a, b);
+        cfg.node_faults_mut().insert(b);
+        assert!(!cfg.link_usable(a, b));
+        assert_eq!(cfg.healthy_count(), 15);
+        assert!(cfg.healthy_nodes().all(|x| x != b));
+    }
+}

@@ -1,0 +1,51 @@
+//! Quickstart: build a faulty hypercube, compute safety levels, route.
+//!
+//! Reproduces the paper's Fig. 1 walk end to end:
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use hypersafe::safety::{route_traced, Condition, Decision, SafetyMap};
+use hypersafe::simkit::Trace;
+use hypersafe::topology::{FaultConfig, FaultSet, Hypercube, NodeId};
+
+fn main() {
+    // A 4-cube with the paper's Fig. 1 fault set.
+    let cube = Hypercube::new(4);
+    let faults = FaultSet::from_binary_strs(cube, &["0011", "0100", "0110", "1001"]);
+    let cfg = FaultConfig::with_node_faults(cube, faults);
+
+    // Safety levels: the unique fixed point of Definition 1, computed
+    // by (n − 1)-round neighbor exchange.
+    let map = SafetyMap::compute(&cfg);
+    println!("safety levels after {} rounds:", map.rounds());
+    for a in cube.nodes() {
+        let tag = if cfg.node_faulty(a) {
+            " (faulty)"
+        } else if map.is_safe(a) {
+            " (safe)"
+        } else {
+            ""
+        };
+        println!("  {}  level {}{}", a.to_binary(4), map.level(a), tag);
+    }
+
+    // Unicast 1110 → 0001: the source's level (4) covers the Hamming
+    // distance (4), so condition C1 admits an optimal route.
+    let s = NodeId::from_binary("1110").unwrap();
+    let d = NodeId::from_binary("0001").unwrap();
+    let mut trace = Trace::enabled();
+    let res = route_traced(&cfg, &map, s, d, &mut trace);
+
+    match res.decision {
+        Decision::Optimal { condition: Condition::C1, .. } => {
+            println!("\nC1 holds: S(s) = {} ≥ H = {}", map.level(s), s.distance(d));
+        }
+        other => println!("\ndecision: {other:?}"),
+    }
+    let path = res.path.expect("feasible");
+    println!("route: {}", path.render(4));
+    println!("optimal: {} · delivered: {}", path.is_optimal(), res.delivered);
+    println!("\nhop trace:\n{}", trace.render());
+}

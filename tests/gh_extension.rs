@@ -1,0 +1,121 @@
+//! Generalized-hypercube stack, end to end through the public API:
+//! distributed GS ≡ centralized, routing contracts, broadcast
+//! coverage, binary-radix reduction — across radix shapes.
+
+use hypersafe::safety::gh_broadcast::gh_broadcast;
+use hypersafe::safety::gh_safety::{run_gh_gs, GhSafetyMap};
+use hypersafe::safety::gh_unicast::{gh_route, GhDecision};
+use hypersafe::topology::{GeneralizedHypercube, GhNode, NodeId};
+use hypersafe::workloads::Sweep;
+use rand::Rng;
+
+fn random_faults(
+    gh: &GeneralizedHypercube,
+    m: usize,
+    rng: &mut impl Rng,
+) -> hypersafe::topology::FaultSet {
+    let mut f = gh.fault_set();
+    while f.len() < m {
+        f.insert(NodeId::new(rng.gen_range(0..gh.num_nodes())));
+    }
+    f
+}
+
+#[test]
+fn distributed_gs_matches_centralized_across_shapes() {
+    let shapes: Vec<GeneralizedHypercube> = vec![
+        GeneralizedHypercube::from_product(&[2, 3, 2]),
+        GeneralizedHypercube::from_product(&[4, 4, 4]),
+        GeneralizedHypercube::from_product(&[3, 2, 5]),
+        GeneralizedHypercube::new(&[2; 7]),
+    ];
+    let sweep = Sweep::new(12, 0x64EE);
+    for gh in &shapes {
+        let mismatch: u32 = sweep
+            .run_seq(|i, rng| {
+                let m = (i as usize) % (gh.num_nodes() as usize / 4).max(2);
+                let f = random_faults(gh, m, rng);
+                let central = GhSafetyMap::compute(gh, &f);
+                let (dist, _) = run_gh_gs(gh, &f);
+                (central.as_slice() != dist.as_slice()) as u32
+            })
+            .iter()
+            .sum();
+        assert_eq!(mismatch, 0, "shape {:?}", gh);
+    }
+}
+
+#[test]
+fn routing_contracts_on_random_gh_instances() {
+    let gh = GeneralizedHypercube::from_product(&[3, 3, 3]);
+    let sweep = Sweep::new(15, 0x64EF);
+    let violations: u32 = sweep
+        .run(|i, rng| {
+            let f = random_faults(&gh, (i % 6) as usize, rng);
+            let map = GhSafetyMap::compute(&gh, &f);
+            let healthy: Vec<GhNode> = gh
+                .nodes()
+                .filter(|a| !f.contains(NodeId::new(a.raw())))
+                .collect();
+            let mut bad = 0u32;
+            for &s in healthy.iter().take(8) {
+                for &d in healthy.iter().rev().take(8) {
+                    let res = gh_route(&gh, &map, &f, s, d);
+                    match res.decision {
+                        GhDecision::Optimal
+                            if (!res.delivered || res.hops() != Some(gh.distance(s, d))) => {
+                                bad += 1;
+                            }
+                        GhDecision::Suboptimal
+                            if (!res.delivered || res.hops() != Some(gh.distance(s, d) + 2)) => {
+                                bad += 1;
+                            }
+                        _ => {}
+                    }
+                }
+            }
+            bad
+        })
+        .iter()
+        .sum();
+    assert_eq!(violations, 0);
+}
+
+#[test]
+fn gh_broadcast_safe_sources_cover_everything() {
+    let gh = GeneralizedHypercube::from_product(&[2, 4, 3]);
+    let sweep = Sweep::new(15, 0x64F0);
+    let failures: u32 = sweep
+        .run(|i, rng| {
+            let f = random_faults(&gh, (i % 5) as usize, rng);
+            let map = GhSafetyMap::compute(&gh, &f);
+            let mut bad = 0u32;
+            for a in gh.nodes() {
+                if f.contains(NodeId::new(a.raw())) || !map.is_safe(a) {
+                    continue;
+                }
+                if !gh_broadcast(&gh, &map, &f, a).complete(&gh, &f) {
+                    bad += 1;
+                }
+            }
+            bad
+        })
+        .iter()
+        .sum();
+    assert_eq!(failures, 0);
+}
+
+#[test]
+fn gh_rounds_never_exceed_dims_minus_one() {
+    let gh = GeneralizedHypercube::from_product(&[3, 4, 2, 3]);
+    let sweep = Sweep::new(20, 0x64F1);
+    let worst: u32 = sweep
+        .run(|i, rng| {
+            let f = random_faults(&gh, (3 * i % 20) as usize, rng);
+            GhSafetyMap::compute(&gh, &f).rounds()
+        })
+        .into_iter()
+        .max()
+        .unwrap();
+    assert!(worst <= 3, "n − 1 bound for GH (§4.2): got {worst}");
+}
