@@ -44,7 +44,10 @@ pub fn dfs_route(cfg: &FaultConfig, s: NodeId, d: NodeId) -> Option<DfsRoute> {
 
     while let Some(&at) = stack.last() {
         if at == d {
-            return Some(DfsRoute { walk, delivered: true });
+            return Some(DfsRoute {
+                walk,
+                delivered: true,
+            });
         }
         // Preferred dimensions first (sorted toward the destination),
         // then spare dimensions — both filtered to usable, unvisited.
@@ -52,11 +55,7 @@ pub fn dfs_route(cfg: &FaultConfig, s: NodeId, d: NodeId) -> Option<DfsRoute> {
             .preferred_dims(at, d)
             .chain(cube.spare_dims(at, d))
             .map(|i| at.neighbor(i))
-            .find(|&b| {
-                !cfg.node_faulty(b)
-                    && !visited[b.raw() as usize]
-                    && cfg.link_usable(at, b)
-            });
+            .find(|&b| !cfg.node_faulty(b) && !visited[b.raw() as usize] && cfg.link_usable(at, b));
         match next {
             Some(b) => {
                 visited[b.raw() as usize] = true;
@@ -72,7 +71,10 @@ pub fn dfs_route(cfg: &FaultConfig, s: NodeId, d: NodeId) -> Option<DfsRoute> {
             }
         }
     }
-    Some(DfsRoute { walk, delivered: false })
+    Some(DfsRoute {
+        walk,
+        delivered: false,
+    })
 }
 
 #[cfg(test)]
@@ -150,7 +152,10 @@ mod tests {
         // source for free).
         let r2 = dfs_route(&cfg, NodeId::new(0b0111), NodeId::new(0b1110)).unwrap();
         assert!(!r2.delivered);
-        assert!(r2.hops() > 4, "crawled the whole component before giving up");
+        assert!(
+            r2.hops() > 4,
+            "crawled the whole component before giving up"
+        );
     }
 
     #[test]

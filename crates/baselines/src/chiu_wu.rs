@@ -108,14 +108,23 @@ mod tests {
         let cfg2 = cfg4(&["0110", "1010", "1100", "1111"]);
         let st2 = WuFernandezStatus::compute(&cfg2);
         assert!(st2.fully_unsafe());
-        assert_eq!(cw_route(&cfg2, &st2, NodeId::new(0), NodeId::new(0b0011)), None);
+        assert_eq!(
+            cw_route(&cfg2, &st2, NodeId::new(0), NodeId::new(0b0011)),
+            None
+        );
     }
 
     #[test]
     fn faulty_endpoints_rejected() {
         let cfg = cfg4(&["0011"]);
         let st = WuFernandezStatus::compute(&cfg);
-        assert_eq!(cw_route(&cfg, &st, NodeId::new(0b0011), NodeId::new(0)), None);
-        assert_eq!(cw_route(&cfg, &st, NodeId::new(0), NodeId::new(0b0011)), None);
+        assert_eq!(
+            cw_route(&cfg, &st, NodeId::new(0b0011), NodeId::new(0)),
+            None
+        );
+        assert_eq!(
+            cw_route(&cfg, &st, NodeId::new(0), NodeId::new(0b0011)),
+            None
+        );
     }
 }

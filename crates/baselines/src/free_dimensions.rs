@@ -65,7 +65,11 @@ pub fn fd_route(cfg: &FaultConfig, s: NodeId, d: NodeId, ttl: u32) -> Option<(Pa
             .filter(|&i| is_free(i))
             .filter_map(|i| usable(at, i))
             .next()
-            .or_else(|| cube.preferred_dims(at, d).filter_map(|i| usable(at, i)).next())
+            .or_else(|| {
+                cube.preferred_dims(at, d)
+                    .filter_map(|i| usable(at, i))
+                    .next()
+            })
             .or_else(|| {
                 cube.spare_dims(at, d)
                     .filter(|&i| is_free(i) && Some(i) != last_dim)
@@ -126,7 +130,9 @@ mod tests {
         // Pair faults along every dimension: (0000,0001) kills dim 0,
         // (0110, 0100) kills dim 1, (1011, 1111) kills dim 2,
         // (0010, 1010) kills dim 3.
-        let cfg = cfg4(&["0000", "0001", "0110", "0100", "1011", "1111", "0010", "1010"]);
+        let cfg = cfg4(&[
+            "0000", "0001", "0110", "0100", "1011", "1111", "0010", "1010",
+        ]);
         assert!(!has_free_dimension(&cfg));
     }
 

@@ -38,7 +38,10 @@ impl LeeHayesStatus {
     /// assert!(LeeHayesStatus::compute(&cfg).fully_unsafe());
     /// ```
     pub fn compute(cfg: &FaultConfig) -> Self {
-        assert!(cfg.link_faults().is_empty(), "Definition 2 covers node faults only");
+        assert!(
+            cfg.link_faults().is_empty(),
+            "Definition 2 covers node faults only"
+        );
         let cube = cfg.cube();
         let mut safe: Vec<bool> = cube.nodes().map(|a| !cfg.node_faulty(a)).collect();
         let mut rounds = 0u32;

@@ -49,7 +49,11 @@ pub fn sidetrack_route<R: Rng + ?Sized>(
                 }
             }
         }
-        let pool = if preferred.is_empty() { &spare } else { &preferred };
+        let pool = if preferred.is_empty() {
+            &spare
+        } else {
+            &preferred
+        };
         if pool.is_empty() {
             return Some((path, false));
         }
@@ -103,8 +107,8 @@ mod tests {
         let cfg = cfg4(&["0011", "0101", "0110", "1001", "1010", "1100"]);
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         // 0000 → 1111 with the entire middle layer faulty: impossible.
-        let (p, ok) = sidetrack_route(&cfg, NodeId::new(0), NodeId::new(0b1111), 20, &mut rng)
-            .unwrap();
+        let (p, ok) =
+            sidetrack_route(&cfg, NodeId::new(0), NodeId::new(0b1111), 20, &mut rng).unwrap();
         assert!(!ok);
         assert!(p.len() <= 20);
     }
@@ -121,6 +125,9 @@ mod tests {
                     .unwrap();
             delivered += ok as u32;
         }
-        assert!(delivered > 90, "random sidetracking should mostly succeed: {delivered}/100");
+        assert!(
+            delivered > 90,
+            "random sidetracking should mostly succeed: {delivered}/100"
+        );
     }
 }

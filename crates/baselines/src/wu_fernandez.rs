@@ -21,7 +21,10 @@ impl WuFernandezStatus {
     /// Computes the greatest fixed point of Definition 3 by synchronous
     /// demotion rounds.
     pub fn compute(cfg: &FaultConfig) -> Self {
-        assert!(cfg.link_faults().is_empty(), "Definition 3 covers node faults only");
+        assert!(
+            cfg.link_faults().is_empty(),
+            "Definition 3 covers node faults only"
+        );
         let cube = cfg.cube();
         let mut safe: Vec<bool> = cube.nodes().map(|a| !cfg.node_faulty(a)).collect();
         let mut rounds = 0u32;
@@ -109,7 +112,9 @@ mod tests {
         );
         // The paper's listed members are all present (its set minus the
         // disputed 1100 is a subset of ours).
-        for want in ["0001", "0011", "0101", "1000", "1001", "1010", "1011", "1101"] {
+        for want in [
+            "0001", "0011", "0101", "1000", "1001", "1010", "1011", "1101",
+        ] {
             assert!(names.iter().any(|s| s == want), "{want} missing");
         }
     }

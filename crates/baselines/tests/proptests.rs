@@ -15,14 +15,12 @@ fn instance() -> impl Strategy<Value = (FaultConfig, Vec<NodeId>)> {
     (3u8..=6).prop_flat_map(|n| {
         let cube = Hypercube::new(n);
         let total = cube.num_nodes();
-        proptest::collection::btree_set(0..total, 0..(total / 3) as usize).prop_map(
-            move |set| {
-                let faults = FaultSet::from_nodes(cube, set.into_iter().map(NodeId::new));
-                let cfg = FaultConfig::with_node_faults(cube, faults);
-                let healthy: Vec<NodeId> = cfg.healthy_nodes().collect();
-                (cfg, healthy)
-            },
-        )
+        proptest::collection::btree_set(0..total, 0..(total / 3) as usize).prop_map(move |set| {
+            let faults = FaultSet::from_nodes(cube, set.into_iter().map(NodeId::new));
+            let cfg = FaultConfig::with_node_faults(cube, faults);
+            let healthy: Vec<NodeId> = cfg.healthy_nodes().collect();
+            (cfg, healthy)
+        })
     })
 }
 

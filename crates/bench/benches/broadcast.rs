@@ -12,18 +12,18 @@ fn bench_broadcast(c: &mut Criterion) {
     for n in [7u8, 10] {
         let cube = Hypercube::new(n);
         let mut rng = Sweep::new(1, 0xB0).trial_rng(0);
-        let cfg = FaultConfig::with_node_faults(
-            cube,
-            uniform_faults(cube, n as usize - 1, &mut rng),
-        );
+        let cfg =
+            FaultConfig::with_node_faults(cube, uniform_faults(cube, n as usize - 1, &mut rng));
         let map = SafetyMap::compute(&cfg);
         let src = cfg
             .healthy_nodes()
             .find(|&a| map.is_safe(a))
             .unwrap_or(NodeId::ZERO);
-        g.bench_with_input(BenchmarkId::new("safe_source", n), &(cfg, map, src), |b, (cfg, map, src)| {
-            b.iter(|| black_box(broadcast(cfg, map, *src).coverage()))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("safe_source", n),
+            &(cfg, map, src),
+            |b, (cfg, map, src)| b.iter(|| black_box(broadcast(cfg, map, *src).coverage())),
+        );
     }
     g.finish();
 }

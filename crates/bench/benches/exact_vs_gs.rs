@@ -15,15 +15,15 @@ fn bench_gap(c: &mut Criterion) {
     for n in [6u8, 8] {
         let cube = Hypercube::new(n);
         let mut rng = Sweep::new(1, 0xE0).trial_rng(0);
-        let cfg = FaultConfig::with_node_faults(
-            cube,
-            uniform_faults(cube, n as usize - 1, &mut rng),
-        );
+        let cfg =
+            FaultConfig::with_node_faults(cube, uniform_faults(cube, n as usize - 1, &mut rng));
         g.bench_with_input(BenchmarkId::new("gs_levels", n), &cfg, |b, cfg| {
             b.iter(|| black_box(SafetyMap::compute(cfg)))
         });
         g.bench_with_input(BenchmarkId::new("exact_oracle", n), &cfg, |b, cfg| {
-            b.iter(|| black_box(ExactReach::compute(cfg).radius(cfg, hypersafe_topology::NodeId::ZERO)))
+            b.iter(|| {
+                black_box(ExactReach::compute(cfg).radius(cfg, hypersafe_topology::NodeId::ZERO))
+            })
         });
     }
     g.finish();
@@ -35,10 +35,8 @@ fn bench_parallel_gs(c: &mut Criterion) {
     for n in [12u8, 14] {
         let cube = Hypercube::new(n);
         let mut rng = Sweep::new(1, 0xE1).trial_rng(0);
-        let cfg = FaultConfig::with_node_faults(
-            cube,
-            uniform_faults(cube, 2 * n as usize, &mut rng),
-        );
+        let cfg =
+            FaultConfig::with_node_faults(cube, uniform_faults(cube, 2 * n as usize, &mut rng));
         g.bench_with_input(BenchmarkId::new("sequential", n), &cfg, |b, cfg| {
             b.iter(|| black_box(SafetyMap::compute(cfg)))
         });

@@ -27,9 +27,11 @@ fn bench_gh_safety(c: &mut Criterion) {
         while (faults.len() as u64) < m {
             faults.insert(NodeId::new(rng.gen_range(0..gh.num_nodes())));
         }
-        g.bench_with_input(BenchmarkId::from_parameter(name), &(gh, faults), |b, (gh, f)| {
-            b.iter(|| black_box(GhSafetyMap::compute(gh, f)))
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &(gh, faults),
+            |b, (gh, f)| b.iter(|| black_box(GhSafetyMap::compute(gh, f))),
+        );
     }
     g.finish();
 }
@@ -45,16 +47,14 @@ fn bench_gh_route(c: &mut Criterion) {
         }
         let map = GhSafetyMap::compute(&gh, &faults);
         let pairs: Vec<(GhNode, GhNode)> = (0..128)
-            .map(|_| {
-                loop {
-                    let s = GhNode(rng.gen_range(0..gh.num_nodes()));
-                    let d = GhNode(rng.gen_range(0..gh.num_nodes()));
-                    if s != d
-                        && !faults.contains(NodeId::new(s.raw()))
-                        && !faults.contains(NodeId::new(d.raw()))
-                    {
-                        break (s, d);
-                    }
+            .map(|_| loop {
+                let s = GhNode(rng.gen_range(0..gh.num_nodes()));
+                let d = GhNode(rng.gen_range(0..gh.num_nodes()));
+                if s != d
+                    && !faults.contains(NodeId::new(s.raw()))
+                    && !faults.contains(NodeId::new(d.raw()))
+                {
+                    break (s, d);
                 }
             })
             .collect();

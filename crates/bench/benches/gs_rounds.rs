@@ -20,18 +20,14 @@ fn bench_centralized(c: &mut Criterion) {
     for n in [7u8, 10] {
         for m in [0usize, n as usize - 1, 4 * n as usize] {
             let cfgs = instances(n, m, 8);
-            g.bench_with_input(
-                BenchmarkId::new(format!("n{n}"), m),
-                &cfgs,
-                |b, cfgs| {
-                    let mut i = 0usize;
-                    b.iter(|| {
-                        let cfg = &cfgs[i % cfgs.len()];
-                        i += 1;
-                        black_box(SafetyMap::compute(cfg))
-                    })
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(format!("n{n}"), m), &cfgs, |b, cfgs| {
+                let mut i = 0usize;
+                b.iter(|| {
+                    let cfg = &cfgs[i % cfgs.len()];
+                    i += 1;
+                    black_box(SafetyMap::compute(cfg))
+                })
+            });
         }
     }
     g.finish();

@@ -66,5 +66,10 @@ fn bench_distributed(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_source_decision, bench_route, bench_distributed);
+criterion_group!(
+    benches,
+    bench_source_decision,
+    bench_route,
+    bench_distributed
+);
 criterion_main!(benches);

@@ -42,7 +42,10 @@ fn bench_strategy_replay(c: &mut Criterion) {
         clock += 10;
         t.push(
             clock,
-            TimelineEvent::Unicast(NodeId::new((i as u64 * 7 + 1) % 64), NodeId::new(63 - i as u64)),
+            TimelineEvent::Unicast(
+                NodeId::new((i as u64 * 7 + 1) % 64),
+                NodeId::new(63 - i as u64),
+            ),
         );
     }
     let mut g = c.benchmark_group("maintenance_replay");

@@ -45,7 +45,12 @@ impl BroadcastResult {
         steps: u32,
         relayed_via: Option<NodeId>,
     ) -> Self {
-        BroadcastResult { received, messages, steps, relayed_via }
+        BroadcastResult {
+            received,
+            messages,
+            steps,
+            relayed_via,
+        }
     }
 
     /// Whether node `a` received the message.
@@ -232,10 +237,7 @@ mod tests {
     #[test]
     fn faulty_source_sends_nothing() {
         let cube = Hypercube::new(3);
-        let cfg = FaultConfig::with_node_faults(
-            cube,
-            FaultSet::from_binary_strs(cube, &["000"]),
-        );
+        let cfg = FaultConfig::with_node_faults(cube, FaultSet::from_binary_strs(cube, &["000"]));
         let map = SafetyMap::compute(&cfg);
         let r = broadcast(&cfg, &map, NodeId::ZERO);
         assert_eq!(r.coverage(), 0);

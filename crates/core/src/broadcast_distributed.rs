@@ -48,13 +48,15 @@ impl BcastNode {
         // Children ordered by safety level descending (lowest dimension
         // first among ties), largest remaining subtree to the safest.
         let mut order: Vec<u8> = hypersafe_topology::BitDims(dims).collect();
-        order.sort_by_key(|&i| {
-            (std::cmp::Reverse(self.neighbor_levels[i as usize]), i)
-        });
+        order.sort_by_key(|&i| (std::cmp::Reverse(self.neighbor_levels[i as usize]), i));
         let mut remaining = dims;
         for &i in &order {
             remaining &= !(1u64 << i);
-            ctx.send(ctx.self_id().neighbor(i), BcastMsg { dims: remaining }, self.latency);
+            ctx.send(
+                ctx.self_id().neighbor(i),
+                BcastMsg { dims: remaining },
+                self.latency,
+            );
         }
     }
 }
@@ -133,9 +135,7 @@ pub fn run_broadcast(
     if !cfg.node_faulty(source) {
         received[source.raw() as usize] = true;
     }
-    let messages = eng.stats().delivered
-        + eng.stats().dropped
-        + relayed_via.is_some() as u64;
+    let messages = eng.stats().delivered + eng.stats().dropped + relayed_via.is_some() as u64;
     BroadcastResult::from_parts(received, messages, steps, relayed_via)
 }
 
@@ -210,10 +210,7 @@ mod tests {
     #[test]
     fn faulty_source_stays_silent() {
         let cube = Hypercube::new(3);
-        let cfg = FaultConfig::with_node_faults(
-            cube,
-            FaultSet::from_binary_strs(cube, &["000"]),
-        );
+        let cfg = FaultConfig::with_node_faults(cube, FaultSet::from_binary_strs(cube, &["000"]));
         let map = SafetyMap::compute(&cfg);
         let r = run_broadcast(&cfg, &map, NodeId::ZERO, 1);
         assert_eq!(r.coverage(), 0);

@@ -41,7 +41,12 @@ pub struct DetectorParams {
 
 impl Default for DetectorParams {
     fn default() -> Self {
-        DetectorParams { period: 10, latency: 1, misses_allowed: 2, rounds: 8 }
+        DetectorParams {
+            period: 10,
+            latency: 1,
+            misses_allowed: 2,
+            rounds: 8,
+        }
     }
 }
 
@@ -74,7 +79,11 @@ impl DetectorNode {
 
     fn ping_all(&mut self, ctx: &mut Ctx<Heartbeat>) {
         for i in 0..self.n {
-            ctx.send(ctx.self_id().neighbor(i), Heartbeat::Ping, self.params.latency);
+            ctx.send(
+                ctx.self_id().neighbor(i),
+                Heartbeat::Ping,
+                self.params.latency,
+            );
         }
         self.answered.iter_mut().for_each(|a| *a = false);
         // Collect verdicts after replies had time to arrive.
@@ -135,7 +144,9 @@ pub struct DetectionResult {
 impl DetectionResult {
     /// Whether healthy node `a` suspects its neighbor along `dim`.
     pub fn suspects(&self, a: NodeId, dim: u8) -> Option<bool> {
-        self.views[a.raw() as usize].as_ref().map(|v| v[dim as usize])
+        self.views[a.raw() as usize]
+            .as_ref()
+            .map(|v| v[dim as usize])
     }
 
     /// Checks the run against ground truth: returns
@@ -146,7 +157,9 @@ impl DetectionResult {
         let mut fneg = 0;
         let mut fpos = 0;
         for a in cfg.healthy_nodes() {
-            let Some(view) = &self.views[a.raw() as usize] else { continue };
+            let Some(view) = &self.views[a.raw() as usize] else {
+                continue;
+            };
             for (i, b) in cube.neighbors(a).enumerate() {
                 let truly_bad = cfg.node_faulty(b) || cfg.link_faults().contains(a, b);
                 match (truly_bad, view[i]) {
@@ -171,7 +184,10 @@ impl DetectionResult {
 /// since pings across them are lost.
 pub fn detect(cfg: &FaultConfig, params: DetectorParams) -> DetectionResult {
     let n = cfg.cube().dim();
-    assert!(params.rounds > params.misses_allowed, "not enough rounds to convict");
+    assert!(
+        params.rounds > params.misses_allowed,
+        "not enough rounds to convict"
+    );
     let mut eng = EventEngine::new(cfg, |_| DetectorNode::new(n, params));
     eng.run(u64::MAX);
     let views = cfg
@@ -218,7 +234,11 @@ mod tests {
         cfg.link_faults_mut().insert(n("1000"), n("1001"));
         let r = detect(&cfg, DetectorParams::default());
         assert_eq!(r.accuracy(&cfg), (0, 0));
-        assert_eq!(r.suspects(n("1000"), 0), Some(true), "link loss looks like death");
+        assert_eq!(
+            r.suspects(n("1000"), 0),
+            Some(true),
+            "link loss looks like death"
+        );
         assert_eq!(r.suspects(n("1001"), 0), Some(true));
     }
 
@@ -239,8 +259,20 @@ mod tests {
     fn message_cost_scales_with_rounds() {
         let cube = Hypercube::new(4);
         let cfg = FaultConfig::fault_free(cube);
-        let short = detect(&cfg, DetectorParams { rounds: 3, ..DetectorParams::default() });
-        let long = detect(&cfg, DetectorParams { rounds: 8, ..DetectorParams::default() });
+        let short = detect(
+            &cfg,
+            DetectorParams {
+                rounds: 3,
+                ..DetectorParams::default()
+            },
+        );
+        let long = detect(
+            &cfg,
+            DetectorParams {
+                rounds: 8,
+                ..DetectorParams::default()
+            },
+        );
         assert!(long.messages > short.messages);
         // Fault-free: per round each undirected link carries two pings
         // (one per direction) and two pongs.
@@ -274,6 +306,13 @@ mod tests {
     fn too_few_rounds_rejected() {
         let cube = Hypercube::new(3);
         let cfg = FaultConfig::fault_free(cube);
-        detect(&cfg, DetectorParams { rounds: 2, misses_allowed: 2, ..Default::default() });
+        detect(
+            &cfg,
+            DetectorParams {
+                rounds: 2,
+                misses_allowed: 2,
+                ..Default::default()
+            },
+        );
     }
 }

@@ -70,7 +70,11 @@ impl ExtendedSafetyMap {
             }
             own[a.raw() as usize] = level_from_neighbors(n, &mut scratch);
         }
-        ExtendedSafetyMap { advertised, own, in_n2 }
+        ExtendedSafetyMap {
+            advertised,
+            own,
+            in_n2,
+        }
     }
 
     /// The advertised (everyone-else's) view.
@@ -190,12 +194,7 @@ pub fn run_egs(cfg: &FaultConfig) -> (ExtendedSafetyMap, SyncStats) {
 /// views: the source applies `C1` with its *own* level, every neighbor
 /// comparison uses *advertised* levels, and the physical simulation
 /// accounts for message loss on faulty links (paper, §4.1).
-pub fn route_egs(
-    cfg: &FaultConfig,
-    emap: &ExtendedSafetyMap,
-    s: NodeId,
-    d: NodeId,
-) -> RouteResult {
+pub fn route_egs(cfg: &FaultConfig, emap: &ExtendedSafetyMap, s: NodeId, d: NodeId) -> RouteResult {
     route_egs_traced(cfg, emap, s, d, &mut Trace::disabled())
 }
 

@@ -177,7 +177,11 @@ pub fn tightness(cfg: &FaultConfig, map: &SafetyMap, exact: &ExactReach) -> Tigh
             s.max_slack = s.max_slack.max(slack);
         }
     }
-    s.mean_slack = if s.nodes == 0 { 0.0 } else { slack_sum as f64 / s.nodes as f64 };
+    s.mean_slack = if s.nodes == 0 {
+        0.0
+    } else {
+        slack_sum as f64 / s.nodes as f64
+    };
     s
 }
 
@@ -259,7 +263,10 @@ mod tests {
     fn faulty_destination_at_distance_one_counts() {
         let cfg = cfg4(&["0001"]);
         let ex = ExactReach::compute(&cfg);
-        assert!(ex.optimal_path_exists(NodeId::new(0), NodeId::new(1)), "footnote 3");
+        assert!(
+            ex.optimal_path_exists(NodeId::new(0), NodeId::new(1)),
+            "footnote 3"
+        );
     }
 
     #[test]

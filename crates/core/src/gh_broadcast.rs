@@ -38,7 +38,8 @@ impl GhBroadcastResult {
 
     /// Whether every nonfaulty node received the message.
     pub fn complete(&self, gh: &GeneralizedHypercube, faults: &FaultSet) -> bool {
-        gh.nodes().all(|a| faults.contains(NodeId::new(a.raw())) || self.received(a))
+        gh.nodes()
+            .all(|a| faults.contains(NodeId::new(a.raw())) || self.received(a))
     }
 }
 
@@ -178,7 +179,11 @@ mod tests {
             let r = gh_broadcast(&gh, &map, &f, a);
             assert!(r.complete(&gh, &f), "source {}", gh.format(a));
             if !map.is_safe(a) {
-                assert!(r.relayed_via.is_some(), "unsafe {} must relay", gh.format(a));
+                assert!(
+                    r.relayed_via.is_some(),
+                    "unsafe {} must relay",
+                    gh.format(a)
+                );
             }
         }
     }

@@ -31,7 +31,13 @@ impl GhSafetyMap {
         let n = gh.dim();
         let mut levels: Vec<Level> = gh
             .nodes()
-            .map(|a| if faults.contains(NodeId::new(a.raw())) { 0 } else { n })
+            .map(|a| {
+                if faults.contains(NodeId::new(a.raw())) {
+                    0
+                } else {
+                    n
+                }
+            })
             .collect();
         let mut rounds = 0u32;
         let mut scratch = vec![0 as Level; n as usize];
@@ -117,7 +123,11 @@ pub struct GhGsNode {
 
 impl GhGsNode {
     fn new(port_dims: std::sync::Arc<[u8]>, n: u8) -> Self {
-        GhGsNode { port_dims, n, level: n }
+        GhGsNode {
+            port_dims,
+            n,
+            level: n,
+        }
     }
 
     /// Current safety level.
@@ -151,7 +161,11 @@ impl PortNode for GhGsNode {
             expected[d as usize] += 1;
         }
         for i in 0..self.n as usize {
-            levels.push(if heard[i] < expected[i] { 0 } else { mins[i] as Level });
+            levels.push(if heard[i] < expected[i] {
+                0
+            } else {
+                mins[i] as Level
+            });
         }
         let new = level_from_neighbors(self.n, &mut levels);
         let changed = new != self.level;
@@ -165,10 +179,12 @@ impl PortNode for GhGsNode {
 /// statistics. Agrees with [`GhSafetyMap::compute`] (tested).
 pub fn run_gh_gs(gh: &GeneralizedHypercube, faults: &FaultSet) -> (GhSafetyMap, SyncStats) {
     let n = gh.dim();
-    let port_dims: std::sync::Arc<[u8]> =
-        (0..gh.degree() as usize).map(|p| gh_port_dim(gh, p)).collect();
-    let faulty: Vec<bool> =
-        (0..gh.num_nodes()).map(|a| faults.contains(NodeId::new(a))).collect();
+    let port_dims: std::sync::Arc<[u8]> = (0..gh.degree() as usize)
+        .map(|p| gh_port_dim(gh, p))
+        .collect();
+    let faulty: Vec<bool> = (0..gh.num_nodes())
+        .map(|a| faults.contains(NodeId::new(a)))
+        .collect();
     let mut eng = GenericSyncEngine::new(gh, faulty, |_| GhGsNode::new(port_dims.clone(), n));
     let rounds = eng.run_until_stable(n as u32 + 1);
     let levels = (0..gh.num_nodes())

@@ -9,8 +9,8 @@
 //! specific preferred neighbor is eligible iff its own level is at
 //! least the remaining distance minus one).
 
-use crate::safety::Level;
 use crate::gh_safety::GhSafetyMap;
+use crate::safety::Level;
 use hypersafe_topology::{FaultSet, GeneralizedHypercube, GhNode, NodeId};
 
 /// Source decision for a GH unicast, mirroring [`crate::unicast::Decision`].
@@ -129,7 +129,13 @@ pub fn gh_route(
                 delivered: !faults.contains(NodeId::new(s.raw())),
             }
         }
-        GhDecision::Failure => return GhRouteResult { decision, nodes: None, delivered: false },
+        GhDecision::Failure => {
+            return GhRouteResult {
+                decision,
+                nodes: None,
+                delivered: false,
+            }
+        }
         GhDecision::Optimal | GhDecision::Suboptimal => {}
     }
 
@@ -156,21 +162,37 @@ pub fn gh_route(
         at = nb;
         nodes.push(at);
         if faults.contains(NodeId::new(at.raw())) {
-            return GhRouteResult { decision, nodes: Some(nodes), delivered: false };
+            return GhRouteResult {
+                decision,
+                nodes: Some(nodes),
+                delivered: false,
+            };
         }
     }
 
     while at != d {
         let Some((_, next, _)) = forwarding_dim(gh, map, at, d) else {
-            return GhRouteResult { decision, nodes: Some(nodes), delivered: false };
+            return GhRouteResult {
+                decision,
+                nodes: Some(nodes),
+                delivered: false,
+            };
         };
         at = next;
         nodes.push(at);
         if faults.contains(NodeId::new(at.raw())) {
-            return GhRouteResult { decision, nodes: Some(nodes), delivered: at == d };
+            return GhRouteResult {
+                decision,
+                nodes: Some(nodes),
+                delivered: at == d,
+            };
         }
     }
-    GhRouteResult { decision, nodes: Some(nodes), delivered: true }
+    GhRouteResult {
+        decision,
+        nodes: Some(nodes),
+        delivered: true,
+    }
 }
 
 #[cfg(test)]
@@ -208,7 +230,13 @@ mod tests {
             for d in gh.nodes() {
                 let res = gh_route(&gh, &map, &f, s, d);
                 assert!(res.delivered);
-                assert_eq!(res.hops(), Some(gh.distance(s, d)), "{} → {}", gh.format(s), gh.format(d));
+                assert_eq!(
+                    res.hops(),
+                    Some(gh.distance(s, d)),
+                    "{} → {}",
+                    gh.format(s),
+                    gh.format(d)
+                );
             }
         }
     }
@@ -225,8 +253,7 @@ mod tests {
         assert_eq!(res.hops(), Some(3));
         // The realized route is exactly the paper's narrated walk:
         // 010 → 000 (dim 1, ring/clique hop) → 001 (dim 0) → 101 (dim 2).
-        let walk: Vec<String> =
-            res.nodes.unwrap().iter().map(|&a| gh.format(a)).collect();
+        let walk: Vec<String> = res.nodes.unwrap().iter().map(|&a| gh.format(a)).collect();
         assert_eq!(walk, vec!["010", "000", "001", "101"]);
         // Exactly four safe nodes, as the paper states.
         assert_eq!(map.safe_nodes().len(), 4);

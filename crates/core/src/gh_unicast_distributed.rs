@@ -42,14 +42,8 @@ pub struct GhUnicastNode {
 const START_TAG: u64 = 0x64;
 
 impl GhUnicastNode {
-    fn new(
-        gh: Arc<GeneralizedHypercube>,
-        map: &GhSafetyMap,
-        me: GhNode,
-        latency: Time,
-    ) -> Self {
-        let peer_levels =
-            gh.neighbors(me).map(|b| (b.raw(), map.level(b))).collect();
+    fn new(gh: Arc<GeneralizedHypercube>, map: &GhSafetyMap, me: GhNode, latency: Time) -> Self {
+        let peer_levels = gh.neighbors(me).map(|b| (b.raw(), map.level(b))).collect();
         GhUnicastNode {
             own_level: map.level(me),
             gh,
@@ -93,10 +87,16 @@ impl GActor for GhUnicastNode {
         let s = GhNode(ctx.self_id());
         let h = self.gh.distance(s, d) as u16;
         if h == 0 {
-            self.received = Some(GhMsg { dest: d, trail: vec![s] });
+            self.received = Some(GhMsg {
+                dest: d,
+                trail: vec![s],
+            });
             return;
         }
-        let msg = GhMsg { dest: d, trail: vec![s] };
+        let msg = GhMsg {
+            dest: d,
+            trail: vec![s],
+        };
         // C1 / C2: optimal start via the best preferred peer.
         let pref = self.forwarding_peer(s, d);
         let c1 = (self.own_level as u16) >= h;
@@ -160,11 +160,11 @@ pub fn run_gh_unicast(
     latency: Time,
 ) -> GhDistributedRun {
     let gh_arc = Arc::new(gh.clone());
-    let faulty: Vec<bool> =
-        (0..gh.num_nodes()).map(|a| faults.contains(NodeId::new(a))).collect();
+    let faulty: Vec<bool> = (0..gh.num_nodes())
+        .map(|a| faults.contains(NodeId::new(a)))
+        .collect();
     let mut eng = GenericEventEngine::new(gh, faulty, |a| {
-        let mut node =
-            GhUnicastNode::new(gh_arc.clone(), map, GhNode(a), latency.max(1));
+        let mut node = GhUnicastNode::new(gh_arc.clone(), map, GhNode(a), latency.max(1));
         if a == s.raw() {
             node.start = Some(d);
         }
@@ -187,7 +187,11 @@ mod tests {
     use super::*;
     use crate::gh_unicast::gh_route;
 
-    fn fig5_like() -> (GeneralizedHypercube, hypersafe_topology::FaultSet, GhSafetyMap) {
+    fn fig5_like() -> (
+        GeneralizedHypercube,
+        hypersafe_topology::FaultSet,
+        GhSafetyMap,
+    ) {
         let gh = GeneralizedHypercube::from_product(&[2, 3, 2]);
         let f = gh.fault_set_from_strs(&["011", "100", "111", "121"]);
         let map = GhSafetyMap::compute(&gh, &f);
@@ -197,13 +201,21 @@ mod tests {
     #[test]
     fn distributed_matches_centralized_on_fig5_instance() {
         let (gh, f, map) = fig5_like();
-        let healthy: Vec<GhNode> =
-            gh.nodes().filter(|a| !f.contains(NodeId::new(a.raw()))).collect();
+        let healthy: Vec<GhNode> = gh
+            .nodes()
+            .filter(|a| !f.contains(NodeId::new(a.raw())))
+            .collect();
         for &s in &healthy {
             for &d in &healthy {
                 let central = gh_route(&gh, &map, &f, s, d);
                 let dist = run_gh_unicast(&gh, &map, &f, s, d, 1);
-                assert_eq!(central.decision, dist.decision, "{} → {}", gh.format(s), gh.format(d));
+                assert_eq!(
+                    central.decision,
+                    dist.decision,
+                    "{} → {}",
+                    gh.format(s),
+                    gh.format(d)
+                );
                 match (central.delivered, &dist.trail) {
                     (true, Some(trail)) => {
                         assert_eq!(

@@ -16,7 +16,10 @@
 //! test suite cross-checks against the centralized computation.
 
 use crate::safety::{level_from_neighbors, Level, SafetyMap};
-use hypersafe_simkit::{Actor, Ctx, EventEngine, SyncEngine, SyncNode, SyncStats};
+use hypersafe_simkit::{
+    Actor, ChannelModel, Ctx, EventEngine, EventStats, RelCtx, Reliable, ReliableActor,
+    ReliableConfig, SyncEngine, SyncNode, SyncStats,
+};
 use hypersafe_topology::{FaultConfig, NodeId};
 
 /// Per-node state of the synchronous GS protocol.
@@ -83,7 +86,10 @@ pub fn run_gs_bounded(cfg: &FaultConfig, max_rounds: u32) -> GsRun {
         .map(|a| eng.node(a).map_or(0, GsNode::level))
         .collect();
     let rounds = stats.active_rounds;
-    GsRun { map: SafetyMap::from_levels(cfg.cube(), levels).with_rounds(rounds), stats }
+    GsRun {
+        map: SafetyMap::from_levels(cfg.cube(), levels).with_rounds(rounds),
+        stats,
+    }
 }
 
 /// Runs synchronous GS with the paper's bound `D = n − 1` (plus one
@@ -125,24 +131,28 @@ pub struct AsyncGsNode {
     level: Level,
     /// Best current knowledge of each neighbor's level, by dimension.
     heard: Vec<Level>,
+    /// Which neighbors are locally known reachable (healthy node behind
+    /// a healthy link) — assumption 2's local fault detection.
+    usable: Vec<bool>,
     latency: u64,
 }
 
 impl AsyncGsNode {
     fn new(cfg: &FaultConfig, me: NodeId, latency: u64) -> Self {
         let n = cfg.cube().dim();
-        let heard = cfg
+        let usable: Vec<bool> = cfg
             .cube()
             .neighbors_with_dims(me)
-            .map(|(_, b)| {
-                if cfg.node_faulty(b) || cfg.link_faults().contains(me, b) {
-                    0
-                } else {
-                    n
-                }
-            })
+            .map(|(_, b)| !cfg.node_faulty(b) && !cfg.link_faults().contains(me, b))
             .collect();
-        AsyncGsNode { n, level: n, heard, latency }
+        let heard = usable.iter().map(|&u| if u { n } else { 0 }).collect();
+        AsyncGsNode {
+            n,
+            level: n,
+            heard,
+            usable,
+            latency,
+        }
     }
 
     /// Current safety level.
@@ -204,6 +214,100 @@ pub fn run_gs_async(cfg: &FaultConfig, latency: u64) -> (SafetyMap, hypersafe_si
     (SafetyMap::from_levels(cfg.cube(), levels), stats)
 }
 
+/// The same state-change-driven protocol, but every announcement goes
+/// through the reliable layer — the shape GS must take when links lose
+/// messages. Announcements are only sent to locally-usable neighbors
+/// (assumption 2), so no retransmission budget is wasted on peers that
+/// are known dead.
+impl ReliableActor for AsyncGsNode {
+    type Msg = Level;
+
+    fn on_start(&mut self, ctx: &mut RelCtx<Level>) {
+        if self.reevaluate() {
+            for i in 0..self.n {
+                if self.usable[i as usize] {
+                    ctx.send_reliable(ctx.self_id().neighbor(i), self.level);
+                }
+            }
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut RelCtx<Level>, from: NodeId, msg: Level) {
+        let dim = ctx.self_id().xor(from).set_dims().next().expect("neighbor");
+        self.heard[dim as usize] = msg;
+        if self.reevaluate() {
+            for i in 0..self.n {
+                if self.usable[i as usize] {
+                    ctx.send_reliable(ctx.self_id().neighbor(i), self.level);
+                }
+            }
+        }
+    }
+}
+
+/// Outcome of a GS run over a lossy channel.
+#[derive(Clone, Debug)]
+pub struct GsLossyRun {
+    /// The safety levels when the run went quiescent.
+    pub map: SafetyMap,
+    /// Engine statistics, including loss / retransmission / ACK
+    /// counters.
+    pub stats: EventStats,
+    /// Quiescence detector verdict: `true` when the event queue drained
+    /// (every announcement delivered and acknowledged, every
+    /// retransmission timer resolved — the distributed computation has
+    /// provably stopped), `false` when the event budget ran out first.
+    pub quiescent: bool,
+    /// Healthy-to-healthy links the reliable layer abandoned after
+    /// `max_retries` (0 unless the loss rate is extreme relative to the
+    /// retry budget).
+    pub links_abandoned: u64,
+}
+
+/// Runs GS over `channel` with per-hop `latency`, reliable delivery per
+/// `rcfg`, and an event budget of `max_events`.
+///
+/// Convergence: each reliable link delivers every announcement with
+/// probability `1 − p^(max_retries+1)` (loss rate `p < 1`), and the
+/// level lattice is finite and monotone, so the run goes quiescent in
+/// finite virtual time and — whenever no link was abandoned —
+/// stabilizes to exactly the centralized fixed point of Theorem 1. The
+/// quiescence detector is the drained event queue: with ACKs and
+/// bounded retries every message chain terminates, so an empty queue
+/// *is* global termination (no spurious timers keep the run alive).
+pub fn run_gs_reliable(
+    cfg: &FaultConfig,
+    channel: ChannelModel,
+    rcfg: ReliableConfig,
+    latency: u64,
+    max_events: u64,
+) -> GsLossyRun {
+    let n = cfg.cube().dim();
+    let latency = latency.max(1);
+    let mut eng = EventEngine::with_channel(cfg, channel, |a| {
+        Reliable::new(AsyncGsNode::new(cfg, a, latency), a, n, latency, rcfg)
+    });
+    let processed = eng.run(max_events);
+    let quiescent = processed < max_events;
+    let levels = cfg
+        .cube()
+        .nodes()
+        .map(|a| eng.actor(a).map_or(0, |r| r.inner.level()))
+        .collect();
+    let links_abandoned = cfg
+        .cube()
+        .nodes()
+        .filter_map(|a| eng.actor(a))
+        .map(|r| r.endpoint.gave_up_dims().len() as u64)
+        .sum();
+    GsLossyRun {
+        map: SafetyMap::from_levels(cfg.cube(), levels),
+        stats: eng.stats().clone(),
+        quiescent,
+        links_abandoned,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -247,9 +351,17 @@ mod tests {
             let cfg = FaultConfig::with_node_faults(cube, f);
             let central = SafetyMap::compute(&cfg);
             let sync = run_gs(&cfg);
-            assert_eq!(sync.map.as_slice(), central.as_slice(), "sync mask {mask:#b}");
+            assert_eq!(
+                sync.map.as_slice(),
+                central.as_slice(),
+                "sync mask {mask:#b}"
+            );
             let (async_map, _) = run_gs_async(&cfg, 1);
-            assert_eq!(async_map.as_slice(), central.as_slice(), "async mask {mask:#b}");
+            assert_eq!(
+                async_map.as_slice(),
+                central.as_slice(),
+                "async mask {mask:#b}"
+            );
         }
     }
 
@@ -259,6 +371,47 @@ mod tests {
         let cfg = cfg4(&["0000", "0110", "1111"]);
         let (map, _) = run_gs_async(&cfg, 7);
         assert_eq!(map.as_slice(), SafetyMap::compute(&cfg).as_slice());
+    }
+
+    #[test]
+    fn reliable_gs_converges_under_loss_to_centralized_fixed_point() {
+        let cfg = cfg4(&["0011", "0100", "0110", "1001"]);
+        let central = SafetyMap::compute(&cfg);
+        for (i, loss) in [0.01, 0.05, 0.2].into_iter().enumerate() {
+            let ch = ChannelModel::new(0x6007 + i as u64)
+                .with_loss(loss)
+                .with_jitter(2);
+            let run = run_gs_reliable(&cfg, ch, ReliableConfig::default(), 1, 5_000_000);
+            assert!(run.quiescent, "loss {loss}: run must go quiescent");
+            assert_eq!(
+                run.links_abandoned, 0,
+                "loss {loss}: no healthy link abandoned"
+            );
+            assert_eq!(run.map.as_slice(), central.as_slice(), "loss {loss}");
+            if loss >= 0.2 {
+                assert!(
+                    run.stats.retransmitted > 0,
+                    "heavy loss forces retransmissions"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reliable_gs_on_clean_channel_has_zero_retransmissions() {
+        let cfg = cfg4(&["0000", "0110", "1111"]);
+        let run = run_gs_reliable(
+            &cfg,
+            ChannelModel::new(1),
+            ReliableConfig::default(),
+            1,
+            5_000_000,
+        );
+        assert!(run.quiescent);
+        assert_eq!(run.stats.retransmitted, 0);
+        assert_eq!(run.stats.lost, 0);
+        assert_eq!(run.map.as_slice(), SafetyMap::compute(&cfg).as_slice());
+        assert!(run.stats.acked > 0, "every announcement is acknowledged");
     }
 
     #[test]

@@ -9,7 +9,9 @@
 //! * [`navigation`] + [`unicast`] — the optimal/suboptimal unicasting
 //!   algorithm with the `C1`/`C2`/`C3` source feasibility check.
 //! * [`unicast_distributed`] — the same algorithm as per-node actors
-//!   exchanging real messages.
+//!   exchanging real messages; `run_unicast_lossy` and
+//!   [`gs::run_gs_reliable`] run the protocols over lossy channels via
+//!   `hypersafe-simkit`'s reliable delivery layer.
 //! * [`egs`] — the §4.1 extension to faulty links (`N1`/`N2` views).
 //! * [`gh_safety`] + [`gh_unicast`] — the §4.2 extension to
 //!   generalized hypercubes.
@@ -72,7 +74,7 @@ pub use gh_broadcast::{gh_broadcast, GhBroadcastResult};
 pub use gh_safety::{run_gh_gs, GhGsNode, GhSafetyMap};
 pub use gh_unicast::{gh_route, gh_source_decision, GhDecision, GhRouteResult};
 pub use gh_unicast_distributed::{run_gh_unicast, GhDistributedRun, GhMsg, GhUnicastNode};
-pub use gs::{run_gs, run_gs_async, run_gs_bounded, GsRun};
+pub use gs::{run_gs, run_gs_async, run_gs_bounded, run_gs_reliable, GsLossyRun, GsRun};
 pub use maintenance::{replay, MaintenanceReport, Strategy, Timeline, TimelineEvent};
 pub use multicast::{multicast, MulticastResult};
 pub use navigation::NavVector;
@@ -87,4 +89,6 @@ pub use unicast::{
     intermediate_dim, intermediate_dim_tb, route, route_tb, route_traced, route_traced_tb,
     source_decision, source_decision_tb, Condition, Decision, RouteResult, TieBreak,
 };
-pub use unicast_distributed::{run_unicast, DistributedRun, UnicastMsg, UnicastNode};
+pub use unicast_distributed::{
+    run_unicast, run_unicast_lossy, DistributedRun, LossyOutcome, LossyRun, UnicastMsg, UnicastNode,
+};

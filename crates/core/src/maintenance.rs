@@ -201,7 +201,11 @@ mod tests {
 
     #[test]
     fn state_change_driven_is_always_fresh() {
-        let r = replay(Hypercube::new(4), &sample_timeline(), Strategy::StateChangeDriven);
+        let r = replay(
+            Hypercube::new(4),
+            &sample_timeline(),
+            Strategy::StateChangeDriven,
+        );
         assert_eq!(r.gs_runs, 3, "one GS per fault/recovery");
         assert_eq!(r.stale_unicasts, 0);
         assert_eq!(r.unicasts, 3);
@@ -210,7 +214,11 @@ mod tests {
 
     #[test]
     fn demand_driven_refreshes_lazily() {
-        let r = replay(Hypercube::new(4), &sample_timeline(), Strategy::DemandDriven);
+        let r = replay(
+            Hypercube::new(4),
+            &sample_timeline(),
+            Strategy::DemandDriven,
+        );
         // Refresh happens at each unicast that follows a change: 3 of them.
         assert_eq!(r.gs_runs, 3);
         assert_eq!(r.stale_unicasts, 0);
@@ -221,11 +229,22 @@ mod tests {
     fn periodic_wastes_or_staleness_depending_on_period() {
         // Tight period: many runs, everything fresh at unicast time only
         // if a tick landed between change and use.
-        let tight = replay(Hypercube::new(4), &sample_timeline(), Strategy::Periodic { period: 5 });
-        assert!(tight.gs_runs >= 10, "60 ticks / 5 = 12-ish runs, got {}", tight.gs_runs);
+        let tight = replay(
+            Hypercube::new(4),
+            &sample_timeline(),
+            Strategy::Periodic { period: 5 },
+        );
+        assert!(
+            tight.gs_runs >= 10,
+            "60 ticks / 5 = 12-ish runs, got {}",
+            tight.gs_runs
+        );
         // Loose period: cheap but stale.
-        let loose =
-            replay(Hypercube::new(4), &sample_timeline(), Strategy::Periodic { period: 1000 });
+        let loose = replay(
+            Hypercube::new(4),
+            &sample_timeline(),
+            Strategy::Periodic { period: 1000 },
+        );
         assert_eq!(loose.gs_runs, 0);
         assert_eq!(loose.stale_unicasts, 3);
     }
@@ -242,6 +261,48 @@ mod tests {
         // The stale map routes 0000 → 0001 → 0011 straight into the new
         // fault: the unicast is lost.
         assert_eq!(r.failed, 1);
+    }
+
+    #[test]
+    fn simultaneous_fault_and_unicast_same_tick() {
+        // A fault and a unicast land at the same instant. `push` order
+        // breaks the tie: whichever entry comes first in the timeline
+        // happens first at that tick.
+        let mut fault_first = Timeline::new();
+        fault_first
+            .push(5, TimelineEvent::Fault(n("0001")))
+            .push(5, TimelineEvent::Unicast(n("0000"), n("0011")));
+
+        // Demand-driven: the source detects the mismatch at the same
+        // tick and refreshes before routing — fresh and delivered.
+        let r = replay(Hypercube::new(4), &fault_first, Strategy::DemandDriven);
+        assert_eq!(r.gs_runs, 1);
+        assert_eq!((r.fresh_unicasts, r.stale_unicasts), (1, 0));
+        assert_eq!(r.delivered, 1, "fresh map routes around 0001");
+
+        // A lazy policy has no chance to refresh between the two events
+        // of the tick: the unicast runs stale, straight into the fault.
+        let r = replay(
+            Hypercube::new(4),
+            &fault_first,
+            Strategy::Periodic { period: 1000 },
+        );
+        assert_eq!((r.fresh_unicasts, r.stale_unicasts), (0, 1));
+        assert_eq!(r.failed, 1);
+
+        // Reversed push order at the same tick: the unicast precedes
+        // the fault, so even the lazy policy delivers on a fresh map.
+        let mut unicast_first = Timeline::new();
+        unicast_first
+            .push(5, TimelineEvent::Unicast(n("0000"), n("0011")))
+            .push(5, TimelineEvent::Fault(n("0001")));
+        let r = replay(
+            Hypercube::new(4),
+            &unicast_first,
+            Strategy::Periodic { period: 1000 },
+        );
+        assert_eq!((r.fresh_unicasts, r.stale_unicasts), (1, 0));
+        assert_eq!(r.delivered, 1);
     }
 
     #[test]

@@ -70,7 +70,11 @@ pub fn multicast(
         }
         outcomes.push((d, res.decision, res.delivered));
     }
-    MulticastResult { outcomes, tree_edges: edges.len() as u64, unicast_hops }
+    MulticastResult {
+        outcomes,
+        tree_edges: edges.len() as u64,
+        unicast_hops,
+    }
 }
 
 #[cfg(test)]

@@ -24,7 +24,11 @@ pub struct Violation {
 
 impl Violation {
     fn new(claim: &'static str, witness: Vec<NodeId>, detail: String) -> Self {
-        Violation { claim, witness, detail }
+        Violation {
+            claim,
+            witness,
+            detail,
+        }
     }
 }
 
@@ -33,11 +37,7 @@ impl Violation {
 /// of `a` along an optimal path whose intermediate nodes are nonfaulty.
 ///
 /// Checks all destinations within distance `k` of `a`.
-pub fn check_theorem2_at(
-    cfg: &FaultConfig,
-    map: &SafetyMap,
-    a: NodeId,
-) -> Result<(), Violation> {
+pub fn check_theorem2_at(cfg: &FaultConfig, map: &SafetyMap, a: NodeId) -> Result<(), Violation> {
     let cube = cfg.cube();
     let k = map.level(a);
     if k == 0 {
@@ -96,8 +96,10 @@ pub fn check_property1(cfg: &FaultConfig) -> Result<(), Violation> {
     let n = cube.dim();
     // Replay Jacobi iteration, recording each round's snapshot.
     let mut snapshots: Vec<Vec<Level>> = Vec::new();
-    let mut levels: Vec<Level> =
-        cube.nodes().map(|a| if cfg.node_faulty(a) { 0 } else { n }).collect();
+    let mut levels: Vec<Level> = cube
+        .nodes()
+        .map(|a| if cfg.node_faulty(a) { 0 } else { n })
+        .collect();
     snapshots.push(levels.clone());
     let mut scratch = vec![0 as Level; n as usize];
     loop {
@@ -142,7 +144,10 @@ pub fn check_property1(cfg: &FaultConfig) -> Result<(), Violation> {
                 return Err(Violation::new(
                     "Property 1",
                     vec![a],
-                    format!("node {a} final level {k} but level {} at round {r}", snap[idx]),
+                    format!(
+                        "node {a} final level {k} but level {} at round {r}",
+                        snap[idx]
+                    ),
                 ));
             }
         }
@@ -292,7 +297,11 @@ mod tests {
             assert_eq!(check_property1(&cfg), Ok(()), "mask {mask:#b}");
             assert_eq!(check_property2(&cfg, &map), Ok(()), "mask {mask:#b}");
             assert_eq!(check_theorem3(&cfg, &map), Ok(()), "mask {mask:#b}");
-            assert_eq!(check_never_fails_under_n_faults(&cfg, &map), Ok(()), "mask {mask:#b}");
+            assert_eq!(
+                check_never_fails_under_n_faults(&cfg, &map),
+                Ok(()),
+                "mask {mask:#b}"
+            );
         }
     }
 

@@ -99,9 +99,7 @@ pub fn route_dynamic(
             run.outcome = DynamicOutcome::Delivered;
             return run;
         }
-        Decision::Optimal { first_dim, .. } | Decision::Suboptimal { first_dim } => {
-            Some(first_dim)
-        }
+        Decision::Optimal { first_dim, .. } | Decision::Suboptimal { first_dim } => Some(first_dim),
     };
 
     loop {
@@ -150,8 +148,7 @@ pub fn route_dynamic(
                     return run;
                 }
                 Decision::AlreadyThere => unreachable!("at ≠ d here"),
-                Decision::Optimal { first_dim, .. }
-                | Decision::Suboptimal { first_dim } => {
+                Decision::Optimal { first_dim, .. } | Decision::Suboptimal { first_dim } => {
                     pending_dim = Some(first_dim);
                     continue;
                 }
@@ -192,7 +189,10 @@ mod tests {
         let faults = FaultSet::new(cube);
         // Static route 0000 → 1111 under lowest-dim tiebreak goes via
         // 0001; kill 0011 (two hops ahead) after the first hop.
-        let events = [FaultEvent { after_hop: 1, node: n("0011") }];
+        let events = [FaultEvent {
+            after_hop: 1,
+            node: n("0011"),
+        }];
         let run = route_dynamic(cube, &faults, &events, n("0000"), n("1111"));
         assert_eq!(run.outcome, DynamicOutcome::Delivered);
         assert_eq!(run.restabilizations, 1);
@@ -206,7 +206,10 @@ mod tests {
     fn destination_failure_is_reported() {
         let cube = q4();
         let faults = FaultSet::new(cube);
-        let events = [FaultEvent { after_hop: 1, node: n("1111") }];
+        let events = [FaultEvent {
+            after_hop: 1,
+            node: n("1111"),
+        }];
         let run = route_dynamic(cube, &faults, &events, n("0000"), n("1111"));
         assert_eq!(run.outcome, DynamicOutcome::DestinationFailed);
     }
@@ -219,10 +222,22 @@ mod tests {
         // re-decision fails there.
         let faults = FaultSet::new(cube);
         let events = [
-            FaultEvent { after_hop: 1, node: n("0011") },
-            FaultEvent { after_hop: 1, node: n("0101") },
-            FaultEvent { after_hop: 1, node: n("0000") },
-            FaultEvent { after_hop: 1, node: n("1001") },
+            FaultEvent {
+                after_hop: 1,
+                node: n("0011"),
+            },
+            FaultEvent {
+                after_hop: 1,
+                node: n("0101"),
+            },
+            FaultEvent {
+                after_hop: 1,
+                node: n("0000"),
+            },
+            FaultEvent {
+                after_hop: 1,
+                node: n("1001"),
+            },
         ];
         let run = route_dynamic(cube, &faults, &events, n("0000"), n("0111"));
         // 0001 is walled in: every neighbor is faulty → abort there.
@@ -244,9 +259,65 @@ mod tests {
         let cube = q4();
         let faults = FaultSet::new(cube);
         // Route 0000 → 1111 passes through 0001 after hop 1; kill it.
-        let events = [FaultEvent { after_hop: 1, node: n("0001") }];
+        let events = [FaultEvent {
+            after_hop: 1,
+            node: n("0001"),
+        }];
         let run = route_dynamic(cube, &faults, &events, n("0000"), n("1111"));
         assert_eq!(run.outcome, DynamicOutcome::HolderFailed(n("0001")));
+    }
+
+    #[test]
+    fn destination_fails_one_hop_before_arrival() {
+        let cube = q4();
+        let faults = FaultSet::new(cube);
+        // Lowest-dim tiebreak walks 0000 → 0001 → 0011 → 0111 → 1111;
+        // the destination dies while the message sits at 0111.
+        let events = [FaultEvent {
+            after_hop: 3,
+            node: n("1111"),
+        }];
+        let run = route_dynamic(cube, &faults, &events, n("0000"), n("1111"));
+        assert_eq!(run.outcome, DynamicOutcome::DestinationFailed);
+        assert_eq!(
+            run.path.end(),
+            n("0111"),
+            "message stops where the bad news arrived"
+        );
+        assert_eq!(
+            run.restabilizations, 0,
+            "no reroute can save a dead destination"
+        );
+    }
+
+    #[test]
+    fn holder_fails_on_final_hop() {
+        let cube = q4();
+        let faults = FaultSet::new(cube);
+        // Kill the penultimate node exactly when it holds the message,
+        // one hop short of the destination.
+        let events = [FaultEvent {
+            after_hop: 3,
+            node: n("0111"),
+        }];
+        let run = route_dynamic(cube, &faults, &events, n("0000"), n("1111"));
+        assert_eq!(run.outcome, DynamicOutcome::HolderFailed(n("0111")));
+        assert_eq!(run.path.end(), n("0111"));
+    }
+
+    #[test]
+    fn fault_at_arrival_tick_takes_the_holder() {
+        let cube = q4();
+        let faults = FaultSet::new(cube);
+        // The destination fails at the same tick the message completes
+        // its final hop. Fault-stop wins the race: the node (now the
+        // holder) dies with the message, it is not "delivered first".
+        let events = [FaultEvent {
+            after_hop: 4,
+            node: n("1111"),
+        }];
+        let run = route_dynamic(cube, &faults, &events, n("0000"), n("1111"));
+        assert_eq!(run.outcome, DynamicOutcome::HolderFailed(n("1111")));
     }
 
     #[test]
@@ -255,8 +326,14 @@ mod tests {
         let cube = q4();
         let faults = FaultSet::new(cube);
         let events = [
-            FaultEvent { after_hop: 2, node: n("0011") },
-            FaultEvent { after_hop: 1, node: n("0101") },
+            FaultEvent {
+                after_hop: 2,
+                node: n("0011"),
+            },
+            FaultEvent {
+                after_hop: 1,
+                node: n("0101"),
+            },
         ];
         route_dynamic(cube, &faults, &events, n("0000"), n("1111"));
     }

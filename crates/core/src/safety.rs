@@ -38,7 +38,10 @@ pub type Level = u8;
 #[inline]
 pub fn level_from_sorted(n: u8, sorted: &[Level]) -> Level {
     debug_assert_eq!(sorted.len(), n as usize);
-    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "sequence must be sorted");
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "sequence must be sorted"
+    );
     for (i, &s) in sorted.iter().enumerate() {
         if (s as usize) < i {
             return i as Level;
@@ -70,7 +73,11 @@ impl SafetyMap {
     /// Wraps precomputed levels.
     pub fn from_levels(cube: Hypercube, levels: Vec<Level>) -> Self {
         assert_eq!(levels.len() as u64, cube.num_nodes());
-        SafetyMap { n: cube.dim(), levels, rounds: 0 }
+        SafetyMap {
+            n: cube.dim(),
+            levels,
+            rounds: 0,
+        }
     }
 
     /// # Examples
@@ -202,7 +209,8 @@ impl SafetyMap {
                                 let l = levels[b.raw() as usize];
                                 l != UNASSIGNED && l < k
                             })
-                            .count() > (k as usize)
+                            .count()
+                            > (k as usize)
                 })
                 .collect();
             for a in assignments {
@@ -214,7 +222,11 @@ impl SafetyMap {
                 *l = n;
             }
         }
-        SafetyMap { n, levels, rounds: (n - 1) as u32 }
+        SafetyMap {
+            n,
+            levels,
+            rounds: (n - 1) as u32,
+        }
     }
 
     /// Dimension of the underlying cube.

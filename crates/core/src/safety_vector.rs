@@ -91,7 +91,9 @@ impl SafetyVectorMap {
     /// The scalar level implied by the vector: its all-ones prefix
     /// length. Always comparable against [`SafetyMap::level`].
     pub fn prefix_level(&self, a: NodeId) -> u8 {
-        (!self.vectors[a.raw() as usize]).trailing_zeros().min(self.n as u32) as u8
+        (!self.vectors[a.raw() as usize])
+            .trailing_zeros()
+            .min(self.n as u32) as u8
     }
 
     /// Whether the vector-based source test admits an *optimal*
@@ -145,12 +147,9 @@ impl SafetyVectorMap {
 /// Relationship check used by tests and E20: the vector's all-ones
 /// prefix dominates the scalar level on every node (the vector is at
 /// least as informative).
-pub fn vector_dominates_level(
-    cfg: &FaultConfig,
-    map: &SafetyMap,
-    vmap: &SafetyVectorMap,
-) -> bool {
-    cfg.healthy_nodes().all(|a| vmap.prefix_level(a) >= map.level(a))
+pub fn vector_dominates_level(cfg: &FaultConfig, map: &SafetyMap, vmap: &SafetyVectorMap) -> bool {
+    cfg.healthy_nodes()
+        .all(|a| vmap.prefix_level(a) >= map.level(a))
 }
 
 #[cfg(test)]
@@ -277,7 +276,10 @@ mod tests {
                 }
             }
         }
-        assert!(found, "vectors should strictly extend scalar optimal coverage");
+        assert!(
+            found,
+            "vectors should strictly extend scalar optimal coverage"
+        );
     }
 
     #[test]

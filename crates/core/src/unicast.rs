@@ -165,7 +165,10 @@ pub fn source_decision_tb(map: &SafetyMap, s: NodeId, d: NodeId, tb: TieBreak) -
     if c1 || c2 {
         let (first_dim, _) = preferred_best.expect("H ≥ 1 gives ≥ 1 preferred dim");
         let condition = if c1 { Condition::C1 } else { Condition::C2 };
-        return Decision::Optimal { condition, first_dim };
+        return Decision::Optimal {
+            condition,
+            first_dim,
+        };
     }
 
     let spare_best = argmax_level_tb(map, s, nv.spare_dims(n), tb);
@@ -185,12 +188,7 @@ pub fn intermediate_dim(map: &SafetyMap, at: NodeId, nv: NavVector) -> Option<u8
 }
 
 /// [`intermediate_dim`] with an explicit tie-break policy.
-pub fn intermediate_dim_tb(
-    map: &SafetyMap,
-    at: NodeId,
-    nv: NavVector,
-    tb: TieBreak,
-) -> Option<u8> {
+pub fn intermediate_dim_tb(map: &SafetyMap, at: NodeId, nv: NavVector, tb: TieBreak) -> Option<u8> {
     argmax_level_tb(map, at, nv.preferred_dims(), tb).map(|(i, _)| i)
 }
 
@@ -268,7 +266,13 @@ pub fn route_traced_tb(
                 delivered: !cfg.node_faulty(s),
             }
         }
-        Decision::Failure => return RouteResult { decision, path: None, delivered: false },
+        Decision::Failure => {
+            return RouteResult {
+                decision,
+                path: None,
+                delivered: false,
+            }
+        }
         Decision::Optimal { first_dim, .. } | Decision::Suboptimal { first_dim } => first_dim,
     };
 
@@ -281,7 +285,11 @@ pub fn route_traced_tb(
         let next = at.neighbor(dim);
         if cfg.link_faults().contains(at, next) {
             // The physical send is lost on the faulty link.
-            return RouteResult { decision, path: Some(path), delivered: false };
+            return RouteResult {
+                decision,
+                path: Some(path),
+                delivered: false,
+            };
         }
         nv = nv.after_hop(dim);
         trace.hop(at, next, dim, nv.0);
@@ -291,14 +299,28 @@ pub fn route_traced_tb(
             // The message just entered a faulty node: lost, unless this
             // *is* the destination (footnote 3 — the physical link
             // delivered it to the dead node's doorstep).
-            return RouteResult { decision, path: Some(path), delivered: nv.is_done() };
+            return RouteResult {
+                decision,
+                path: Some(path),
+                delivered: nv.is_done(),
+            };
         }
         if nv.is_done() {
-            return RouteResult { decision, path: Some(path), delivered: true };
+            return RouteResult {
+                decision,
+                path: Some(path),
+                delivered: true,
+            };
         }
         match intermediate_dim_tb(map, at, nv, tb) {
             Some(i) => dim = i,
-            None => return RouteResult { decision, path: Some(path), delivered: false },
+            None => {
+                return RouteResult {
+                    decision,
+                    path: Some(path),
+                    delivered: false,
+                }
+            }
         }
     }
 }
@@ -332,13 +354,18 @@ mod tests {
         let res = route(&cfg, &map, s, d);
         assert!(matches!(
             res.decision,
-            Decision::Optimal { condition: Condition::C1, first_dim: 0 }
+            Decision::Optimal {
+                condition: Condition::C1,
+                first_dim: 0
+            }
         ));
         assert!(res.delivered);
         let p = res.path.unwrap();
         assert!(p.is_optimal());
-        let expected: Vec<NodeId> =
-            ["1110", "1111", "1101", "0101", "0001"].iter().map(|s| n(s)).collect();
+        let expected: Vec<NodeId> = ["1110", "1111", "1101", "0101", "0001"]
+            .iter()
+            .map(|s| n(s))
+            .collect();
         assert_eq!(p.nodes(), expected.as_slice());
     }
 
@@ -352,11 +379,20 @@ mod tests {
         let d = n("1100");
         assert_eq!(map.level(s), 1);
         let res = route(&cfg, &map, s, d);
-        assert!(matches!(res.decision, Decision::Optimal { condition: Condition::C2, .. }));
+        assert!(matches!(
+            res.decision,
+            Decision::Optimal {
+                condition: Condition::C2,
+                ..
+            }
+        ));
         assert!(res.delivered);
         let p = res.path.unwrap();
         assert!(p.is_optimal());
-        let expected: Vec<NodeId> = ["0001", "0000", "1000", "1100"].iter().map(|s| n(s)).collect();
+        let expected: Vec<NodeId> = ["0001", "0000", "1000", "1100"]
+            .iter()
+            .map(|s| n(s))
+            .collect();
         assert_eq!(p.nodes(), expected.as_slice());
     }
 
@@ -372,7 +408,10 @@ mod tests {
                     continue;
                 }
                 let res = route(&cfg, &map, s, d);
-                assert!(matches!(res.decision, Decision::Optimal { .. }), "{s} → {d}");
+                assert!(
+                    matches!(res.decision, Decision::Optimal { .. }),
+                    "{s} → {d}"
+                );
                 assert!(res.delivered, "{s} → {d}");
                 assert!(res.path.unwrap().is_optimal(), "{s} → {d}");
             }

@@ -7,9 +7,7 @@
 //! cubeview --n 7 --random-faults 6 --seed 42 --route-random 3
 //! ```
 
-use hypersafe_core::{
-    route_egs_traced, run_egs, Condition, Decision, ExtendedSafetyMap,
-};
+use hypersafe_core::{route_egs_traced, run_egs, Condition, Decision, ExtendedSafetyMap};
 use hypersafe_experiments::table::Report;
 use hypersafe_simkit::Trace;
 use hypersafe_topology::{connectivity, FaultConfig, FaultSet, Hypercube, LinkFaultSet, NodeId};
@@ -57,9 +55,7 @@ fn parse_args() -> Opts {
                 }
             }
             "--faults" => o.faults = val().split(',').map(str::to_string).collect(),
-            "--random-faults" => {
-                o.random_faults = Some(val().parse().unwrap_or_else(|_| usage()))
-            }
+            "--random-faults" => o.random_faults = Some(val().parse().unwrap_or_else(|_| usage())),
             "--seed" => o.seed = val().parse().unwrap_or_else(|_| usage()),
             "--link" => {
                 let v = val();
@@ -102,7 +98,11 @@ fn main() {
     for (a, b) in &o.links {
         let (a, b) = (parse_node(o.n, a), parse_node(o.n, b));
         if a.distance(b) != 1 {
-            eprintln!("--link {}-{} is not a hypercube link (addresses must differ in exactly one bit)", a.to_binary(o.n), b.to_binary(o.n));
+            eprintln!(
+                "--link {}-{} is not a hypercube link (addresses must differ in exactly one bit)",
+                a.to_binary(o.n),
+                b.to_binary(o.n)
+            );
             std::process::exit(2);
         }
         links.insert(a, b);
@@ -143,7 +143,11 @@ fn main() {
     rep.note(format!(
         "{} component(s){}",
         comps.len(),
-        if comps.len() > 1 { " — DISCONNECTED" } else { "" }
+        if comps.len() > 1 {
+            " — DISCONNECTED"
+        } else {
+            ""
+        }
     ));
     println!("{}", rep.render());
 

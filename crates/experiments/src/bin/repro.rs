@@ -7,7 +7,7 @@
 //!   fig1 fig2 fig3 fig4 fig5 safesets property2 thm4
 //!   compare rounds maintenance broadcast dynamic distribution
 //!   linkfaults tightness traffic multicast patterns vectors
-//!   congestion all
+//!   congestion loss all
 //!
 //! options:
 //!   --n <dim>        cube dimension (where applicable)
@@ -21,8 +21,9 @@
 
 use hypersafe_experiments::table::Report;
 use hypersafe_experiments::{
-    broadcast_exp, congestion_exp, distribution_exp, dynamic_exp, fig1, fig2, fig3, fig4, fig5, linkfaults_exp,
-    maintenance_exp, multicast_exp, patterns_exp, property2, rounds_compare, routing_compare, safesets, thm4, tightness_exp, traffic_exp, vectors_exp,
+    broadcast_exp, congestion_exp, distribution_exp, dynamic_exp, fig1, fig2, fig3, fig4, fig5,
+    linkfaults_exp, loss_exp, maintenance_exp, multicast_exp, patterns_exp, property2,
+    rounds_compare, routing_compare, safesets, thm4, tightness_exp, traffic_exp, vectors_exp,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -41,7 +42,7 @@ struct Opts {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <fig1|fig2|fig3|fig4|fig5|safesets|property2|thm4|compare|rounds|maintenance|broadcast|dynamic|distribution|linkfaults|tightness|traffic|multicast|patterns|vectors|congestion|all> \
+        "usage: repro <fig1|fig2|fig3|fig4|fig5|safesets|property2|thm4|compare|rounds|maintenance|broadcast|dynamic|distribution|linkfaults|tightness|traffic|multicast|patterns|vectors|congestion|loss|all> \
          [--n N] [--trials K] [--max-faults M] [--seed S] [--csv DIR] [--md] [--quick]"
     );
     std::process::exit(2);
@@ -49,7 +50,9 @@ fn usage() -> ! {
 
 fn parse_args() -> Opts {
     let mut args = std::env::args().skip(1);
-    let Some(experiment) = args.next() else { usage() };
+    let Some(experiment) = args.next() else {
+        usage()
+    };
     let mut opts = Opts {
         experiment,
         n: None,
@@ -371,6 +374,29 @@ fn run_one(name: &str, o: &Opts) -> Vec<Report> {
             }
             vec![congestion_exp::run(&p)]
         }
+        "loss" => {
+            let mut p = loss_exp::LossParams::default();
+            if let Some(n) = o.n {
+                p.n = n;
+            }
+            if let Some(t) = o.trials {
+                p.trials = t;
+            } else {
+                p.trials = (p.trials / quick_div).max(4);
+            }
+            if let Some(m) = o.max_faults {
+                p.max_faults = m;
+            }
+            if let Some(s) = o.seed {
+                p.seed = s;
+            }
+            if o.quick {
+                // The reliable-layer runs simulate every retransmission
+                // timer; shrink the cube too, not just the trials.
+                p.n = p.n.min(5);
+            }
+            vec![loss_exp::run(&p)]
+        }
         "maintenance" => {
             let mut p = maintenance_exp::MaintenanceParams::default();
             if let Some(n) = o.n {
@@ -415,6 +441,7 @@ fn main() -> ExitCode {
             "patterns",
             "vectors",
             "congestion",
+            "loss",
         ]
     } else {
         vec![opts.experiment.as_str()]

@@ -46,7 +46,14 @@ pub fn run(p: &BroadcastParams) -> Report {
             "safety-level broadcast, {}-cube, {} instances × {} sources per point",
             p.n, p.trials, p.sources_per_instance
         ),
-        &["faults", "complete", "relayed", "mean_steps", "mean_msgs", "safe_src_incomplete"],
+        &[
+            "faults",
+            "complete",
+            "relayed",
+            "mean_steps",
+            "mean_msgs",
+            "safe_src_incomplete",
+        ],
     );
     let mut m = 0usize;
     loop {
@@ -71,7 +78,14 @@ pub fn run(p: &BroadcastParams) -> Report {
                     safe_incomplete += 1;
                 }
             }
-            (complete, relayed, mean(&steps), mean(&msgs), safe_incomplete, p.sources_per_instance)
+            (
+                complete,
+                relayed,
+                mean(&steps),
+                mean(&msgs),
+                safe_incomplete,
+                p.sources_per_instance,
+            )
         });
         let complete: u64 = rows.iter().map(|r| r.0 as u64).sum();
         let relayed: u64 = rows.iter().map(|r| r.1 as u64).sum();
@@ -79,7 +93,10 @@ pub fn run(p: &BroadcastParams) -> Report {
         let msgs = mean(&rows.iter().map(|r| r.3).collect::<Vec<_>>());
         let safe_bad: u32 = rows.iter().map(|r| r.4).sum();
         let total: u64 = rows.iter().map(|r| r.5 as u64).sum();
-        assert_eq!(safe_bad, 0, "a safe source must always achieve full coverage");
+        assert_eq!(
+            safe_bad, 0,
+            "a safe source must always achieve full coverage"
+        );
         rep.row(vec![
             m.to_string(),
             pct(complete, total),
@@ -94,7 +111,9 @@ pub fn run(p: &BroadcastParams) -> Report {
         m = (m + p.step).min(p.max_faults);
     }
     rep.note("safe sources achieved complete coverage in every sampled instance".to_string());
-    rep.note("with < n faults, unsafe sources relay through a safe neighbor (Property 2)".to_string());
+    rep.note(
+        "with < n faults, unsafe sources relay through a safe neighbor (Property 2)".to_string(),
+    );
     rep
 }
 
@@ -133,7 +152,10 @@ mod tests {
         for row in &rep.rows {
             let m: usize = row[0].parse().unwrap();
             if m < 6 {
-                assert_eq!(row[1], "100.0%", "complete coverage under n faults: {row:?}");
+                assert_eq!(
+                    row[1], "100.0%",
+                    "complete coverage under n faults: {row:?}"
+                );
             }
             assert_eq!(row[5], "0");
         }

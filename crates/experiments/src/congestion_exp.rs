@@ -44,11 +44,12 @@ impl QueueNode {
             return;
         }
         let tb = match self.tb {
-            TieBreak::Hashed { .. } => TieBreak::Hashed { salt: job.id as u64 },
+            TieBreak::Hashed { .. } => TieBreak::Hashed {
+                salt: job.id as u64,
+            },
             other => other,
         };
-        let Some(dim) = intermediate_dim_tb(&self.neighbor_levels_map, at, job.nav, tb)
-        else {
+        let Some(dim) = intermediate_dim_tb(&self.neighbor_levels_map, at, job.nav, tb) else {
             return;
         };
         job.nav = job.nav.after_hop(dim);
@@ -66,7 +67,11 @@ impl Actor for QueueNode {
 
     fn on_timer(&mut self, ctx: &mut Ctx<Job>, tag: u64) {
         if let Some((d, id)) = self.to_start.remove(&tag) {
-            let job = Job { nav: NavVector::new(ctx.self_id(), d), id, started: ctx.now() };
+            let job = Job {
+                nav: NavVector::new(ctx.self_id(), d),
+                id,
+                started: ctx.now(),
+            };
             self.forward(ctx, job);
         }
     }
@@ -100,7 +105,10 @@ pub fn simulate_burst(
 ) -> LatencySummary {
     let mut assignments: HashMap<u64, Vec<Injection>> = HashMap::new();
     for (i, &(s, d)) in pairs.iter().enumerate() {
-        assignments.entry(s.raw()).or_default().push((i as u64, (d, i as u32)));
+        assignments
+            .entry(s.raw())
+            .or_default()
+            .push((i as u64, (d, i as u32)));
     }
     let mut eng = EventEngine::new(cfg, |a| QueueNode {
         neighbor_levels_map: map.clone(),
@@ -161,7 +169,13 @@ pub struct CongestionParams {
 
 impl Default for CongestionParams {
     fn default() -> Self {
-        CongestionParams { n: 7, faults: 4, loads: [32, 128, 512, 2048], trials: 10, seed: 0xC047 }
+        CongestionParams {
+            n: 7,
+            faults: 4,
+            loads: [32, 128, 512, 2048],
+            trials: 10,
+            seed: 0xC047,
+        }
     }
 }
 
@@ -174,7 +188,14 @@ pub fn run(p: &CongestionParams) -> Report {
             "queueing latency under burst load, {}-cube, {} faults, service 1 tick/node",
             p.n, p.faults
         ),
-        &["burst", "tiebreak", "delivered", "mean_latency", "max_latency", "slowdown"],
+        &[
+            "burst",
+            "tiebreak",
+            "delivered",
+            "mean_latency",
+            "max_latency",
+            "slowdown",
+        ],
     );
     for &load in &p.loads {
         for (name, tb) in [
@@ -183,8 +204,7 @@ pub fn run(p: &CongestionParams) -> Report {
         ] {
             let sweep = Sweep::new(p.trials, p.seed.wrapping_add(load as u64));
             let sums: Vec<LatencySummary> = sweep.run(|_, rng| {
-                let cfg =
-                    FaultConfig::with_node_faults(cube, uniform_faults(cube, p.faults, rng));
+                let cfg = FaultConfig::with_node_faults(cube, uniform_faults(cube, p.faults, rng));
                 let map = SafetyMap::compute(&cfg);
                 let pairs: Vec<(NodeId, NodeId)> =
                     (0..load).map(|_| random_pair(&cfg, rng)).collect();
@@ -249,10 +269,13 @@ mod tests {
         let map = SafetyMap::compute(&cfg);
         let sweep = Sweep::new(1, 3);
         let mut rng = sweep.trial_rng(0);
-        let pairs: Vec<(NodeId, NodeId)> =
-            (0..64).map(|_| random_pair(&cfg, &mut rng)).collect();
+        let pairs: Vec<(NodeId, NodeId)> = (0..64).map(|_| random_pair(&cfg, &mut rng)).collect();
         let s = simulate_burst(&cfg, &map, &pairs, TieBreak::Hashed { salt: 0 });
-        assert_eq!(s.delivered as usize, pairs.len(), "under n faults nothing is lost");
+        assert_eq!(
+            s.delivered as usize,
+            pairs.len(),
+            "under n faults nothing is lost"
+        );
     }
 
     #[test]

@@ -28,7 +28,13 @@ pub struct DistributionParams {
 
 impl Default for DistributionParams {
     fn default() -> Self {
-        DistributionParams { n: 8, subcube_dim: 3, trials: 300, pairs_per_instance: 8, seed: 0xD157 }
+        DistributionParams {
+            n: 8,
+            subcube_dim: 3,
+            trials: 300,
+            pairs_per_instance: 8,
+            seed: 0xD157,
+        }
     }
 }
 
@@ -52,15 +58,25 @@ pub fn run(p: &DistributionParams) -> Report {
             "fault-pattern sensitivity, {}-cube, {} faults per instance, {} instances",
             p.n, m, p.trials
         ),
-        &["pattern", "mean_level", "safe_frac", "optimal", "suboptimal", "failed"],
+        &[
+            "pattern",
+            "mean_level",
+            "safe_frac",
+            "optimal",
+            "suboptimal",
+            "failed",
+        ],
     );
 
     type Gen = fn(Hypercube, usize, u8, &mut ChaCha8Rng) -> FaultSet;
     let uniform: Gen = |c, m, _, rng| uniform_faults(c, m, rng);
     let clustered: Gen = |c, m, _, rng| clustered_faults(c, m, rng);
     let subcube: Gen = |c, _, k, rng| subcube_faults(c, k, rng);
-    let patterns: [(&str, Gen); 3] =
-        [("uniform", uniform), ("clustered", clustered), ("subcube", subcube)];
+    let patterns: [(&str, Gen); 3] = [
+        ("uniform", uniform),
+        ("clustered", clustered),
+        ("subcube", subcube),
+    ];
 
     for (name, gen) in patterns {
         let sweep = Sweep::new(p.trials, p.seed);
@@ -69,8 +85,11 @@ pub fn run(p: &DistributionParams) -> Report {
             let cfg = FaultConfig::with_node_faults(cube, faults);
             let map = SafetyMap::compute(&cfg);
             let healthy = cfg.healthy_count() as f64;
-            let level_sum: f64 =
-                cfg.healthy_nodes().map(|a| map.level(a) as f64).sum::<f64>() / healthy;
+            let level_sum: f64 = cfg
+                .healthy_nodes()
+                .map(|a| map.level(a) as f64)
+                .sum::<f64>()
+                / healthy;
             let safe_frac =
                 cfg.healthy_nodes().filter(|&a| map.is_safe(a)).count() as f64 / healthy;
             let mut agg = Agg {
@@ -109,8 +128,11 @@ pub fn run(p: &DistributionParams) -> Report {
     rep.note(format!(
         "all patterns inject exactly {m} faults; only their placement differs"
     ));
-    rep.note("clustered/subcube faults depress far fewer safety levels than uniform ones — \
-              the distribution-awareness the paper claims".to_string());
+    rep.note(
+        "clustered/subcube faults depress far fewer safety levels than uniform ones — \
+              the distribution-awareness the paper claims"
+            .to_string(),
+    );
     rep
 }
 
@@ -129,7 +151,9 @@ mod tests {
         };
         let rep = run(&p);
         let level = |name: &str| -> f64 {
-            rep.rows.iter().find(|r| r[0] == name).unwrap()[1].parse().unwrap()
+            rep.rows.iter().find(|r| r[0] == name).unwrap()[1]
+                .parse()
+                .unwrap()
         };
         // A compact fault region leaves the rest of the cube safer than
         // the same number of scattered faults.

@@ -26,7 +26,13 @@ pub struct DynamicParams {
 
 impl Default for DynamicParams {
     fn default() -> Self {
-        DynamicParams { n: 7, initial_faults: 3, max_arrivals: 4, trials: 400, seed: 0xD14A }
+        DynamicParams {
+            n: 7,
+            initial_faults: 3,
+            max_arrivals: 4,
+            trials: 400,
+            seed: 0xD14A,
+        }
     }
 }
 
@@ -39,7 +45,15 @@ pub fn run(p: &DynamicParams) -> Report {
             "mid-flight fault arrivals, {}-cube with {} initial faults, {} trials/point",
             p.n, p.initial_faults, p.trials
         ),
-        &["arrivals", "delivered", "aborted", "lost_to_fault", "mean_restab", "mean_gs_msgs", "mean_detour"],
+        &[
+            "arrivals",
+            "delivered",
+            "aborted",
+            "lost_to_fault",
+            "mean_restab",
+            "mean_gs_msgs",
+            "mean_detour",
+        ],
     );
     for k in 0..=p.max_arrivals {
         let sweep = Sweep::new(p.trials, p.seed.wrapping_add(k as u64));
@@ -59,21 +73,41 @@ pub fn run(p: &DynamicParams) -> Report {
                     }
                 };
                 struck.push(node);
-                events.push(FaultEvent { after_hop: rng.gen_range(1..=p.n as u32), node });
+                events.push(FaultEvent {
+                    after_hop: rng.gen_range(1..=p.n as u32),
+                    node,
+                });
             }
             events.sort_by_key(|e| e.after_hop);
             let run = route_dynamic(cube, &faults, &events, s, d);
             match run.outcome {
                 DynamicOutcome::Delivered => {
                     let detour = run.path.len() as f64 - s.distance(d) as f64;
-                    (1, 0, 0, run.restabilizations as f64, run.gs_messages as f64, detour)
+                    (
+                        1,
+                        0,
+                        0,
+                        run.restabilizations as f64,
+                        run.gs_messages as f64,
+                        detour,
+                    )
                 }
-                DynamicOutcome::AbortedAt(_) | DynamicOutcome::InfeasibleAtSource => {
-                    (0, 1, 0, run.restabilizations as f64, run.gs_messages as f64, 0.0)
-                }
-                DynamicOutcome::DestinationFailed | DynamicOutcome::HolderFailed(_) => {
-                    (0, 0, 1, run.restabilizations as f64, run.gs_messages as f64, 0.0)
-                }
+                DynamicOutcome::AbortedAt(_) | DynamicOutcome::InfeasibleAtSource => (
+                    0,
+                    1,
+                    0,
+                    run.restabilizations as f64,
+                    run.gs_messages as f64,
+                    0.0,
+                ),
+                DynamicOutcome::DestinationFailed | DynamicOutcome::HolderFailed(_) => (
+                    0,
+                    0,
+                    1,
+                    run.restabilizations as f64,
+                    run.gs_messages as f64,
+                    0.0,
+                ),
             }
         });
         let delivered: u64 = rows.iter().map(|r| r.0 as u64).sum();
@@ -82,8 +116,7 @@ pub fn run(p: &DynamicParams) -> Report {
         let total = delivered + aborted + dest;
         let restab = mean(&rows.iter().map(|r| r.3).collect::<Vec<_>>());
         let gsmsg = mean(&rows.iter().map(|r| r.4).collect::<Vec<_>>());
-        let detours: Vec<f64> =
-            rows.iter().filter(|r| r.0 == 1).map(|r| r.5).collect();
+        let detours: Vec<f64> = rows.iter().filter(|r| r.0 == 1).map(|r| r.5).collect();
         rep.row(vec![
             k.to_string(),
             pct(delivered, total),
@@ -104,18 +137,36 @@ mod tests {
 
     #[test]
     fn zero_arrivals_matches_static_guarantees() {
-        let p = DynamicParams { n: 6, initial_faults: 3, max_arrivals: 0, trials: 50, seed: 1 };
+        let p = DynamicParams {
+            n: 6,
+            initial_faults: 3,
+            max_arrivals: 0,
+            trials: 50,
+            seed: 1,
+        };
         let rep = run(&p);
-        assert_eq!(rep.rows[0][1], "100.0%", "static < n faults regime never fails");
+        assert_eq!(
+            rep.rows[0][1], "100.0%",
+            "static < n faults regime never fails"
+        );
         assert_eq!(rep.rows[0][4], "0.00", "no restabilizations without churn");
     }
 
     #[test]
     fn survival_degrades_gracefully() {
-        let p = DynamicParams { n: 6, initial_faults: 2, max_arrivals: 3, trials: 80, seed: 2 };
+        let p = DynamicParams {
+            n: 6,
+            initial_faults: 2,
+            max_arrivals: 3,
+            trials: 80,
+            seed: 2,
+        };
         let rep = run(&p);
         let first: f64 = rep.rows[0][1].trim_end_matches('%').parse().unwrap();
-        let last: f64 = rep.rows.last().unwrap()[1].trim_end_matches('%').parse().unwrap();
+        let last: f64 = rep.rows.last().unwrap()[1]
+            .trim_end_matches('%')
+            .parse()
+            .unwrap();
         assert!(first >= last, "more churn, no better delivery");
         assert!(last > 50.0, "rerouting keeps most messages alive");
     }

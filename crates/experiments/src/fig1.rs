@@ -36,29 +36,50 @@ pub fn run() -> Report {
         };
         rep.row(vec![a.to_binary(4), lv.to_string(), status.into()]);
     }
-    rep.note(format!("stabilized after {} rounds (paper: two rounds)", map.rounds()));
+    rep.note(format!(
+        "stabilized after {} rounds (paper: two rounds)",
+        map.rounds()
+    ));
 
     // Worked unicast 1: 1110 → 0001 (H = 4, C1, optimal).
     let s1 = NodeId::from_binary("1110").unwrap();
     let d1 = NodeId::from_binary("0001").unwrap();
     let mut t1 = Trace::enabled();
     let r1 = route_traced(&cfg, &map, s1, d1, &mut t1);
-    assert!(matches!(r1.decision, Decision::Optimal { condition: Condition::C1, .. }));
+    assert!(matches!(
+        r1.decision,
+        Decision::Optimal {
+            condition: Condition::C1,
+            ..
+        }
+    ));
     assert!(r1.delivered);
     let p1 = r1.path.expect("delivered");
     assert!(p1.is_optimal());
-    rep.note(format!("unicast 1110 → 0001 (C1, optimal): {}", p1.render(4)));
+    rep.note(format!(
+        "unicast 1110 → 0001 (C1, optimal): {}",
+        p1.render(4)
+    ));
 
     // Worked unicast 2: 0001 → 1100 (H = 3, C2, optimal).
     let s2 = NodeId::from_binary("0001").unwrap();
     let d2 = NodeId::from_binary("1100").unwrap();
     let mut t2 = Trace::enabled();
     let r2 = route_traced(&cfg, &map, s2, d2, &mut t2);
-    assert!(matches!(r2.decision, Decision::Optimal { condition: Condition::C2, .. }));
+    assert!(matches!(
+        r2.decision,
+        Decision::Optimal {
+            condition: Condition::C2,
+            ..
+        }
+    ));
     assert!(r2.delivered);
     let p2 = r2.path.expect("delivered");
     assert!(p2.is_optimal());
-    rep.note(format!("unicast 0001 → 1100 (C2, optimal): {}", p2.render(4)));
+    rep.note(format!(
+        "unicast 0001 → 1100 (C2, optimal): {}",
+        p2.render(4)
+    ));
     rep.note("both walks match the paper's narration hop for hop".to_string());
     rep
 }

@@ -25,7 +25,12 @@ pub struct Fig2Params {
 
 impl Default for Fig2Params {
     fn default() -> Self {
-        Fig2Params { n: 7, max_faults: 32, trials: 1000, seed: 0x5AFE }
+        Fig2Params {
+            n: 7,
+            max_faults: 32,
+            trials: 1000,
+            seed: 0x5AFE,
+        }
     }
 }
 
@@ -80,7 +85,12 @@ mod tests {
     use super::*;
 
     fn small() -> Fig2Params {
-        Fig2Params { n: 7, max_faults: 10, trials: 60, seed: 42 }
+        Fig2Params {
+            n: 7,
+            max_faults: 10,
+            trials: 60,
+            seed: 42,
+        }
     }
 
     #[test]
@@ -111,7 +121,12 @@ mod tests {
 
     #[test]
     fn full_report_renders() {
-        let rep = run(&Fig2Params { n: 6, max_faults: 6, trials: 30, seed: 7 });
+        let rep = run(&Fig2Params {
+            n: 6,
+            max_faults: 6,
+            trials: 30,
+            seed: 7,
+        });
         assert_eq!(rep.rows.len(), 7);
         assert!(rep.notes.iter().any(|s| s.contains("HOLDS")));
     }

@@ -35,7 +35,10 @@ pub fn run() -> Report {
 
     let comps = connectivity::components(&cfg);
     assert_eq!(comps.len(), 2, "the cube is split in two parts");
-    assert!(comps.iter().any(|c| c == &vec![n("1110")]), "1110 is isolated");
+    assert!(
+        comps.iter().any(|c| c == &vec![n("1110")]),
+        "1110 is isolated"
+    );
     rep.note(format!(
         "components: {:?}",
         comps
@@ -48,8 +51,14 @@ pub fn run() -> Report {
         let (s, d) = (n(s), n(d));
         let res = route(&cfg, &map, s, d);
         let decision = match res.decision {
-            Decision::Optimal { condition: Condition::C1, .. } => "optimal (C1)",
-            Decision::Optimal { condition: Condition::C2, .. } => "optimal (C2)",
+            Decision::Optimal {
+                condition: Condition::C1,
+                ..
+            } => "optimal (C1)",
+            Decision::Optimal {
+                condition: Condition::C2,
+                ..
+            } => "optimal (C2)",
             Decision::Optimal { .. } => "optimal",
             Decision::Suboptimal { .. } => "suboptimal (C3)",
             Decision::Failure => "FAILURE (detected at source)",
@@ -60,7 +69,9 @@ pub fn run() -> Report {
             s.distance(d).to_string(),
             map.level(s).to_string(),
             decision.into(),
-            res.path.as_ref().map_or_else(|| "-".to_string(), |p| p.render(4)),
+            res.path
+                .as_ref()
+                .map_or_else(|| "-".to_string(), |p| p.render(4)),
             res.delivered.to_string(),
         ]);
         res
@@ -70,7 +81,13 @@ pub fn run() -> Report {
     // source is 2. Therefore, optimal unicasting is possible."
     let r1 = case("0101", "0000");
     assert_eq!(map.level(n("0101")), 2);
-    assert!(matches!(r1.decision, Decision::Optimal { condition: Condition::C1, .. }));
+    assert!(matches!(
+        r1.decision,
+        Decision::Optimal {
+            condition: Condition::C1,
+            ..
+        }
+    ));
     assert!(r1.delivered && r1.path.unwrap().is_optimal());
 
     // Walk 2: s = 0111, d = 1011 — source level 1 < H = 2, but the
@@ -78,7 +95,13 @@ pub fn run() -> Report {
     assert_eq!(map.level(n("0111")), 1);
     assert_eq!(map.level(n("0011")), 2);
     let r2 = case("0111", "1011");
-    assert!(matches!(r2.decision, Decision::Optimal { condition: Condition::C2, .. }));
+    assert!(matches!(
+        r2.decision,
+        Decision::Optimal {
+            condition: Condition::C2,
+            ..
+        }
+    ));
     assert!(r2.delivered && r2.path.unwrap().is_optimal());
 
     // Walk 3: s = 0111, d = 1110 — C1 fails (1 < 2), C2 fails (preferred
@@ -97,7 +120,10 @@ pub fn run() -> Report {
         assert_eq!(source_decision(&map, n("1110"), d), Decision::Failure);
     }
     rep.note("all unicasts from isolated 1110 abort locally (paper §3.3)".to_string());
-    rep.note("safe-node schemes (LH/WF/Chiu-Wu) are inapplicable here: safe sets are empty (Theorem 4)".to_string());
+    rep.note(
+        "safe-node schemes (LH/WF/Chiu-Wu) are inapplicable here: safe sets are empty (Theorem 4)"
+            .to_string(),
+    );
     rep
 }
 

@@ -29,7 +29,11 @@ pub fn instance(faulty: &[NodeId]) -> FaultConfig {
     let cube = Hypercube::new(4);
     let mut links = LinkFaultSet::new();
     links.insert(n("1000"), n("1001"));
-    FaultConfig::with_faults(cube, FaultSet::from_nodes(cube, faulty.iter().copied()), links)
+    FaultConfig::with_faults(
+        cube,
+        FaultSet::from_nodes(cube, faulty.iter().copied()),
+        links,
+    )
 }
 
 /// Whether `cfg` satisfies every fact the paper states about Fig. 4.
@@ -66,16 +70,17 @@ pub fn consistent(cfg: &FaultConfig) -> bool {
 pub fn search() -> Vec<Vec<NodeId>> {
     let cube = Hypercube::new(4);
     // Candidate faulty nodes: anything but the faulty link's endpoints.
-    let candidates: Vec<NodeId> =
-        cube.nodes().filter(|&a| a != n("1000") && a != n("1001")).collect();
+    let candidates: Vec<NodeId> = cube
+        .nodes()
+        .filter(|&a| a != n("1000") && a != n("1001"))
+        .collect();
     let mut found = Vec::new();
     let k = candidates.len();
     for a in 0..k {
         for b in a + 1..k {
             for c in b + 1..k {
                 for d in c + 1..k {
-                    let faults =
-                        vec![candidates[a], candidates[b], candidates[c], candidates[d]];
+                    let faults = vec![candidates[a], candidates[b], candidates[c], candidates[d]];
                     let cfg = instance(&faults);
                     if consistent(&cfg) {
                         found.push(faults);
@@ -96,7 +101,10 @@ pub fn run() -> Report {
         "Fig. 4 — 4-cube, four faulty nodes + faulty link (1000,1001), EGS views",
         &["node", "advertised", "own_view", "class"],
     );
-    assert!(!found.is_empty(), "at least one consistent reconstruction exists");
+    assert!(
+        !found.is_empty(),
+        "at least one consistent reconstruction exists"
+    );
     let pinned = &found[0];
     let cfg = instance(pinned);
     let emap = ExtendedSafetyMap::compute(&cfg);
@@ -125,7 +133,9 @@ pub fn run() -> Report {
         "unicast 1101 → 1000 (H = 2): suboptimal via spare 1111, {}",
         res.path.as_ref().expect("delivered").render(4)
     ));
-    rep.note("paper's narrated path 1101 → 1111 → 1011 → 1010 → 1000 verified traversable".to_string());
+    rep.note(
+        "paper's narrated path 1101 → 1111 → 1011 → 1010 → 1000 verified traversable".to_string(),
+    );
     rep
 }
 
@@ -139,7 +149,10 @@ mod tests {
         assert!(!found.is_empty());
         // The hand-picked instance used in hypersafe-core's unit tests
         // is among them.
-        let hand: Vec<NodeId> = ["0000", "0010", "0101", "1100"].iter().map(|s| n(s)).collect();
+        let hand: Vec<NodeId> = ["0000", "0010", "0101", "1100"]
+            .iter()
+            .map(|s| n(s))
+            .collect();
         assert!(
             found.iter().any(|f| {
                 let mut a = f.clone();

@@ -64,7 +64,12 @@ pub fn search() -> Vec<Vec<GhNode>> {
             }
         }
         if consistent(&gh, &f) {
-            found.push((0..total as u64).filter(|i| (mask >> i) & 1 == 1).map(GhNode).collect());
+            found.push(
+                (0..total as u64)
+                    .filter(|i| (mask >> i) & 1 == 1)
+                    .map(GhNode)
+                    .collect(),
+            );
         }
     }
     found
@@ -125,10 +130,20 @@ pub fn run() -> Report {
         found.len(),
         pinned.iter().map(|&a| gh.format(a)).collect::<Vec<_>>()
     ));
-    let res = gh_route(&gh, &map, &f, gh.parse("010").unwrap(), gh.parse("101").unwrap());
+    let res = gh_route(
+        &gh,
+        &map,
+        &f,
+        gh.parse("010").unwrap(),
+        gh.parse("101").unwrap(),
+    );
     rep.note(format!(
         "unicast 010 → 101 (3 coordinates differ): optimal walk {:?}",
-        res.nodes.unwrap().iter().map(|&a| gh.format(a)).collect::<Vec<_>>()
+        res.nodes
+            .unwrap()
+            .iter()
+            .map(|&a| gh.format(a))
+            .collect::<Vec<_>>()
     ));
     rep.note(
         "paper discrepancies (machine-checked): level(001) = 3 under Definition 4 (text says 1); \
@@ -142,7 +157,9 @@ pub fn run() -> Report {
         }
         assert!(gh.neighbors(a).any(|b| map.is_safe(b)), "{}", gh.format(a));
     }
-    rep.note("every unsafe nonfaulty node has a safe neighbor — suboptimality guaranteed".to_string());
+    rep.note(
+        "every unsafe nonfaulty node has a safe neighbor — suboptimality guaranteed".to_string(),
+    );
     rep
 }
 
@@ -154,7 +171,11 @@ mod tests {
     fn search_is_small_and_contains_pinned() {
         let found = search();
         assert!(!found.is_empty());
-        assert!(found.len() < 20, "narration pins the instance tightly: {}", found.len());
+        assert!(
+            found.len() < 20,
+            "narration pins the instance tightly: {}",
+            found.len()
+        );
     }
 
     #[test]

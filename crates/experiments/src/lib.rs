@@ -27,6 +27,7 @@
 //! | E19 | [`patterns_exp`] | embedded application traffic patterns |
 //! | E20 | [`vectors_exp`] | safety vectors vs scalar levels vs oracle |
 //! | E21 | [`congestion_exp`] | queueing latency under burst load |
+//! | E22 | [`loss_exp`] | loss robustness — reliable GS/unicast over noisy links |
 #![warn(missing_docs)]
 
 pub mod broadcast_exp;
@@ -39,6 +40,7 @@ pub mod fig3;
 pub mod fig4;
 pub mod fig5;
 pub mod linkfaults_exp;
+pub mod loss_exp;
 pub mod maintenance_exp;
 pub mod multicast_exp;
 pub mod patterns_exp;
@@ -50,7 +52,7 @@ pub mod safesets;
 pub mod table;
 pub mod thm4;
 pub mod tightness_exp;
-pub mod vectors_exp;
 pub mod traffic_exp;
+pub mod vectors_exp;
 
 pub use table::Report;

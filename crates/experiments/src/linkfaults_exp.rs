@@ -50,7 +50,14 @@ pub fn run(p: &LinkFaultParams) -> Report {
             "faulty links (EGS), {}-cube with {} node faults, {} instances/point",
             p.n, p.node_faults, p.trials
         ),
-        &["links", "n2_mean", "adv_safe_frac", "delivered", "aborted", "lost"],
+        &[
+            "links",
+            "n2_mean",
+            "adv_safe_frac",
+            "delivered",
+            "aborted",
+            "lost",
+        ],
     );
     let mut l = 0usize;
     loop {
@@ -102,9 +109,15 @@ pub fn run(p: &LinkFaultParams) -> Report {
         }
         l = (l + p.step).min(p.max_links);
     }
-    rep.note("each faulty link converts up to two healthy nodes into N2 (advertised level 0)".to_string());
-    rep.note("treating link-fault ends as node faults is conservative: feasibility detection \
-              stays local, at the cost of refusing some servable pairs".to_string());
+    rep.note(
+        "each faulty link converts up to two healthy nodes into N2 (advertised level 0)"
+            .to_string(),
+    );
+    rep.note(
+        "treating link-fault ends as node faults is conservative: feasibility detection \
+              stays local, at the cost of refusing some servable pairs"
+            .to_string(),
+    );
     rep
 }
 
@@ -125,7 +138,10 @@ mod tests {
         };
         let rep = run(&p);
         assert_eq!(rep.rows[0][1], "0.00", "no N2 nodes without link faults");
-        assert_eq!(rep.rows[0][3], "100.0%", "n−1 node faults regime delivers everything");
+        assert_eq!(
+            rep.rows[0][3], "100.0%",
+            "n−1 node faults regime delivers everything"
+        );
     }
 
     #[test]

@@ -28,7 +28,14 @@ pub struct MaintenanceParams {
 
 impl Default for MaintenanceParams {
     fn default() -> Self {
-        MaintenanceParams { n: 7, events: 200, churn_pct: 15, period: 50, trials: 50, seed: 0xAB1E }
+        MaintenanceParams {
+            n: 7,
+            events: 200,
+            churn_pct: 15,
+            period: 50,
+            trials: 50,
+            seed: 0xAB1E,
+        }
     }
 }
 
@@ -79,7 +86,13 @@ pub fn run(p: &MaintenanceParams) -> Report {
             "maintenance strategies, {}-cube, {} events × {} timelines (churn {}%)",
             p.n, p.events, p.trials, p.churn_pct
         ),
-        &["strategy", "gs_runs", "gs_messages", "stale_unicasts", "delivery"],
+        &[
+            "strategy",
+            "gs_runs",
+            "gs_messages",
+            "stale_unicasts",
+            "delivery",
+        ],
     );
     let strategies = [
         ("demand-driven", Strategy::DemandDriven),
@@ -118,7 +131,14 @@ mod tests {
     use super::*;
 
     fn small() -> MaintenanceParams {
-        MaintenanceParams { n: 5, events: 60, churn_pct: 20, period: 30, trials: 10, seed: 4 }
+        MaintenanceParams {
+            n: 5,
+            events: 60,
+            churn_pct: 20,
+            period: 30,
+            trials: 10,
+            seed: 4,
+        }
     }
 
     #[test]
@@ -148,7 +168,9 @@ mod tests {
     fn state_change_runs_gs_most() {
         let rep = run(&small());
         let runs = |name: &str| -> u64 {
-            rep.rows.iter().find(|r| r[0] == name).unwrap()[1].parse().unwrap()
+            rep.rows.iter().find(|r| r[0] == name).unwrap()[1]
+                .parse()
+                .unwrap()
         };
         assert!(runs("state-change") >= runs("demand-driven"));
     }

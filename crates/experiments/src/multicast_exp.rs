@@ -42,7 +42,13 @@ pub fn run(p: &MulticastParams) -> Report {
             "multicast prefix sharing, {}-cube, {} faults, {} trials/point",
             p.n, p.faults, p.trials
         ),
-        &["group_size", "delivered", "mean_tree_edges", "mean_unicast_hops", "savings"],
+        &[
+            "group_size",
+            "delivered",
+            "mean_tree_edges",
+            "mean_unicast_hops",
+            "savings",
+        ],
     );
     for &g in &p.group_sizes {
         let sweep = Sweep::new(p.trials, p.seed.wrapping_add(g as u64));
@@ -73,7 +79,9 @@ pub fn run(p: &MulticastParams) -> Report {
         ]);
     }
     rep.note("savings = traffic avoided by sending shared prefix hops once".to_string());
-    rep.note("per-destination optimality/suboptimality guarantees are unchanged by sharing".to_string());
+    rep.note(
+        "per-destination optimality/suboptimality guarantees are unchanged by sharing".to_string(),
+    );
     rep
 }
 

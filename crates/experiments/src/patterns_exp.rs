@@ -25,7 +25,12 @@ pub struct PatternsParams {
 
 impl Default for PatternsParams {
     fn default() -> Self {
-        PatternsParams { n: 8, faults: 7, trials: 150, seed: 0x9A77 }
+        PatternsParams {
+            n: 8,
+            faults: 7,
+            trials: 150,
+            seed: 0x9A77,
+        }
     }
 }
 
@@ -39,7 +44,14 @@ pub fn run(p: &PatternsParams) -> Report {
             "embedded traffic patterns, {}-cube, {} faults, {} instances",
             p.n, p.faults, p.trials
         ),
-        &["pattern", "pairs", "mean_H", "delivered", "optimal", "mean_detour"],
+        &[
+            "pattern",
+            "pairs",
+            "mean_H",
+            "delivered",
+            "optimal",
+            "mean_detour",
+        ],
     );
     for &name in pattern_names() {
         let sweep = Sweep::new(p.trials, p.seed);
@@ -83,7 +95,10 @@ pub fn run(p: &PatternsParams) -> Report {
         ]);
     }
     rep.note("mean_H: average Hamming distance of the pattern — its locality".to_string());
-    rep.note("bit-reversal is the long-haul stressor; embedded ring/torus traffic is near-neighbor".to_string());
+    rep.note(
+        "bit-reversal is the long-haul stressor; embedded ring/torus traffic is near-neighbor"
+            .to_string(),
+    );
     rep
 }
 
@@ -93,7 +108,12 @@ mod tests {
 
     #[test]
     fn all_patterns_reported() {
-        let p = PatternsParams { n: 6, faults: 3, trials: 20, seed: 2 };
+        let p = PatternsParams {
+            n: 6,
+            faults: 3,
+            trials: 20,
+            seed: 2,
+        };
         let rep = run(&p);
         assert_eq!(rep.rows.len(), 4);
         // Under n faults everything delivers.
@@ -102,7 +122,9 @@ mod tests {
         }
         // Bit-reversal has the largest mean distance.
         let h = |name: &str| -> f64 {
-            rep.rows.iter().find(|r| r[0] == name).unwrap()[2].parse().unwrap()
+            rep.rows.iter().find(|r| r[0] == name).unwrap()[2]
+                .parse()
+                .unwrap()
         };
         assert!(h("bit-reversal") > h("ring"));
         assert!(h("bit-reversal") > h("exchange"));

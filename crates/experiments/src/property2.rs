@@ -24,7 +24,12 @@ pub struct Property2Params {
 
 impl Default for Property2Params {
     fn default() -> Self {
-        Property2Params { dims: [4, 6, 8, 10], trials: 150, pairs_per_instance: 8, seed: 0xF00D }
+        Property2Params {
+            dims: [4, 6, 8, 10],
+            trials: 150,
+            pairs_per_instance: 8,
+            seed: 0xF00D,
+        }
     }
 }
 
@@ -33,7 +38,15 @@ pub fn run(p: &Property2Params) -> Report {
     let mut rep = Report::new(
         "property2",
         "Property 2 + Theorem 3 — guarantee regime (< n faults)",
-        &["n", "faults", "instances", "p2_violations", "failures", "optimal", "suboptimal"],
+        &[
+            "n",
+            "faults",
+            "instances",
+            "p2_violations",
+            "failures",
+            "optimal",
+            "suboptimal",
+        ],
     );
     for &n in &p.dims {
         let cube = Hypercube::new(n);
@@ -48,17 +61,17 @@ pub fn run(p: &Property2Params) -> Report {
                 let mut failures = 0u32;
                 let mut optimal = 0u32;
                 let mut suboptimal = 0u32;
-                if n <= 5
-                    && check_never_fails_under_n_faults(&cfg, &map).is_err() {
-                        failures += 1;
-                    }
+                if n <= 5 && check_never_fails_under_n_faults(&cfg, &map).is_err() {
+                    failures += 1;
+                }
                 for _ in 0..p.pairs_per_instance {
                     let (s, d) = random_pair(&cfg, rng);
                     let res = route(&cfg, &map, s, d);
                     match res.decision {
-                        Decision::Optimal { condition: Condition::C1 | Condition::C2, .. } => {
-                            optimal += 1
-                        }
+                        Decision::Optimal {
+                            condition: Condition::C1 | Condition::C2,
+                            ..
+                        } => optimal += 1,
                         Decision::Optimal { .. } => optimal += 1,
                         Decision::Suboptimal { .. } => suboptimal += 1,
                         Decision::Failure => failures += 1,
@@ -97,7 +110,12 @@ mod tests {
 
     #[test]
     fn sweep_reports_zero_violations() {
-        let p = Property2Params { dims: [3, 4, 5, 6], trials: 25, pairs_per_instance: 4, seed: 3 };
+        let p = Property2Params {
+            dims: [3, 4, 5, 6],
+            trials: 25,
+            pairs_per_instance: 4,
+            seed: 3,
+        };
         let rep = run(&p);
         for row in &rep.rows {
             assert_eq!(row[3], "0");

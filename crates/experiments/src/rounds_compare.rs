@@ -24,7 +24,12 @@ pub struct RoundsParams {
 
 impl Default for RoundsParams {
     fn default() -> Self {
-        RoundsParams { n: 7, max_faults: 21, trials: 300, seed: 0xC0DE }
+        RoundsParams {
+            n: 7,
+            max_faults: 21,
+            trials: 300,
+            seed: 0xC0DE,
+        }
     }
 }
 
@@ -37,7 +42,9 @@ pub fn run(p: &RoundsParams) -> Report {
             "status rounds: GS vs LH vs WF, {}-cube, {} trials/point",
             p.n, p.trials
         ),
-        &["faults", "gs_mean", "gs_max", "lh_mean", "lh_max", "wf_mean", "wf_max"],
+        &[
+            "faults", "gs_mean", "gs_max", "lh_mean", "lh_max", "wf_mean", "wf_max",
+        ],
     );
     let mut gs_overall_max = 0u32;
     for m in 0..=p.max_faults {
@@ -82,7 +89,12 @@ mod tests {
 
     #[test]
     fn gs_bounded_lh_can_exceed() {
-        let p = RoundsParams { n: 6, max_faults: 12, trials: 80, seed: 77 };
+        let p = RoundsParams {
+            n: 6,
+            max_faults: 12,
+            trials: 80,
+            seed: 77,
+        };
         let rep = run(&p);
         // GS max column never exceeds 5.
         for row in &rep.rows {
@@ -93,8 +105,16 @@ mod tests {
 
     #[test]
     fn fault_free_row_is_all_zero() {
-        let p = RoundsParams { n: 5, max_faults: 0, trials: 4, seed: 1 };
+        let p = RoundsParams {
+            n: 5,
+            max_faults: 0,
+            trials: 4,
+            seed: 1,
+        };
         let rep = run(&p);
-        assert_eq!(rep.rows[0], vec!["0", "0.00", "0", "0.00", "0", "0.00", "0"]);
+        assert_eq!(
+            rep.rows[0],
+            vec!["0", "0.00", "0", "0.00", "0", "0.00", "0"]
+        );
     }
 }

@@ -92,8 +92,15 @@ impl Tally {
     }
 }
 
-const ALGOS: [&str; 7] =
-    ["safety-level", "lee-hayes", "chiu-wu", "dfs", "progressive", "sidetrack", "free-dim"];
+const ALGOS: [&str; 7] = [
+    "safety-level",
+    "lee-hayes",
+    "chiu-wu",
+    "dfs",
+    "progressive",
+    "sidetrack",
+    "free-dim",
+];
 
 /// Runs the comparison sweep.
 pub fn run(p: &CompareParams) -> Report {
@@ -104,7 +111,14 @@ pub fn run(p: &CompareParams) -> Report {
             "routing comparison, {}-cube, {} instances × {} pairs per point",
             p.n, p.trials, p.pairs_per_instance
         ),
-        &["faults", "algorithm", "delivery", "mean_detour", "missed_routable", "hdr_bits/msg"],
+        &[
+            "faults",
+            "algorithm",
+            "delivery",
+            "mean_detour",
+            "missed_routable",
+            "hdr_bits/msg",
+        ],
     );
 
     let mut m = 0usize;
@@ -199,7 +213,10 @@ pub fn run(p: &CompareParams) -> Report {
         }
         m = (m + p.step).min(p.max_faults);
     }
-    rep.note("safety-level routing delivers every message it accepts; its misses are local aborts".to_string());
+    rep.note(
+        "safety-level routing delivers every message it accepts; its misses are local aborts"
+            .to_string(),
+    );
     rep.note("DFS delivers whenever endpoints are connected, at unbounded path length".to_string());
     rep.note("missed_routable counts connected pairs an algorithm failed to serve".to_string());
     rep.note("hdr_bits/msg: header payload per delivered unicast — DFS's history grows quadratically with walk length".to_string());

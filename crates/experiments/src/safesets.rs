@@ -28,7 +28,12 @@ pub struct SafeSetParams {
 
 impl Default for SafeSetParams {
     fn default() -> Self {
-        SafeSetParams { n: 7, max_faults: 21, trials: 300, seed: 0xB0B }
+        SafeSetParams {
+            n: 7,
+            max_faults: 21,
+            trials: 300,
+            seed: 0xB0B,
+        }
     }
 }
 
@@ -48,11 +53,26 @@ pub fn run_example() -> Report {
         &["definition", "safe_set", "size"],
     );
     let fmt = |v: &[hypersafe_topology::NodeId]| {
-        v.iter().map(|a| a.to_binary(4)).collect::<Vec<_>>().join(" ")
+        v.iter()
+            .map(|a| a.to_binary(4))
+            .collect::<Vec<_>>()
+            .join(" ")
     };
-    rep.row(vec!["Lee-Hayes (Def. 2)".into(), fmt(&lh.safe_nodes()), lh.safe_nodes().len().to_string()]);
-    rep.row(vec!["Wu-Fernandez (Def. 3)".into(), fmt(&wf.safe_nodes()), wf.safe_nodes().len().to_string()]);
-    rep.row(vec!["Safety level = n (Def. 1)".into(), fmt(&sl.safe_nodes()), sl.safe_nodes().len().to_string()]);
+    rep.row(vec![
+        "Lee-Hayes (Def. 2)".into(),
+        fmt(&lh.safe_nodes()),
+        lh.safe_nodes().len().to_string(),
+    ]);
+    rep.row(vec![
+        "Wu-Fernandez (Def. 3)".into(),
+        fmt(&wf.safe_nodes()),
+        wf.safe_nodes().len().to_string(),
+    ]);
+    rep.row(vec![
+        "Safety level = n (Def. 1)".into(),
+        fmt(&sl.safe_nodes()),
+        sl.safe_nodes().len().to_string(),
+    ]);
     assert!(lh.fully_unsafe(), "paper: LH set is empty");
     assert_eq!(sl.safe_nodes().len(), 9, "paper: SL set has 9 members");
     rep.note("paper lists the WF set without node 1100; Definition 3 as stated keeps it (see EXPERIMENTS.md E3)".to_string());
@@ -68,7 +88,13 @@ pub fn run_sweep(p: &SafeSetParams) -> Report {
             "safe-set sizes vs faults, {}-cube, {} trials/point",
             p.n, p.trials
         ),
-        &["faults", "lh_mean", "wf_mean", "sl_mean", "containment_violations"],
+        &[
+            "faults",
+            "lh_mean",
+            "wf_mean",
+            "sl_mean",
+            "containment_violations",
+        ],
     );
     for m in 0..=p.max_faults {
         let sweep = Sweep::new(p.trials, p.seed.wrapping_add(m as u64));
@@ -123,7 +149,12 @@ mod tests {
 
     #[test]
     fn sweep_sizes_are_ordered() {
-        let p = SafeSetParams { n: 6, max_faults: 6, trials: 40, seed: 5 };
+        let p = SafeSetParams {
+            n: 6,
+            max_faults: 6,
+            trials: 40,
+            seed: 5,
+        };
         let rep = run_sweep(&p);
         for row in &rep.rows {
             let lh: f64 = row[1].parse().unwrap();
@@ -137,7 +168,12 @@ mod tests {
 
     #[test]
     fn zero_faults_all_safe_everywhere() {
-        let p = SafeSetParams { n: 5, max_faults: 0, trials: 5, seed: 1 };
+        let p = SafeSetParams {
+            n: 5,
+            max_faults: 0,
+            trials: 5,
+            seed: 1,
+        };
         let rep = run_sweep(&p);
         assert_eq!(rep.rows[0][1], "32.00");
         assert_eq!(rep.rows[0][3], "32.00");

@@ -27,11 +27,7 @@ pub struct Report {
 
 impl Report {
     /// Creates an empty report.
-    pub fn new(
-        name: impl Into<String>,
-        title: impl Into<String>,
-        headers: &[&str],
-    ) -> Self {
+    pub fn new(name: impl Into<String>, title: impl Into<String>, headers: &[&str]) -> Self {
         Report {
             name: name.into(),
             title: title.into(),
@@ -100,12 +96,20 @@ impl Report {
         let _ = writeln!(
             out,
             "| {} |",
-            self.headers.iter().map(|h| cell(h)).collect::<Vec<_>>().join(" | ")
+            self.headers
+                .iter()
+                .map(|h| cell(h))
+                .collect::<Vec<_>>()
+                .join(" | ")
         );
         let _ = writeln!(
             out,
             "|{}|",
-            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+            self.headers
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
         );
         for row in &self.rows {
             let _ = writeln!(
@@ -136,7 +140,11 @@ impl Report {
         let _ = writeln!(
             out,
             "{}",
-            self.headers.iter().map(|s| cell(s)).collect::<Vec<_>>().join(",")
+            self.headers
+                .iter()
+                .map(|s| cell(s))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for row in &self.rows {
             let _ = writeln!(

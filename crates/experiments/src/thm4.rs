@@ -26,7 +26,13 @@ pub struct Thm4Params {
 
 impl Default for Thm4Params {
     fn default() -> Self {
-        Thm4Params { dims: [4, 5, 6, 7], extra_faults: 2, trials: 150, pairs_per_instance: 8, seed: 0x7444 }
+        Thm4Params {
+            dims: [4, 5, 6, 7],
+            extra_faults: 2,
+            trials: 150,
+            pairs_per_instance: 8,
+            seed: 0x7444,
+        }
     }
 }
 
@@ -80,7 +86,14 @@ pub fn run(p: &Thm4Params) -> Report {
                     }
                 }
             }
-            (lh_bad, wf_bad, same_ok, same_total, cross_aborted, cross_total)
+            (
+                lh_bad,
+                wf_bad,
+                same_ok,
+                same_total,
+                cross_aborted,
+                cross_total,
+            )
         });
         let lh_bad: u32 = results.iter().map(|r| r.0).sum();
         let wf_bad: u32 = results.iter().map(|r| r.1).sum();
@@ -90,7 +103,10 @@ pub fn run(p: &Thm4Params) -> Report {
         let cross_total: u64 = results.iter().map(|r| r.5).sum();
         assert_eq!(lh_bad, 0, "Theorem 4 (LH) violated at n={n}");
         assert_eq!(wf_bad, 0, "Theorem 4 (WF) violated at n={n}");
-        assert_eq!(cross_ab, cross_total, "cross-partition unicasts must abort at source");
+        assert_eq!(
+            cross_ab, cross_total,
+            "cross-partition unicasts must abort at source"
+        );
         rep.row(vec![
             n.to_string(),
             p.trials.to_string(),
@@ -100,7 +116,9 @@ pub fn run(p: &Thm4Params) -> Report {
             pct(cross_ab, cross_total),
         ]);
     }
-    rep.note("LH and WF safe sets were empty in every disconnected instance (Theorem 4)".to_string());
+    rep.note(
+        "LH and WF safe sets were empty in every disconnected instance (Theorem 4)".to_string(),
+    );
     rep.note("every cross-partition unicast was aborted locally at the source".to_string());
     rep
 }

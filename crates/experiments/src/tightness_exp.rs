@@ -51,7 +51,14 @@ pub fn run(p: &TightnessParams) -> Report {
             "safety level vs exact radius, {}-cube, {} instances/point",
             p.n, p.trials
         ),
-        &["faults", "tight_nodes", "mean_slack", "max_slack", "violations", "conservative_misses"],
+        &[
+            "faults",
+            "tight_nodes",
+            "mean_slack",
+            "max_slack",
+            "violations",
+            "conservative_misses",
+        ],
     );
     let mut m = 0usize;
     loop {
@@ -74,7 +81,15 @@ pub fn run(p: &TightnessParams) -> Report {
                     conservative += 1;
                 }
             }
-            (t.nodes, t.tight, t.mean_slack, t.max_slack, t.violations, conservative, pairs)
+            (
+                t.nodes,
+                t.tight,
+                t.mean_slack,
+                t.max_slack,
+                t.violations,
+                conservative,
+                pairs,
+            )
         });
         let nodes: u64 = rows.iter().map(|r| r.0).sum();
         let tight: u64 = rows.iter().map(|r| r.1).sum();
@@ -98,8 +113,11 @@ pub fn run(p: &TightnessParams) -> Report {
         m = (m + p.step).min(p.max_faults);
     }
     rep.note("S(a) never exceeded the exact radius (Theorem 2, oracle-checked)".to_string());
-    rep.note("conservative_misses: pairs refused by C1–C3 although an optimal path exists — \
-              the price of n−1-round computability".to_string());
+    rep.note(
+        "conservative_misses: pairs refused by C1–C3 although an optimal path exists — \
+              the price of n−1-round computability"
+            .to_string(),
+    );
     rep
 }
 

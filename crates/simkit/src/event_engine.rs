@@ -10,6 +10,7 @@
 //! scheduling order (a monotone sequence number breaks ties), so a run
 //! is a pure function of the initial state and the actors' logic.
 
+use crate::channel::ChannelModel;
 use crate::stats::EventStats;
 use hypersafe_topology::{FaultConfig, NodeId};
 use std::cmp::Reverse;
@@ -26,6 +27,8 @@ pub struct Ctx<M> {
     now: Time,
     sends: Vec<(Time, NodeId, M)>,
     timers: Vec<(Time, u64)>,
+    retransmits: u64,
+    acks: u64,
     halt: bool,
 }
 
@@ -53,6 +56,18 @@ impl<M> Ctx<M> {
         self.timers.push((self.now + delay, tag));
     }
 
+    /// Records `n` retransmissions into [`EventStats::retransmitted`]
+    /// — called by the reliable layer ([`crate::reliable`]) so the
+    /// engine's statistics reflect protocol-level recovery work.
+    pub fn note_retransmits(&mut self, n: u64) {
+        self.retransmits += n;
+    }
+
+    /// Records `n` acknowledgements into [`EventStats::acked`].
+    pub fn note_acks(&mut self, n: u64) {
+        self.acks += n;
+    }
+
     /// Requests the whole simulation to stop after this callback.
     pub fn halt(&mut self) {
         self.halt = true;
@@ -61,8 +76,9 @@ impl<M> Ctx<M> {
 
 /// A per-node event handler.
 pub trait Actor: Sized {
-    /// The message type exchanged between nodes.
-    type Msg;
+    /// The message type exchanged between nodes. `Clone` lets the
+    /// channel model inject duplicate copies.
+    type Msg: Clone;
 
     /// Called once per node before any event is processed.
     fn on_start(&mut self, _ctx: &mut Ctx<Self::Msg>) {}
@@ -112,13 +128,33 @@ pub struct EventEngine<'a, A: Actor> {
     seq: u64,
     now: Time,
     stats: EventStats,
+    channel: Option<ChannelModel>,
     halted: bool,
 }
 
 impl<'a, A: Actor> EventEngine<'a, A> {
     /// Builds the engine with one actor per nonfaulty node and runs
-    /// every actor's `on_start`.
-    pub fn new(cfg: &'a FaultConfig, mut init: impl FnMut(NodeId) -> A) -> Self {
+    /// every actor's `on_start`. Links are perfect (the paper's model);
+    /// use [`EventEngine::with_channel`] for lossy links.
+    pub fn new(cfg: &'a FaultConfig, init: impl FnMut(NodeId) -> A) -> Self {
+        Self::build(cfg, None, init)
+    }
+
+    /// Like [`EventEngine::new`], but every send across a usable link
+    /// passes through `channel` (loss / jitter / duplication).
+    pub fn with_channel(
+        cfg: &'a FaultConfig,
+        channel: ChannelModel,
+        init: impl FnMut(NodeId) -> A,
+    ) -> Self {
+        Self::build(cfg, Some(channel), init)
+    }
+
+    fn build(
+        cfg: &'a FaultConfig,
+        channel: Option<ChannelModel>,
+        mut init: impl FnMut(NodeId) -> A,
+    ) -> Self {
         let actors: Vec<Option<A>> = cfg
             .cube()
             .nodes()
@@ -131,13 +167,17 @@ impl<'a, A: Actor> EventEngine<'a, A> {
             seq: 0,
             now: 0,
             stats: EventStats::default(),
+            channel,
             halted: false,
         };
         for a in cfg.cube().nodes() {
             let idx = a.raw() as usize;
             if eng.actors[idx].is_some() {
                 let mut ctx = eng.ctx_for(a);
-                eng.actors[idx].as_mut().expect("present").on_start(&mut ctx);
+                eng.actors[idx]
+                    .as_mut()
+                    .expect("present")
+                    .on_start(&mut ctx);
                 eng.absorb_ctx(a, ctx);
             }
         }
@@ -145,26 +185,58 @@ impl<'a, A: Actor> EventEngine<'a, A> {
     }
 
     fn ctx_for(&self, a: NodeId) -> Ctx<A::Msg> {
-        Ctx { self_id: a, now: self.now, sends: Vec::new(), timers: Vec::new(), halt: false }
+        Ctx {
+            self_id: a,
+            now: self.now,
+            sends: Vec::new(),
+            timers: Vec::new(),
+            retransmits: 0,
+            acks: 0,
+            halt: false,
+        }
+    }
+
+    fn enqueue_message(&mut self, time: Time, dst: NodeId, from: NodeId, msg: A::Msg) {
+        self.seq += 1;
+        self.queue.push(Reverse(Pending {
+            time,
+            seq: self.seq,
+            dst,
+            payload: Payload::Message { from, msg },
+        }));
     }
 
     fn absorb_ctx(&mut self, src: NodeId, ctx: Ctx<A::Msg>) {
         for (time, dst, msg) in ctx.sends {
-            assert_eq!(src.distance(dst), 1, "{src} may only message neighbors, not {dst}");
+            assert_eq!(
+                src.distance(dst),
+                1,
+                "{src} may only message neighbors, not {dst}"
+            );
             // Messages into faulty nodes or across faulty links vanish
             // (fault-stop model: no malicious behaviour, just silence).
             if self.cfg.node_faulty(dst) || self.cfg.link_faults().contains(src, dst) {
                 self.stats.dropped += 1;
                 continue;
             }
-            self.seq += 1;
-            self.queue.push(Reverse(Pending {
-                time,
-                seq: self.seq,
-                dst,
-                payload: Payload::Message { from: src, msg },
-            }));
+            // A usable link may still be noisy: the channel model
+            // decides loss, extra delay, and duplication per message.
+            let fate = match &mut self.channel {
+                Some(ch) => ch.fate(src.raw(), dst.raw()),
+                None => crate::channel::LinkFate::CLEAN,
+            };
+            if fate.lost {
+                self.stats.lost += 1;
+                continue;
+            }
+            if let Some(dup_jitter) = fate.duplicate {
+                self.stats.duplicated += 1;
+                self.enqueue_message(time + dup_jitter, dst, src, msg.clone());
+            }
+            self.enqueue_message(time + fate.jitter, dst, src, msg);
         }
+        self.stats.retransmitted += ctx.retransmits;
+        self.stats.acked += ctx.acks;
         for (time, tag) in ctx.timers {
             self.seq += 1;
             self.queue.push(Reverse(Pending {
@@ -221,11 +293,17 @@ impl<'a, A: Actor> EventEngine<'a, A> {
         match ev.payload {
             Payload::Message { from, msg } => {
                 self.stats.delivered += 1;
-                self.actors[idx].as_mut().expect("present").on_message(&mut ctx, from, msg);
+                self.actors[idx]
+                    .as_mut()
+                    .expect("present")
+                    .on_message(&mut ctx, from, msg);
             }
             Payload::Timer { tag } => {
                 self.stats.timers += 1;
-                self.actors[idx].as_mut().expect("present").on_timer(&mut ctx, tag);
+                self.actors[idx]
+                    .as_mut()
+                    .expect("present")
+                    .on_timer(&mut ctx, tag);
             }
         }
         self.absorb_ctx(ev.dst, ctx);
@@ -314,7 +392,11 @@ mod tests {
         eng.run(u64::MAX);
         for a in cube.nodes() {
             // With unit latency the first arrival equals BFS distance.
-            assert_eq!(eng.actor(a).unwrap().seen_at, Some(a.weight() as u64), "node {a}");
+            assert_eq!(
+                eng.actor(a).unwrap().seen_at,
+                Some(a.weight() as u64),
+                "node {a}"
+            );
         }
         assert!(eng.stats().delivered > 0);
     }
@@ -323,10 +405,8 @@ mod tests {
     fn faulty_node_blocks_flood_component() {
         let cube = Hypercube::new(2);
         // 2-cube path: 00 - 01/10 - 11. Make 01 and 10 faulty → 11 unreachable.
-        let cfg = FaultConfig::with_node_faults(
-            cube,
-            FaultSet::from_binary_strs(cube, &["01", "10"]),
-        );
+        let cfg =
+            FaultConfig::with_node_faults(cube, FaultSet::from_binary_strs(cube, &["01", "10"]));
         let mut eng = EventEngine::new(&cfg, |a| Flood {
             seen_at: None,
             origin: a == NodeId::ZERO,

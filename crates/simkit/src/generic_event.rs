@@ -9,6 +9,7 @@
 //! (the GH extension has none); use the binary engine when they
 //! matter.
 
+use crate::channel::ChannelModel;
 use crate::network::Network;
 use crate::stats::EventStats;
 use std::cmp::Reverse;
@@ -24,6 +25,8 @@ pub struct GCtx<M> {
     now: Time,
     sends: Vec<(Time, u64, M)>,
     timers: Vec<(Time, u64)>,
+    retransmits: u64,
+    acks: u64,
 }
 
 impl<M> GCtx<M> {
@@ -47,12 +50,23 @@ impl<M> GCtx<M> {
     pub fn set_timer(&mut self, delay: Time, tag: u64) {
         self.timers.push((self.now + delay, tag));
     }
+
+    /// Records `n` retransmissions into [`EventStats::retransmitted`].
+    pub fn note_retransmits(&mut self, n: u64) {
+        self.retransmits += n;
+    }
+
+    /// Records `n` acknowledgements into [`EventStats::acked`].
+    pub fn note_acks(&mut self, n: u64) {
+        self.acks += n;
+    }
 }
 
 /// Per-node event handler over a generic network.
 pub trait GActor: Sized {
-    /// Message type.
-    type Msg;
+    /// Message type. `Clone` lets the channel model inject duplicate
+    /// copies.
+    type Msg: Clone;
 
     /// Called once before any event.
     fn on_start(&mut self, _ctx: &mut GCtx<Self::Msg>) {}
@@ -102,11 +116,34 @@ pub struct GenericEventEngine<'a, N: Network, A: GActor> {
     seq: u64,
     now: Time,
     stats: EventStats,
+    channel: Option<ChannelModel>,
 }
 
 impl<'a, N: Network, A: GActor> GenericEventEngine<'a, N, A> {
     /// Builds the engine and runs every healthy actor's `on_start`.
-    pub fn new(net: &'a N, faulty: Vec<bool>, mut init: impl FnMut(u64) -> A) -> Self {
+    /// Links are perfect; use [`GenericEventEngine::with_channel`] for
+    /// lossy links.
+    pub fn new(net: &'a N, faulty: Vec<bool>, init: impl FnMut(u64) -> A) -> Self {
+        Self::build(net, faulty, None, init)
+    }
+
+    /// Like [`GenericEventEngine::new`], but every send to a healthy
+    /// node passes through `channel` (loss / jitter / duplication).
+    pub fn with_channel(
+        net: &'a N,
+        faulty: Vec<bool>,
+        channel: ChannelModel,
+        init: impl FnMut(u64) -> A,
+    ) -> Self {
+        Self::build(net, faulty, Some(channel), init)
+    }
+
+    fn build(
+        net: &'a N,
+        faulty: Vec<bool>,
+        channel: Option<ChannelModel>,
+        mut init: impl FnMut(u64) -> A,
+    ) -> Self {
         assert_eq!(faulty.len() as u64, net.num_nodes());
         let actors: Vec<Option<A>> = (0..net.num_nodes())
             .map(|a| (!faulty[a as usize]).then(|| init(a)))
@@ -119,11 +156,15 @@ impl<'a, N: Network, A: GActor> GenericEventEngine<'a, N, A> {
             seq: 0,
             now: 0,
             stats: EventStats::default(),
+            channel,
         };
         for a in 0..eng.net.num_nodes() {
             if eng.actors[a as usize].is_some() {
                 let mut ctx = eng.ctx_for(a);
-                eng.actors[a as usize].as_mut().expect("present").on_start(&mut ctx);
+                eng.actors[a as usize]
+                    .as_mut()
+                    .expect("present")
+                    .on_start(&mut ctx);
                 eng.absorb(a, ctx);
             }
         }
@@ -131,11 +172,28 @@ impl<'a, N: Network, A: GActor> GenericEventEngine<'a, N, A> {
     }
 
     fn ctx_for(&self, a: u64) -> GCtx<A::Msg> {
-        GCtx { self_id: a, now: self.now, sends: Vec::new(), timers: Vec::new() }
+        GCtx {
+            self_id: a,
+            now: self.now,
+            sends: Vec::new(),
+            timers: Vec::new(),
+            retransmits: 0,
+            acks: 0,
+        }
     }
 
     fn is_neighbor(&self, src: u64, dst: u64) -> bool {
         (0..self.net.degree(src)).any(|p| self.net.neighbor(src, p) == dst)
+    }
+
+    fn enqueue_message(&mut self, time: Time, dst: u64, from: u64, msg: A::Msg) {
+        self.seq += 1;
+        self.queue.push(Reverse(Pending {
+            time,
+            seq: self.seq,
+            dst,
+            payload: Payload::Message { from, msg },
+        }));
     }
 
     fn absorb(&mut self, src: u64, ctx: GCtx<A::Msg>) {
@@ -148,14 +206,22 @@ impl<'a, N: Network, A: GActor> GenericEventEngine<'a, N, A> {
                 self.stats.dropped += 1;
                 continue;
             }
-            self.seq += 1;
-            self.queue.push(Reverse(Pending {
-                time,
-                seq: self.seq,
-                dst,
-                payload: Payload::Message { from: src, msg },
-            }));
+            let fate = match &mut self.channel {
+                Some(ch) => ch.fate(src, dst),
+                None => crate::channel::LinkFate::CLEAN,
+            };
+            if fate.lost {
+                self.stats.lost += 1;
+                continue;
+            }
+            if let Some(dup_jitter) = fate.duplicate {
+                self.stats.duplicated += 1;
+                self.enqueue_message(time + dup_jitter, dst, src, msg.clone());
+            }
+            self.enqueue_message(time + fate.jitter, dst, src, msg);
         }
+        self.stats.retransmitted += ctx.retransmits;
+        self.stats.acked += ctx.acks;
         for (time, tag) in ctx.timers {
             self.seq += 1;
             self.queue.push(Reverse(Pending {
@@ -204,11 +270,17 @@ impl<'a, N: Network, A: GActor> GenericEventEngine<'a, N, A> {
         match ev.payload {
             Payload::Message { from, msg } => {
                 self.stats.delivered += 1;
-                self.actors[idx].as_mut().expect("present").on_message(&mut ctx, from, msg);
+                self.actors[idx]
+                    .as_mut()
+                    .expect("present")
+                    .on_message(&mut ctx, from, msg);
             }
             Payload::Timer { tag } => {
                 self.stats.timers += 1;
-                self.actors[idx].as_mut().expect("present").on_timer(&mut ctx, tag);
+                self.actors[idx]
+                    .as_mut()
+                    .expect("present")
+                    .on_timer(&mut ctx, tag);
             }
         }
         self.absorb(ev.dst, ctx);
@@ -273,11 +345,7 @@ mod tests {
         eng.run(u64::MAX);
         for a in 0..Network::num_nodes(&gh) {
             let d = gh.distance(hypersafe_topology::GhNode(0), hypersafe_topology::GhNode(a));
-            assert_eq!(
-                eng.actor(a).unwrap().seen_at,
-                Some(d as u64),
-                "node {a}"
-            );
+            assert_eq!(eng.actor(a).unwrap().seen_at, Some(d as u64), "node {a}");
         }
     }
 
@@ -317,7 +385,11 @@ mod tests {
         eng.inject(2, 7, 5);
         eng.inject(2, 3, 1);
         eng.run(u64::MAX);
-        assert_eq!(eng.actor(2).unwrap().fired, vec![3, 7], "time order respected");
+        assert_eq!(
+            eng.actor(2).unwrap().fired,
+            vec![3, 7],
+            "time order respected"
+        );
         assert_eq!(eng.stats().end_time, 5);
     }
 }

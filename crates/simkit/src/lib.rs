@@ -10,19 +10,31 @@
 //! paper's system model: fault-stop nodes (faulty nodes neither run nor
 //! send), neighbor-only communication, and silent loss across faulty
 //! links.
+//!
+//! Beyond the paper's reliable-link assumption, [`channel`] models
+//! noisy links (seeded deterministic loss / jitter / duplication) and
+//! [`reliable`] recovers exactly-once in-order delivery on top of them
+//! (sequence numbers, cumulative ACKs, exponential-backoff
+//! retransmission) — the substrate for the loss-robustness experiments.
 
 #![warn(missing_docs)]
 
+pub mod channel;
 pub mod event_engine;
 pub mod generic_event;
 pub mod network;
+pub mod reliable;
 pub mod stats;
 pub mod sync_engine;
 pub mod trace;
 
+pub use channel::{ChannelModel, LinkFate};
 pub use event_engine::{Actor, Ctx, EventEngine, Time};
 pub use generic_event::{GActor, GCtx, GenericEventEngine};
 pub use network::{gh_port_dim, GenericSyncEngine, Network, PortNode};
+pub use reliable::{
+    RelCtx, Reliable, ReliableActor, ReliableConfig, ReliableEndpoint, ReliableMsg,
+};
 pub use stats::{EventStats, Histogram, SyncStats};
 pub use sync_engine::{SyncEngine, SyncNode};
 pub use trace::{Trace, TraceEvent};

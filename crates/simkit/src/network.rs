@@ -63,7 +63,11 @@ impl Network for GeneralizedHypercube {
             if p < peers {
                 let own = self.digit(node, i);
                 // The p-th peer digit, skipping `own`.
-                let digit = if (p as u16) < own { p as u16 } else { p as u16 + 1 };
+                let digit = if (p as u16) < own {
+                    p as u16
+                } else {
+                    p as u16 + 1
+                };
                 return self.with_digit(node, i, digit).raw();
             }
             p -= peers;
@@ -117,7 +121,12 @@ impl<'a, N: Network, S: PortNode> GenericSyncEngine<'a, N, S> {
         let nodes = (0..net.num_nodes())
             .map(|a| (!faulty[a as usize]).then(|| init(a)))
             .collect();
-        GenericSyncEngine { net, faulty, nodes, stats: SyncStats::default() }
+        GenericSyncEngine {
+            net,
+            faulty,
+            nodes,
+            stats: SyncStats::default(),
+        }
     }
 
     /// Statistics accumulated so far.
@@ -132,8 +141,11 @@ impl<'a, N: Network, S: PortNode> GenericSyncEngine<'a, N, S> {
 
     /// One lock-step round; returns the number of changed nodes.
     pub fn run_round(&mut self) -> usize {
-        let outgoing: Vec<Option<S::Msg>> =
-            self.nodes.iter().map(|n| n.as_ref().map(PortNode::broadcast)).collect();
+        let outgoing: Vec<Option<S::Msg>> = self
+            .nodes
+            .iter()
+            .map(|n| n.as_ref().map(PortNode::broadcast))
+            .collect();
         let mut changed = 0usize;
         let mut inbox: Vec<(usize, S::Msg)> = Vec::new();
         for a in 0..self.net.num_nodes() {

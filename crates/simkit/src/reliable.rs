@@ -1,0 +1,575 @@
+//! Reliable delivery over lossy links: per-neighbor sequence numbers,
+//! cumulative ACKs, retransmission timers with exponential backoff, and
+//! duplicate suppression.
+//!
+//! The protocols in `hypersafe-core` are specified against the paper's
+//! reliable-link model. To run them over a noisy
+//! [`crate::channel::ChannelModel`] without touching their logic, this
+//! module provides a shim layer in the style of a minimal transport:
+//!
+//! * [`ReliableActor`] — what a protocol implements: the same three
+//!   callbacks as [`Actor`], but sends go through
+//!   [`RelCtx::send_reliable`].
+//! * [`Reliable<A>`] — the wrapper that is the actual [`Actor`]: it
+//!   owns a [`ReliableEndpoint`] doing sequencing/ACK/retransmit and
+//!   surfaces to the inner actor only fresh, in-order messages.
+//!
+//! Per link (one per hypercube dimension) the endpoint keeps an
+//! outgoing stream with sequence numbers starting at 1 and an incoming
+//! cursor `cum` = highest sequence delivered in order. Every arriving
+//! `Data` is answered with a cumulative `Ack { cum }`; data at or below
+//! `cum` (channel duplicates or retransmissions that crossed an ACK)
+//! are suppressed, data above `cum + 1` is buffered until the gap
+//! fills, so the inner actor sees each message exactly once, in send
+//! order. Unacknowledged messages are retransmitted individually on a
+//! per-sequence timer whose period doubles each attempt up to
+//! [`ReliableConfig::rto_cap`]; after [`ReliableConfig::max_retries`]
+//! attempts the link is declared dead (the peer is fault-stop silent —
+//! indistinguishable from total loss) and recorded in
+//! [`ReliableEndpoint::gave_up_dims`].
+//!
+//! Retransmission and ACK counts are folded into the engine's
+//! [`crate::stats::EventStats`] via [`Ctx::note_retransmits`] /
+//! [`Ctx::note_acks`], so experiment code can read total overhead from
+//! one place.
+
+use crate::event_engine::{Actor, Ctx, Time};
+use hypersafe_topology::NodeId;
+use std::collections::BTreeMap;
+
+/// Timer tags with this bit set are reserved for the reliable layer;
+/// [`RelCtx::set_timer`] rejects them for inner actors.
+const RELIABLE_TAG_BIT: u64 = 1 << 63;
+const SEQ_MASK: u64 = (1 << 48) - 1;
+
+fn encode_tag(dim: u8, seq: u64) -> u64 {
+    debug_assert!(seq <= SEQ_MASK);
+    RELIABLE_TAG_BIT | ((dim as u64) << 48) | (seq & SEQ_MASK)
+}
+
+fn decode_tag(tag: u64) -> (u8, u64) {
+    (((tag >> 48) & 0x7FFF) as u8, tag & SEQ_MASK)
+}
+
+/// Tuning knobs for the retransmission machinery.
+#[derive(Clone, Copy, Debug)]
+pub struct ReliableConfig {
+    /// Initial retransmission timeout, in ticks. Should comfortably
+    /// exceed one round trip (2 × latency + jitter).
+    pub rto: Time,
+    /// Upper bound the exponential backoff saturates at.
+    pub rto_cap: Time,
+    /// Retransmission attempts per message before the link is declared
+    /// dead. With loss rate p the residual failure probability is
+    /// p^(max_retries + 1).
+    pub max_retries: u32,
+}
+
+impl Default for ReliableConfig {
+    fn default() -> Self {
+        ReliableConfig {
+            rto: 8,
+            rto_cap: 256,
+            max_retries: 12,
+        }
+    }
+}
+
+/// Wire format of the reliable layer.
+#[derive(Clone, Debug)]
+pub enum ReliableMsg<M> {
+    /// A sequenced payload.
+    Data {
+        /// Per-link sequence number, starting at 1.
+        seq: u64,
+        /// The inner actor's message.
+        payload: M,
+    },
+    /// Cumulative acknowledgement: every sequence `≤ cum` arrived.
+    Ack {
+        /// Highest in-order sequence received on this link.
+        cum: u64,
+    },
+}
+
+struct OutLink<M> {
+    next_seq: u64,
+    /// seq → (payload, attempts so far, current rto).
+    unacked: BTreeMap<u64, (M, u32, Time)>,
+    dead: bool,
+}
+
+impl<M> Default for OutLink<M> {
+    fn default() -> Self {
+        OutLink {
+            next_seq: 1,
+            unacked: BTreeMap::new(),
+            dead: false,
+        }
+    }
+}
+
+struct InLink<M> {
+    cum: u64,
+    buffer: BTreeMap<u64, M>,
+}
+
+impl<M> Default for InLink<M> {
+    fn default() -> Self {
+        InLink {
+            cum: 0,
+            buffer: BTreeMap::new(),
+        }
+    }
+}
+
+/// Per-node transport state: one outgoing stream and one incoming
+/// cursor per hypercube dimension.
+pub struct ReliableEndpoint<M> {
+    me: NodeId,
+    latency: Time,
+    cfg: ReliableConfig,
+    out: Vec<OutLink<M>>,
+    inn: Vec<InLink<M>>,
+    retransmits: u64,
+    acks_sent: u64,
+    duplicates_suppressed: u64,
+    gave_up: Vec<u8>,
+}
+
+impl<M: Clone> ReliableEndpoint<M> {
+    /// Fresh endpoint for node `me` of an `n`-cube; `latency` is the
+    /// per-hop send latency used for both data and ACKs.
+    pub fn new(me: NodeId, n: u8, latency: Time, cfg: ReliableConfig) -> Self {
+        assert!(cfg.rto > 0, "rto must be positive");
+        ReliableEndpoint {
+            me,
+            latency: latency.max(1),
+            cfg,
+            out: (0..n).map(|_| OutLink::default()).collect(),
+            inn: (0..n).map(|_| InLink::default()).collect(),
+            retransmits: 0,
+            acks_sent: 0,
+            duplicates_suppressed: 0,
+            gave_up: Vec::new(),
+        }
+    }
+
+    /// Total retransmissions performed by this endpoint.
+    pub fn retransmits(&self) -> u64 {
+        self.retransmits
+    }
+
+    /// Total acknowledgements sent.
+    pub fn acks_sent(&self) -> u64 {
+        self.acks_sent
+    }
+
+    /// Arrivals suppressed as duplicates (never shown to the actor).
+    pub fn duplicates_suppressed(&self) -> u64 {
+        self.duplicates_suppressed
+    }
+
+    /// Messages sent but not yet acknowledged, across all links.
+    pub fn in_flight(&self) -> usize {
+        self.out.iter().map(|o| o.unacked.len()).sum()
+    }
+
+    /// Dimensions on which delivery was abandoned after
+    /// `max_retries` attempts (dead or unreachable peer).
+    pub fn gave_up_dims(&self) -> &[u8] {
+        &self.gave_up
+    }
+
+    fn dim_of(&self, peer: NodeId) -> u8 {
+        self.me
+            .xor(peer)
+            .set_dims()
+            .next()
+            .expect("peer must be a neighbor")
+    }
+
+    fn send(&mut self, raw: &mut Ctx<ReliableMsg<M>>, dim: u8, payload: M) {
+        let link = &mut self.out[dim as usize];
+        if link.dead {
+            return; // peer already declared dead; don't queue behind it
+        }
+        let seq = link.next_seq;
+        link.next_seq += 1;
+        link.unacked.insert(seq, (payload.clone(), 0, self.cfg.rto));
+        raw.send(
+            self.me.neighbor(dim),
+            ReliableMsg::Data { seq, payload },
+            self.latency,
+        );
+        raw.set_timer(self.cfg.rto, encode_tag(dim, seq));
+    }
+
+    fn handle_message(
+        &mut self,
+        raw: &mut Ctx<ReliableMsg<M>>,
+        from: NodeId,
+        msg: ReliableMsg<M>,
+    ) -> Vec<(NodeId, M)> {
+        let dim = self.dim_of(from);
+        match msg {
+            ReliableMsg::Ack { cum } => {
+                let link = &mut self.out[dim as usize];
+                link.unacked.retain(|&seq, _| seq > cum);
+                Vec::new()
+            }
+            ReliableMsg::Data { seq, payload } => {
+                let link = &mut self.inn[dim as usize];
+                let mut delivered = Vec::new();
+                if seq <= link.cum || link.buffer.contains_key(&seq) {
+                    self.duplicates_suppressed += 1;
+                } else {
+                    link.buffer.insert(seq, payload);
+                    while let Some(m) = link.buffer.remove(&(link.cum + 1)) {
+                        link.cum += 1;
+                        delivered.push((from, m));
+                    }
+                }
+                // Always (re-)acknowledge: a lost ACK is recovered by
+                // the retransmission this answer belongs to.
+                let cum = link.cum;
+                raw.send(from, ReliableMsg::Ack { cum }, self.latency);
+                raw.note_acks(1);
+                self.acks_sent += 1;
+                delivered
+            }
+        }
+    }
+
+    fn handle_timer(&mut self, raw: &mut Ctx<ReliableMsg<M>>, tag: u64) {
+        let (dim, seq) = decode_tag(tag);
+        let link = &mut self.out[dim as usize];
+        let Some((payload, attempts, rto)) = link.unacked.get_mut(&seq) else {
+            return; // acknowledged in the meantime — stale timer
+        };
+        if *attempts >= self.cfg.max_retries {
+            // The peer never answered across the whole backoff ladder:
+            // treat the link as dead and stop spending messages on it.
+            link.dead = true;
+            link.unacked.clear();
+            self.gave_up.push(dim);
+            return;
+        }
+        *attempts += 1;
+        *rto = (*rto * 2).min(self.cfg.rto_cap);
+        let delay = *rto;
+        let msg = ReliableMsg::Data {
+            seq,
+            payload: payload.clone(),
+        };
+        raw.send(self.me.neighbor(dim), msg, self.latency);
+        raw.set_timer(delay, tag);
+        raw.note_retransmits(1);
+        self.retransmits += 1;
+    }
+}
+
+/// Context handed to a [`ReliableActor`]: like [`Ctx`], but sends are
+/// sequenced/acknowledged and timer tags are checked against the
+/// reserved reliable-layer range.
+pub struct RelCtx<'a, M: Clone> {
+    raw: &'a mut Ctx<ReliableMsg<M>>,
+    ep: &'a mut ReliableEndpoint<M>,
+}
+
+impl<M: Clone> RelCtx<'_, M> {
+    /// The node executing the current callback.
+    pub fn self_id(&self) -> NodeId {
+        self.raw.self_id()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.raw.now()
+    }
+
+    /// Sends `msg` to neighbor `dst` with exactly-once, in-order
+    /// delivery (as long as the peer is alive and the loss rate is
+    /// below 1).
+    pub fn send_reliable(&mut self, dst: NodeId, msg: M) {
+        let dim = self.ep.dim_of(dst);
+        self.ep.send(self.raw, dim, msg);
+    }
+
+    /// Arms a timer for the inner actor. The tag must not use the
+    /// reserved high bit.
+    ///
+    /// # Panics
+    /// Panics if `tag` has bit 63 set (reserved for retransmission
+    /// timers).
+    pub fn set_timer(&mut self, delay: Time, tag: u64) {
+        assert_eq!(
+            tag & RELIABLE_TAG_BIT,
+            0,
+            "timer tag {tag:#x} collides with the reliable layer"
+        );
+        self.raw.set_timer(delay, tag);
+    }
+
+    /// Requests the whole simulation to stop after this callback.
+    pub fn halt(&mut self) {
+        self.raw.halt();
+    }
+
+    /// Read access to the transport state (retransmit counters,
+    /// dead links, in-flight count).
+    pub fn endpoint(&self) -> &ReliableEndpoint<M> {
+        self.ep
+    }
+}
+
+/// A per-node event handler whose sends are reliable. Mirror of
+/// [`Actor`] over [`RelCtx`].
+pub trait ReliableActor: Sized {
+    /// The message type exchanged between nodes.
+    type Msg: Clone;
+
+    /// Called once per node before any event is processed.
+    fn on_start(&mut self, _ctx: &mut RelCtx<Self::Msg>) {}
+
+    /// Called when a fresh in-order message from neighbor `from` is
+    /// delivered (duplicates never reach this).
+    fn on_message(&mut self, ctx: &mut RelCtx<Self::Msg>, from: NodeId, msg: Self::Msg);
+
+    /// Called when a timer armed via [`RelCtx::set_timer`] fires.
+    fn on_timer(&mut self, _ctx: &mut RelCtx<Self::Msg>, _tag: u64) {}
+}
+
+/// The [`Actor`] adapter running a [`ReliableActor`] over the reliable
+/// layer. Construct with [`Reliable::new`] and hand to
+/// [`crate::event_engine::EventEngine`] as usual.
+pub struct Reliable<A: ReliableActor> {
+    /// The wrapped protocol actor.
+    pub inner: A,
+    /// Transport state for this node.
+    pub endpoint: ReliableEndpoint<A::Msg>,
+}
+
+impl<A: ReliableActor> Reliable<A> {
+    /// Wraps `inner` for node `me` of an `n`-cube.
+    pub fn new(inner: A, me: NodeId, n: u8, latency: Time, cfg: ReliableConfig) -> Self {
+        Reliable {
+            inner,
+            endpoint: ReliableEndpoint::new(me, n, latency, cfg),
+        }
+    }
+}
+
+impl<A: ReliableActor> Actor for Reliable<A> {
+    type Msg = ReliableMsg<A::Msg>;
+
+    fn on_start(&mut self, ctx: &mut Ctx<Self::Msg>) {
+        let Reliable { inner, endpoint } = self;
+        inner.on_start(&mut RelCtx {
+            raw: ctx,
+            ep: endpoint,
+        });
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<Self::Msg>, from: NodeId, msg: Self::Msg) {
+        let delivered = self.endpoint.handle_message(ctx, from, msg);
+        for (src, m) in delivered {
+            let Reliable { inner, endpoint } = self;
+            inner.on_message(
+                &mut RelCtx {
+                    raw: ctx,
+                    ep: endpoint,
+                },
+                src,
+                m,
+            );
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<Self::Msg>, tag: u64) {
+        if tag & RELIABLE_TAG_BIT != 0 {
+            self.endpoint.handle_timer(ctx, tag);
+        } else {
+            let Reliable { inner, endpoint } = self;
+            inner.on_timer(
+                &mut RelCtx {
+                    raw: ctx,
+                    ep: endpoint,
+                },
+                tag,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::ChannelModel;
+    use crate::event_engine::EventEngine;
+    use hypersafe_topology::{FaultConfig, FaultSet, Hypercube};
+
+    /// Node 0 streams `count` numbered messages to node 1; node 1 logs
+    /// what the reliable layer surfaces.
+    struct Stream {
+        count: u64,
+        log: Vec<u64>,
+    }
+
+    impl ReliableActor for Stream {
+        type Msg = u64;
+
+        fn on_start(&mut self, ctx: &mut RelCtx<u64>) {
+            if ctx.self_id() == NodeId::ZERO {
+                for k in 0..self.count {
+                    ctx.send_reliable(ctx.self_id().neighbor(0), k);
+                }
+            }
+        }
+
+        fn on_message(&mut self, _ctx: &mut RelCtx<u64>, _from: NodeId, msg: u64) {
+            self.log.push(msg);
+        }
+    }
+
+    fn stream_run(
+        channel: Option<ChannelModel>,
+        count: u64,
+    ) -> (Vec<u64>, crate::stats::EventStats) {
+        let cube = Hypercube::new(1);
+        let cfg = FaultConfig::fault_free(cube);
+        let init = |a: NodeId| {
+            Reliable::new(
+                Stream { count, log: vec![] },
+                a,
+                1,
+                1,
+                ReliableConfig::default(),
+            )
+        };
+        let mut eng = match channel {
+            Some(ch) => EventEngine::with_channel(&cfg, ch, init),
+            None => EventEngine::new(&cfg, init),
+        };
+        eng.run(1_000_000);
+        let stats = eng.stats().clone();
+        (eng.actor(NodeId::new(1)).unwrap().inner.log.clone(), stats)
+    }
+
+    #[test]
+    fn clean_channel_no_retransmits() {
+        let (log, stats) = stream_run(None, 10);
+        assert_eq!(log, (0..10).collect::<Vec<_>>());
+        assert_eq!(
+            stats.retransmitted, 0,
+            "ACKs beat every timer on a clean link"
+        );
+        assert_eq!(stats.acked, 10);
+        assert_eq!(stats.lost, 0);
+    }
+
+    #[test]
+    fn lossy_jittery_duplicating_channel_delivers_exactly_once_in_order() {
+        let ch = ChannelModel::new(0xBEEF)
+            .with_loss(0.3)
+            .with_jitter(4)
+            .with_duplication(0.15);
+        let (log, stats) = stream_run(Some(ch), 25);
+        assert_eq!(log, (0..25).collect::<Vec<_>>(), "exactly once, in order");
+        assert!(stats.lost > 0, "the channel did lose messages");
+        assert!(stats.retransmitted > 0, "losses forced retransmissions");
+    }
+
+    #[test]
+    fn determinism_same_seed_same_run() {
+        let mk = || ChannelModel::new(7).with_loss(0.2).with_jitter(3);
+        let a = stream_run(Some(mk()), 15);
+        let b = stream_run(Some(mk()), 15);
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1, "identical stats, tick for tick");
+    }
+
+    #[test]
+    fn dead_peer_makes_sender_give_up_bounded() {
+        let cube = Hypercube::new(2);
+        let mut faults = FaultSet::new(cube);
+        faults.insert(NodeId::new(1));
+        let cfg = FaultConfig::with_node_faults(cube, faults);
+        let rcfg = ReliableConfig {
+            rto: 2,
+            rto_cap: 16,
+            max_retries: 5,
+        };
+        let mut eng = EventEngine::new(&cfg, |a| {
+            Reliable::new(
+                Stream {
+                    count: if a == NodeId::ZERO { 1 } else { 0 },
+                    log: vec![],
+                },
+                a,
+                2,
+                1,
+                rcfg,
+            )
+        });
+        let events = eng.run(100_000);
+        assert!(events < 100_000, "run drains: give-up bounds the retries");
+        let ep = &eng.actor(NodeId::ZERO).unwrap().endpoint;
+        assert_eq!(ep.gave_up_dims(), &[0], "dimension 0 declared dead");
+        assert_eq!(ep.retransmits(), 5, "exactly max_retries attempts");
+        assert_eq!(ep.in_flight(), 0, "abandoned messages are cleared");
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        // With rto 2 and cap 8, retransmissions of an unreachable peer
+        // happen at t = 2, then +4, +8, +8... — verify via end_time.
+        let cube = Hypercube::new(1);
+        let mut faults = FaultSet::new(cube);
+        faults.insert(NodeId::new(1));
+        let cfg = FaultConfig::with_node_faults(cube, faults);
+        let rcfg = ReliableConfig {
+            rto: 2,
+            rto_cap: 8,
+            max_retries: 4,
+        };
+        let mut eng = EventEngine::new(&cfg, |a| {
+            Reliable::new(
+                Stream {
+                    count: 1,
+                    log: vec![],
+                },
+                a,
+                1,
+                1,
+                rcfg,
+            )
+        });
+        eng.run(u64::MAX);
+        // Timer chain: 2, 2+4=6, 6+8=14, 14+8=22, give-up check at 30.
+        assert_eq!(eng.stats().end_time, 30);
+    }
+
+    #[test]
+    #[should_panic]
+    fn inner_timer_tag_collision_rejected() {
+        struct Bad;
+        impl ReliableActor for Bad {
+            type Msg = ();
+            fn on_start(&mut self, ctx: &mut RelCtx<()>) {
+                ctx.set_timer(1, RELIABLE_TAG_BIT | 3);
+            }
+            fn on_message(&mut self, _: &mut RelCtx<()>, _: NodeId, _: ()) {}
+        }
+        let cube = Hypercube::new(1);
+        let cfg = FaultConfig::fault_free(cube);
+        let _ = EventEngine::new(&cfg, |a| Bad.into_reliable(a));
+    }
+
+    trait IntoReliable: ReliableActor {
+        fn into_reliable(self, me: NodeId) -> Reliable<Self> {
+            Reliable::new(self, me, 1, 1, ReliableConfig::default())
+        }
+    }
+    impl<A: ReliableActor> IntoReliable for A {}
+}

@@ -22,6 +22,17 @@ pub struct EventStats {
     pub delivered: u64,
     /// Messages dropped at a faulty destination or over a faulty link.
     pub dropped: u64,
+    /// Messages lost by the [`crate::channel::ChannelModel`] (loss is
+    /// channel noise on a usable link; `dropped` is fault-stop silence).
+    pub lost: u64,
+    /// Extra copies injected by channel duplication.
+    pub duplicated: u64,
+    /// Retransmissions performed by the reliable layer
+    /// (`crate::reliable`), reported via [`crate::event_engine::Ctx::note_retransmits`].
+    pub retransmitted: u64,
+    /// Acknowledgements sent by the reliable layer, reported via
+    /// [`crate::event_engine::Ctx::note_acks`].
+    pub acked: u64,
     /// Timer events fired.
     pub timers: u64,
     /// Virtual time of the last processed event.
@@ -42,7 +53,12 @@ impl Histogram {
     /// Histogram over the values `0..buckets`; anything larger lands in
     /// the overflow bucket.
     pub fn new(buckets: usize) -> Self {
-        Histogram { counts: vec![0; buckets], overflow: 0, total: 0, sum: 0 }
+        Histogram {
+            counts: vec![0; buckets],
+            overflow: 0,
+            total: 0,
+            sum: 0,
+        }
     }
 
     /// Records one observation.

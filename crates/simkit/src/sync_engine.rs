@@ -48,7 +48,11 @@ impl<'a, N: SyncNode> SyncEngine<'a, N> {
             .nodes()
             .map(|a| (!cfg.node_faulty(a)).then(|| init(a)))
             .collect();
-        SyncEngine { cfg, nodes, stats: SyncStats::default() }
+        SyncEngine {
+            cfg,
+            nodes,
+            stats: SyncStats::default(),
+        }
     }
 
     /// The fault configuration this engine runs over.
@@ -192,10 +196,7 @@ mod tests {
     fn faulty_nodes_do_not_participate() {
         let cube = Hypercube::new(3);
         // Make node 0 (the global min) faulty: min among healthy is 1.
-        let cfg = FaultConfig::with_node_faults(
-            cube,
-            FaultSet::from_binary_strs(cube, &["000"]),
-        );
+        let cfg = FaultConfig::with_node_faults(cube, FaultSet::from_binary_strs(cube, &["000"]));
         let mut eng = SyncEngine::new(&cfg, |a| MinNode { value: a.raw() });
         eng.run_until_stable(16);
         assert!(eng.node(NodeId::new(0)).is_none());
@@ -231,16 +232,17 @@ mod tests {
         let cfg = FaultConfig::fault_free(cube);
         let mut eng = SyncEngine::new(&cfg, |_| MinNode { value: 7 });
         assert_eq!(eng.run_until_stable(10), 0);
-        assert_eq!(eng.stats().rounds_run, 1, "one probe round to detect quiescence");
+        assert_eq!(
+            eng.stats().rounds_run,
+            1,
+            "one probe round to detect quiescence"
+        );
     }
 
     #[test]
     fn into_states_returns_healthy_nodes() {
         let cube = Hypercube::new(3);
-        let cfg = FaultConfig::with_node_faults(
-            cube,
-            FaultSet::from_binary_strs(cube, &["101"]),
-        );
+        let cfg = FaultConfig::with_node_faults(cube, FaultSet::from_binary_strs(cube, &["101"]));
         let eng = SyncEngine::new(&cfg, |a| MinNode { value: a.raw() });
         let states = eng.into_states();
         assert_eq!(states.len(), 7);

@@ -40,10 +40,20 @@ pub enum TraceEvent {
 impl fmt::Display for TraceEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            TraceEvent::Hop { from, to, dim, word } => {
+            TraceEvent::Hop {
+                from,
+                to,
+                dim,
+                word,
+            } => {
                 write!(f, "hop {from} → {to} (dim {dim}, word {word:b})")
             }
-            TraceEvent::StateChange { node, old, new, round } => {
+            TraceEvent::StateChange {
+                node,
+                old,
+                new,
+                round,
+            } => {
                 write!(f, "round {round}: {node} level {old} → {new}")
             }
             TraceEvent::Note(s) => write!(f, "{s}"),
@@ -62,7 +72,10 @@ pub struct Trace {
 impl Trace {
     /// A recording trace.
     pub fn enabled() -> Self {
-        Trace { events: Vec::new(), enabled: true }
+        Trace {
+            events: Vec::new(),
+            enabled: true,
+        }
     }
 
     /// A no-op trace that drops all events.
@@ -84,7 +97,12 @@ impl Trace {
 
     /// Records a hop event.
     pub fn hop(&mut self, from: NodeId, to: NodeId, dim: u8, word: u64) {
-        self.push(TraceEvent::Hop { from, to, dim, word });
+        self.push(TraceEvent::Hop {
+            from,
+            to,
+            dim,
+            word,
+        });
     }
 
     /// Records a free-form note (formatted eagerly only when enabled).

@@ -175,7 +175,9 @@ mod tests {
     fn faulty_source_reaches_nothing() {
         let cfg = cfg4(&["0000"]);
         assert_eq!(shortest_path_len(&cfg, NodeId::ZERO, NodeId::new(1)), None);
-        assert!(bfs_distances(&cfg, NodeId::ZERO).iter().all(|&d| d == UNREACHED));
+        assert!(bfs_distances(&cfg, NodeId::ZERO)
+            .iter()
+            .all(|&d| d == UNREACHED));
     }
 
     #[test]
@@ -185,7 +187,11 @@ mod tests {
         let a = NodeId::new(0b000);
         let b = NodeId::new(0b001);
         cfg.link_faults_mut().insert(a, b);
-        assert_eq!(shortest_path_len(&cfg, a, b), Some(3), "around the missing link");
+        assert_eq!(
+            shortest_path_len(&cfg, a, b),
+            Some(3),
+            "around the missing link"
+        );
         assert!(is_connected(&cfg));
     }
 

@@ -19,7 +19,10 @@ impl Hypercube {
     /// Panics if `n == 0` or `n > MAX_DIM`: a zero-dimensional cube has
     /// no links and none of the paper's machinery applies to it.
     pub fn new(n: u8) -> Self {
-        assert!((1..=MAX_DIM).contains(&n), "dimension must be in 1..={MAX_DIM}, got {n}");
+        assert!(
+            (1..=MAX_DIM).contains(&n),
+            "dimension must be in 1..={MAX_DIM}, got {n}"
+        );
         Hypercube { n }
     }
 

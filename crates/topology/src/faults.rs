@@ -26,7 +26,11 @@ impl FaultSet {
     /// Empty fault set able to hold addresses `0..capacity`.
     pub fn with_capacity(capacity: u64) -> Self {
         let words = capacity.div_ceil(64) as usize;
-        FaultSet { bits: vec![0; words], len: 0, capacity }
+        FaultSet {
+            bits: vec![0; words],
+            len: 0,
+            capacity,
+        }
     }
 
     /// Builds a fault set from an iterator of faulty addresses.
@@ -196,12 +200,20 @@ pub struct FaultConfig {
 impl FaultConfig {
     /// A fault-free instance of `cube`.
     pub fn fault_free(cube: Hypercube) -> Self {
-        FaultConfig { cube, nodes: FaultSet::new(cube), links: LinkFaultSet::new() }
+        FaultConfig {
+            cube,
+            nodes: FaultSet::new(cube),
+            links: LinkFaultSet::new(),
+        }
     }
 
     /// An instance with the given faulty nodes and no faulty links.
     pub fn with_node_faults(cube: Hypercube, nodes: FaultSet) -> Self {
-        FaultConfig { cube, nodes, links: LinkFaultSet::new() }
+        FaultConfig {
+            cube,
+            nodes,
+            links: LinkFaultSet::new(),
+        }
     }
 
     /// An instance with both faulty nodes and faulty links (§4.1).

@@ -50,7 +50,11 @@ impl GeneralizedHypercube {
             total = total.checked_mul(m as u64).expect("node count overflow");
             assert!(total <= 1 << 30, "node count too large");
         }
-        GeneralizedHypercube { radices: radices.to_vec(), strides, num_nodes: total }
+        GeneralizedHypercube {
+            radices: radices.to_vec(),
+            strides,
+            num_nodes: total,
+        }
     }
 
     /// Convenience constructor matching the paper's `m_{n-1} × … × m_0`
@@ -153,20 +157,26 @@ impl GeneralizedHypercube {
 
     /// Number of differing coordinates — the GH distance.
     pub fn distance(&self, a: GhNode, b: GhNode) -> u32 {
-        (0..self.dim()).filter(|&i| self.digit(a, i) != self.digit(b, i)).count() as u32
+        (0..self.dim())
+            .filter(|&i| self.digit(a, i) != self.digit(b, i))
+            .count() as u32
     }
 
     /// Dimensions in which `a` and `b` differ (the preferred dimensions
     /// of the pair).
     pub fn differing_dims(&self, a: GhNode, b: GhNode) -> Vec<u8> {
-        (0..self.dim()).filter(|&i| self.digit(a, i) != self.digit(b, i)).collect()
+        (0..self.dim())
+            .filter(|&i| self.digit(a, i) != self.digit(b, i))
+            .collect()
     }
 
     /// The `m_i − 1` neighbors of `a` along dimension `i` (the rest of
     /// its dimension-`i` clique).
     pub fn neighbors_along<'a>(&'a self, a: GhNode, i: u8) -> impl Iterator<Item = GhNode> + 'a {
         let cur = self.digit(a, i);
-        (0..self.radix(i)).filter(move |&v| v != cur).map(move |v| self.with_digit(a, i, v))
+        (0..self.radix(i))
+            .filter(move |&v| v != cur)
+            .map(move |v| self.with_digit(a, i, v))
     }
 
     /// All neighbors of `a`: `Σ (m_i − 1)` nodes.
@@ -190,7 +200,9 @@ impl GeneralizedHypercube {
     pub fn fault_set_from_strs(&self, strs: &[&str]) -> FaultSet {
         let mut f = self.fault_set();
         for s in strs {
-            let node = self.parse(s).unwrap_or_else(|| panic!("bad GH address {s:?}"));
+            let node = self
+                .parse(s)
+                .unwrap_or_else(|| panic!("bad GH address {s:?}"));
             f.insert(NodeId::new(node.0));
         }
         f
@@ -242,8 +254,18 @@ mod tests {
         let along1: Vec<String> = gh.neighbors_along(a, 1).map(|b| gh.format(b)).collect();
         assert_eq!(along1, vec!["000", "020"]);
         // Neighbor along dimension 0 is 011; along dimension 2 is 110.
-        assert_eq!(gh.neighbors_along(a, 0).map(|b| gh.format(b)).collect::<Vec<_>>(), vec!["011"]);
-        assert_eq!(gh.neighbors_along(a, 2).map(|b| gh.format(b)).collect::<Vec<_>>(), vec!["110"]);
+        assert_eq!(
+            gh.neighbors_along(a, 0)
+                .map(|b| gh.format(b))
+                .collect::<Vec<_>>(),
+            vec!["011"]
+        );
+        assert_eq!(
+            gh.neighbors_along(a, 2)
+                .map(|b| gh.format(b))
+                .collect::<Vec<_>>(),
+            vec!["110"]
+        );
     }
 
     #[test]

@@ -60,7 +60,10 @@ impl Subcube {
                 _ => panic!("bad subcube char {c:?}"),
             }
         }
-        Subcube { fixed_ones, free_mask }
+        Subcube {
+            fixed_ones,
+            free_mask,
+        }
     }
 
     /// Number of free dimensions (the subcube's own dimension).

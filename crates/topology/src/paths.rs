@@ -205,16 +205,18 @@ mod tests {
         let p = Path::from_nodes(vec![n(0b0000), n(0b0001), n(0b0011)]);
         let ok = FaultConfig::fault_free(cube);
         assert!(p.traversable(&ok, false));
-        let mid_faulty = FaultConfig::with_node_faults(
-            cube,
-            FaultSet::from_binary_strs(cube, &["0001"]),
+        let mid_faulty =
+            FaultConfig::with_node_faults(cube, FaultSet::from_binary_strs(cube, &["0001"]));
+        assert!(
+            !p.traversable(&mid_faulty, true),
+            "faulty intermediate is fatal"
         );
-        assert!(!p.traversable(&mid_faulty, true), "faulty intermediate is fatal");
-        let dest_faulty = FaultConfig::with_node_faults(
-            cube,
-            FaultSet::from_binary_strs(cube, &["0011"]),
+        let dest_faulty =
+            FaultConfig::with_node_faults(cube, FaultSet::from_binary_strs(cube, &["0011"]));
+        assert!(
+            p.traversable(&dest_faulty, true),
+            "faulty destination allowed"
         );
-        assert!(p.traversable(&dest_faulty, true), "faulty destination allowed");
         assert!(!p.traversable(&dest_faulty, false));
     }
 

@@ -58,7 +58,10 @@ pub fn subcube_faults<R: Rng + ?Sized>(cube: Hypercube, k: u8, rng: &mut R) -> F
     dims.shuffle(rng);
     let free: u64 = dims[..k as usize].iter().map(|&i| 1u64 << i).sum();
     let fixed_ones = rng.gen_range(0..cube.num_nodes()) & !free;
-    let sc = Subcube { fixed_ones, free_mask: free };
+    let sc = Subcube {
+        fixed_ones,
+        free_mask: free,
+    };
     let mut f = FaultSet::new(cube);
     for a in sc.nodes() {
         f.insert(a);
@@ -123,9 +126,8 @@ mod tests {
         // Ranks are contiguous mod 2^n.
         let ranks: Vec<u64> = nodes.iter().map(|&a| gray::gray_rank(a)).collect();
         let total = cube.num_nodes();
-        let is_contig = (0..total).any(|start| {
-            (0..7u64).all(|k| ranks.contains(&((start + k) % total)))
-        });
+        let is_contig =
+            (0..total).any(|start| (0..7u64).all(|k| ranks.contains(&((start + k) % total))));
         assert!(is_contig);
     }
 

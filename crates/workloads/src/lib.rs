@@ -3,17 +3,22 @@
 //! Workload generation for the experiment harness: fault-injection
 //! patterns (uniform, clustered, subcube, link), disconnecting fault
 //! sets for the §3.3 experiments, source/destination pair samplers,
-//! and the seeded rayon-parallel Monte-Carlo sweep driver.
+//! channel loss profiles for the reliability experiments, and the
+//! seeded rayon-parallel Monte-Carlo sweep driver.
 #![warn(missing_docs)]
 
 pub mod embedded;
 pub mod fault_gen;
+pub mod loss;
 pub mod pairs;
 pub mod partition;
 pub mod sweep;
 
-pub use embedded::{bit_reversal_pairs, exchange_pairs, pattern_names, pattern_pairs, ring_pairs, torus_pairs};
+pub use embedded::{
+    bit_reversal_pairs, exchange_pairs, pattern_names, pattern_pairs, ring_pairs, torus_pairs,
+};
 pub use fault_gen::{clustered_faults, subcube_faults, uniform_faults, uniform_link_faults};
+pub use loss::{random_profile, LossProfile, STANDARD_PROFILES};
 pub use pairs::{random_healthy, random_pair, random_pair_at_distance};
 pub use partition::{corner_cut, is_disconnecting, random_disconnecting, subcube_cut};
 pub use sweep::{ci95, mean, stddev, Sweep};

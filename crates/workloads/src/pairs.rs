@@ -73,10 +73,7 @@ mod tests {
 
     fn cfg() -> FaultConfig {
         let cube = Hypercube::new(5);
-        FaultConfig::with_node_faults(
-            cube,
-            FaultSet::from_binary_strs(cube, &["00000", "10101"]),
-        )
+        FaultConfig::with_node_faults(cube, FaultSet::from_binary_strs(cube, &["00000", "10101"]))
     }
 
     #[test]

@@ -22,7 +22,10 @@ pub fn corner_cut(cube: Hypercube, corner: NodeId) -> FaultSet {
 pub fn subcube_cut(cube: Hypercube, seed: NodeId, k: u8) -> FaultSet {
     assert!(k < cube.dim());
     let free: u64 = (1u64 << k) - 1;
-    let sc = Subcube { fixed_ones: seed.raw() & !free, free_mask: free };
+    let sc = Subcube {
+        fixed_ones: seed.raw() & !free,
+        free_mask: free,
+    };
     let mut f = FaultSet::new(cube);
     for a in sc.nodes() {
         for (dim, b) in cube.neighbors_with_dims(a) {
@@ -91,7 +94,10 @@ mod tests {
         assert!(is_disconnecting(cube, &f));
         let cfg = FaultConfig::with_node_faults(cube, f);
         let comps = connectivity::components(&cfg);
-        assert!(comps.iter().any(|c| c.len() == 4), "the 2-subcube is one part");
+        assert!(
+            comps.iter().any(|c| c.len() == 4),
+            "the 2-subcube is one part"
+        );
     }
 
     #[test]

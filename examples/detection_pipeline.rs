@@ -14,13 +14,19 @@ use hypersafe::topology::{FaultConfig, Hypercube, NodeId};
 use hypersafe::workloads::{random_pair, uniform_faults, Sweep};
 
 fn main() {
-    let seed: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(11);
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(11);
     let cube = Hypercube::new(6);
     let mut rng = Sweep::new(1, seed).trial_rng(0);
     let cfg = FaultConfig::with_node_faults(cube, uniform_faults(cube, 5, &mut rng));
     println!(
         "6-cube, faults: {:?}",
-        cfg.node_faults().iter().map(|a| a.to_binary(6)).collect::<Vec<_>>()
+        cfg.node_faults()
+            .iter()
+            .map(|a| a.to_binary(6))
+            .collect::<Vec<_>>()
     );
 
     // Stage 1 — detection: every node learns its neighbors' status by

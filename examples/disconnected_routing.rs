@@ -65,9 +65,10 @@ fn main() {
     let aborts = cfg
         .healthy_nodes()
         .filter(|&d| d != isolated)
-        .filter(|&d| {
-            matches!(route(&cfg, &map, isolated, d).decision, Decision::Failure)
-        })
+        .filter(|&d| matches!(route(&cfg, &map, isolated, d).decision, Decision::Failure))
         .count();
-    println!("\nunicasts from isolated 1110: {aborts}/{} abort at the source", cfg.healthy_count() - 1);
+    println!(
+        "\nunicasts from isolated 1110: {aborts}/{} abort at the source",
+        cfg.healthy_count() - 1
+    );
 }

@@ -13,7 +13,10 @@ use hypersafe::workloads::{random_pair, uniform_faults, Sweep};
 use hypersafe_experiments::maintenance_exp::{random_timeline, MaintenanceParams};
 
 fn main() {
-    let seed: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2026);
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2026);
     let cube = Hypercube::new(7);
 
     // Phase 1: a static snapshot — inject faults, converge GS, then
@@ -58,7 +61,11 @@ fn main() {
     };
     let mut rng = Sweep::new(1, seed ^ 0xC0FFEE).trial_rng(0);
     let timeline = random_timeline(&params, &mut rng);
-    println!("  timeline: {} events over {} ticks", timeline.events().len(), timeline.duration());
+    println!(
+        "  timeline: {} events over {} ticks",
+        timeline.events().len(),
+        timeline.duration()
+    );
     for (name, strat) in [
         ("demand-driven ", Strategy::DemandDriven),
         ("periodic T=40 ", Strategy::Periodic { period: 40 }),

@@ -16,7 +16,11 @@ fn main() {
     let faults = gh.fault_set_from_strs(&["011", "100", "111", "121"]);
     let map = GhSafetyMap::compute(&gh, &faults);
 
-    println!("GH(2,3,2): {} nodes, degree {}", gh.num_nodes(), gh.degree());
+    println!(
+        "GH(2,3,2): {} nodes, degree {}",
+        gh.num_nodes(),
+        gh.degree()
+    );
     println!("\nnode  level  status");
     for a in gh.nodes() {
         let status = if faults.contains(NodeId::new(a.raw())) {
@@ -35,7 +39,12 @@ fn main() {
     println!("\nunicast 010 → 101 (distance {}):", gh.distance(s, d));
     let res = gh_route(&gh, &map, &faults, s, d);
     assert_eq!(res.decision, GhDecision::Optimal);
-    let walk: Vec<String> = res.nodes.expect("routed").iter().map(|&a| gh.format(a)).collect();
+    let walk: Vec<String> = res
+        .nodes
+        .expect("routed")
+        .iter()
+        .map(|&a| gh.format(a))
+        .collect();
     println!("  optimal walk: {}", walk.join(" → "));
     println!("  delivered: {}", res.delivered);
 
@@ -50,7 +59,11 @@ fn main() {
                 i,
                 gh.format(b),
                 map.level(b),
-                if map.level(b) >= 2 { "  ← eligible" } else { "" }
+                if map.level(b) >= 2 {
+                    "  ← eligible"
+                } else {
+                    ""
+                }
             );
         }
     }

@@ -39,13 +39,24 @@ fn main() {
     let res = route_traced(&cfg, &map, s, d, &mut trace);
 
     match res.decision {
-        Decision::Optimal { condition: Condition::C1, .. } => {
-            println!("\nC1 holds: S(s) = {} ≥ H = {}", map.level(s), s.distance(d));
+        Decision::Optimal {
+            condition: Condition::C1,
+            ..
+        } => {
+            println!(
+                "\nC1 holds: S(s) = {} ≥ H = {}",
+                map.level(s),
+                s.distance(d)
+            );
         }
         other => println!("\ndecision: {other:?}"),
     }
     let path = res.path.expect("feasible");
     println!("route: {}", path.render(4));
-    println!("optimal: {} · delivered: {}", path.is_optimal(), res.delivered);
+    println!(
+        "optimal: {} · delivered: {}",
+        path.is_optimal(),
+        res.delivered
+    );
     println!("\nhop trace:\n{}", trace.render());
 }

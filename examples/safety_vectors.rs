@@ -5,20 +5,24 @@
 //! cargo run --example safety_vectors [seed]
 //! ```
 
-use hypersafe::safety::{
-    source_decision, Decision, ExactReach, SafetyMap, SafetyVectorMap,
-};
+use hypersafe::safety::{source_decision, Decision, ExactReach, SafetyMap, SafetyVectorMap};
 use hypersafe::topology::{FaultConfig, Hypercube};
 use hypersafe::workloads::{uniform_faults, Sweep};
 
 fn main() {
-    let seed: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1813);
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1813);
     let cube = Hypercube::new(6);
     let mut rng = Sweep::new(1, seed).trial_rng(0);
     let cfg = FaultConfig::with_node_faults(cube, uniform_faults(cube, 9, &mut rng));
     println!(
         "6-cube, 9 faults: {:?}\n",
-        cfg.node_faults().iter().map(|a| a.to_binary(6)).collect::<Vec<_>>()
+        cfg.node_faults()
+            .iter()
+            .map(|a| a.to_binary(6))
+            .collect::<Vec<_>>()
     );
 
     let map = SafetyMap::compute(&cfg);
@@ -27,15 +31,18 @@ fn main() {
 
     println!("node     level  vector(1..6)  exact(1..6)");
     for a in cfg.healthy_nodes() {
-        let vect: String = (1..=6).map(|k| if vmap.covers(a, k) { '1' } else { '0' }).collect();
+        let vect: String = (1..=6)
+            .map(|k| if vmap.covers(a, k) { '1' } else { '0' })
+            .collect();
         let exact: String = ex
             .reach_vector(a)
             .iter()
             .map(|&b| if b { '1' } else { '0' })
             .collect();
         // Show only nodes where the three representations differ.
-        let scalar_prefix: String =
-            (1..=6).map(|k| if k <= map.level(a) { '1' } else { '0' }).collect();
+        let scalar_prefix: String = (1..=6)
+            .map(|k| if k <= map.level(a) { '1' } else { '0' })
+            .collect();
         if vect != scalar_prefix || vect != exact {
             println!(
                 "{}      {}    {}        {}",
@@ -59,8 +66,7 @@ fn main() {
             }
             total += 1;
             feasible += ex.optimal_path_exists(s, d) as u32;
-            scalar +=
-                matches!(source_decision(&map, s, d), Decision::Optimal { .. }) as u32;
+            scalar += matches!(source_decision(&map, s, d), Decision::Optimal { .. }) as u32;
             vector += vmap.admits_optimal(&cfg, s, d) as u32;
         }
     }

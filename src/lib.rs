@@ -25,15 +25,15 @@
 //! assert!(matches!(res.decision, Decision::Optimal { .. }));
 //! ```
 
-/// Topology substrate: `Q_n`, `GH_n`, faults, connectivity, paths.
-pub use hypersafe_topology as topology;
-/// Simulation substrate: synchronous rounds and discrete events.
-pub use hypersafe_simkit as simkit;
-/// The paper's contribution: safety levels and unicasting.
-pub use hypersafe_core as safety;
 /// Baseline routing schemes ([2], [3], [4], [5], [7], [8], [10]).
 pub use hypersafe_baselines as baselines;
-/// Fault-injection workloads and Monte-Carlo sweeps.
-pub use hypersafe_workloads as workloads;
+/// The paper's contribution: safety levels and unicasting.
+pub use hypersafe_core as safety;
 /// Figure/claim regeneration harness.
 pub use hypersafe_experiments as experiments;
+/// Simulation substrate: synchronous rounds and discrete events.
+pub use hypersafe_simkit as simkit;
+/// Topology substrate: `Q_n`, `GH_n`, faults, connectivity, paths.
+pub use hypersafe_topology as topology;
+/// Fault-injection workloads and Monte-Carlo sweeps.
+pub use hypersafe_workloads as workloads;

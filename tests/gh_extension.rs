@@ -63,13 +63,15 @@ fn routing_contracts_on_random_gh_instances() {
                     let res = gh_route(&gh, &map, &f, s, d);
                     match res.decision {
                         GhDecision::Optimal
-                            if (!res.delivered || res.hops() != Some(gh.distance(s, d))) => {
-                                bad += 1;
-                            }
+                            if (!res.delivered || res.hops() != Some(gh.distance(s, d))) =>
+                        {
+                            bad += 1;
+                        }
                         GhDecision::Suboptimal
-                            if (!res.delivered || res.hops() != Some(gh.distance(s, d) + 2)) => {
-                                bad += 1;
-                            }
+                            if (!res.delivered || res.hops() != Some(gh.distance(s, d) + 2)) =>
+                        {
+                            bad += 1;
+                        }
                         _ => {}
                     }
                 }

@@ -20,7 +20,12 @@ fn figure1_full_regeneration() {
 
 #[test]
 fn figure2_claims_hold_at_ci_scale() {
-    let p = fig2::Fig2Params { n: 7, max_faults: 8, trials: 120, seed: 0xA11CE };
+    let p = fig2::Fig2Params {
+        n: 7,
+        max_faults: 8,
+        trials: 120,
+        seed: 0xA11CE,
+    };
     let rep = fig2::run(&p);
     assert!(rep.notes.iter().any(|s| s.contains("HOLDS")));
     // Mean rounds grow monotonically enough to be plotted but never
@@ -51,7 +56,10 @@ fn figure5_reconstruction_and_walk() {
     let rep = fig5::run();
     let notes = rep.notes.join("\n");
     assert!(notes.contains("010"));
-    assert!(notes.contains("discrepancies"), "paper inconsistencies are documented");
+    assert!(
+        notes.contains("discrepancies"),
+        "paper inconsistencies are documented"
+    );
 }
 
 #[test]
@@ -76,11 +84,26 @@ fn paper_narrated_paths_via_public_api() {
     let map = SafetyMap::compute(&cfg);
 
     let r1 = route(&cfg, &map, n("1110"), n("0001"));
-    assert!(matches!(r1.decision, Decision::Optimal { condition: Condition::C1, .. }));
-    assert_eq!(r1.path.unwrap().render(4), "1110 → 1111 → 1101 → 0101 → 0001");
+    assert!(matches!(
+        r1.decision,
+        Decision::Optimal {
+            condition: Condition::C1,
+            ..
+        }
+    ));
+    assert_eq!(
+        r1.path.unwrap().render(4),
+        "1110 → 1111 → 1101 → 0101 → 0001"
+    );
 
     let r2 = route(&cfg, &map, n("0001"), n("1100"));
-    assert!(matches!(r2.decision, Decision::Optimal { condition: Condition::C2, .. }));
+    assert!(matches!(
+        r2.decision,
+        Decision::Optimal {
+            condition: Condition::C2,
+            ..
+        }
+    ));
     assert_eq!(r2.path.unwrap().render(4), "0001 → 0000 → 1000 → 1100");
 }
 

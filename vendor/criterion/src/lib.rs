@@ -1,0 +1,212 @@
+//! Offline minimal bench harness exposing the `criterion` 0.5 API
+//! surface this workspace uses: `criterion_group!`/`criterion_main!`,
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_with_input`],
+//! [`BenchmarkId`], and [`Bencher::iter`].
+//!
+//! Instead of criterion's full statistical machinery it takes a short
+//! calibrated measurement (warmup + timed batches, median of batch
+//! means) and prints one line per benchmark. Good enough to compare
+//! hot paths locally and to keep `cargo bench --no-run` green in CI;
+//! not a replacement for criterion's confidence intervals.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall time spent measuring each benchmark.
+const MEASURE_BUDGET: Duration = Duration::from_millis(200);
+/// Number of timed batches the budget is split into.
+const BATCHES: usize = 10;
+
+/// Benchmark identifier: a function name plus an optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Just a parameter, for groups whose name already identifies the
+    /// function.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timing loop handle passed to every benchmark closure.
+pub struct Bencher {
+    /// Median batch mean, filled in by [`Bencher::iter`].
+    elapsed_per_iter: f64,
+}
+
+impl Bencher {
+    /// Measures `f`: one warmup call, then [`BATCHES`] timed batches
+    /// sized to fit the measurement budget; records the median of the
+    /// batch means (robust to scheduler noise).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup + calibration: how long does one call take?
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let per_batch = MEASURE_BUDGET / BATCHES as u32;
+        let iters_per_batch = (per_batch.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        let mut means = Vec::with_capacity(BATCHES);
+        for _ in 0..BATCHES {
+            let t = Instant::now();
+            for _ in 0..iters_per_batch {
+                black_box(f());
+            }
+            means.push(t.elapsed().as_nanos() as f64 / iters_per_batch as f64);
+        }
+        means.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        self.elapsed_per_iter = means[means.len() / 2];
+    }
+}
+
+fn run_one(full_id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        elapsed_per_iter: 0.0,
+    };
+    f(&mut b);
+    let ns = b.elapsed_per_iter;
+    if ns >= 1e6 {
+        println!("{full_id:<60} {:>12.3} ms/iter", ns / 1e6);
+    } else if ns >= 1e3 {
+        println!("{full_id:<60} {:>12.3} µs/iter", ns / 1e3);
+    } else {
+        println!("{full_id:<60} {:>12.1} ns/iter", ns);
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _c: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Accepted for API compatibility; the vendored harness sizes its
+    /// sampling by wall-clock budget instead.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` under this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        run_one(&full, &mut f);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        run_one(&full, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _c: self,
+        }
+    }
+
+    /// Benchmarks a standalone function.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into().id, &mut f);
+        self
+    }
+}
+
+/// Declares a group-runner function from benchmark functions, like
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` from one or more `criterion_group!` names.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher {
+            elapsed_per_iter: 0.0,
+        };
+        b.iter(|| std::hint::black_box((0..100u64).sum::<u64>()));
+        assert!(b.elapsed_per_iter > 0.0);
+    }
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::new("f", 8).id, "f/8");
+        assert_eq!(BenchmarkId::from_parameter(3).id, "3");
+    }
+}

@@ -1,0 +1,19 @@
+//! Collection strategies: `vec` and `btree_set`.
+
+use crate::{BTreeSetStrategy, SizeRange, Strategy, VecStrategy};
+
+/// Strategy for vectors whose length falls in `size` and whose
+/// elements come from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    crate::new_vec_strategy(element, size.into())
+}
+
+/// Strategy for `BTreeSet`s whose size falls in `size` (best-effort
+/// when the element domain is too small) and whose elements come from
+/// `element`.
+pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    crate::new_btree_set_strategy(element, size.into())
+}

@@ -1,0 +1,79 @@
+//! Sequence-related randomness: the [`SliceRandom`] extension trait.
+
+use crate::RngCore;
+
+/// Uniform index in `0..bound` via widening multiply (`bound > 0`).
+fn index<R: RngCore + ?Sized>(rng: &mut R, bound: usize) -> usize {
+    ((rng.next_u64() as u128 * bound as u128) >> 64) as usize
+}
+
+/// Random operations on slices (`shuffle`, `choose`), mirroring
+/// `rand::seq::SliceRandom`.
+pub trait SliceRandom {
+    /// Element type.
+    type Item;
+
+    /// Shuffles the slice in place (Fisher–Yates).
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+    /// Uniformly random element, `None` for an empty slice.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = index(rng, i + 1);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            self.get(index(rng, self.len()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RngCore;
+
+    struct Lcg(u64);
+    impl RngCore for Lcg {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Lcg(9);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choose_from_empty_is_none() {
+        let mut rng = Lcg(10);
+        let v: Vec<u32> = vec![];
+        assert_eq!(v.choose(&mut rng), None);
+        let w = [7u32];
+        assert_eq!(w.choose(&mut rng), Some(&7));
+    }
+}

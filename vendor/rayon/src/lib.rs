@@ -1,0 +1,128 @@
+//! Offline stand-in for the slice of `rayon`'s parallel-iterator API
+//! this workspace uses (`into_par_iter().map(..).collect()`), executed
+//! sequentially.
+//!
+//! The workspace only ever uses rayon for embarrassingly parallel,
+//! deterministic Monte-Carlo sweeps whose results are required to be
+//! bitwise-independent of scheduling — so a sequential execution is
+//! behaviorally indistinguishable, just slower on multicore. The
+//! `Send`/`Sync` bounds of the real API are preserved so the code
+//! keeps compiling against genuine rayon if it ever returns.
+
+/// Parallel iterator adapter (sequential in this vendored build).
+pub struct ParIter<I>(I);
+
+impl<I: Iterator> ParIter<I> {
+    /// Maps each item through `f`.
+    pub fn map<O, F>(self, f: F) -> ParIter<std::iter::Map<I, F>>
+    where
+        F: FnMut(I::Item) -> O,
+    {
+        ParIter(self.0.map(f))
+    }
+
+    /// Keeps items for which `f` is true.
+    pub fn filter<F>(self, f: F) -> ParIter<std::iter::Filter<I, F>>
+    where
+        F: FnMut(&I::Item) -> bool,
+    {
+        ParIter(self.0.filter(f))
+    }
+
+    /// Collects into any `FromIterator` container, preserving order.
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+
+    /// Runs `f` on every item.
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.0.for_each(f)
+    }
+
+    /// Sums the items.
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+
+    /// Counts the items.
+    pub fn count(self) -> usize {
+        self.0.count()
+    }
+}
+
+/// Conversion into a (nominally) parallel iterator.
+pub trait IntoParallelIterator: IntoIterator + Sized {
+    /// Wraps `self` in the parallel adapter.
+    fn into_par_iter(self) -> ParIter<Self::IntoIter> {
+        ParIter(self.into_iter())
+    }
+}
+
+impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
+
+/// Reference-side conversions, mirroring `rayon`'s `par_iter`.
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type.
+    type Item: 'a;
+    /// Underlying iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+
+    /// Parallel iterator over references.
+    fn par_iter(&'a self) -> ParIter<Self::Iter>;
+}
+
+impl<'a, T: 'a + Sync> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = std::slice::Iter<'a, T>;
+
+    fn par_iter(&'a self) -> ParIter<Self::Iter> {
+        ParIter(self.iter())
+    }
+}
+
+impl<'a, T: 'a + Sync> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = std::slice::Iter<'a, T>;
+
+    fn par_iter(&'a self) -> ParIter<Self::Iter> {
+        ParIter(self.as_slice().iter())
+    }
+}
+
+/// Runs both closures (sequentially here) and returns both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// The customary glob-import module.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0u64..100).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v, (0..100).map(|x| x * 2).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn par_iter_over_slice() {
+        let xs = vec![1u32, 2, 3];
+        let s: u32 = xs.par_iter().map(|&x| x).sum();
+        assert_eq!(s, 6);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 1, || "x");
+        assert_eq!((a, b), (1, "x"));
+    }
+}
