@@ -10,7 +10,7 @@
 
 use crate::broadcast::BroadcastResult;
 use crate::safety::{Level, SafetyMap};
-use hypersafe_simkit::{Actor, Ctx, EventEngine, Time};
+use hypersafe_simkit::{Actor, Ctx, EventEngine, HypercubeNet, Time};
 use hypersafe_topology::{FaultConfig, NodeId};
 
 /// A broadcast message: the dimension set the receiver becomes
@@ -106,7 +106,8 @@ pub fn run_broadcast(
         }
     }
 
-    let mut eng = EventEngine::new(cfg, |a| {
+    let net = HypercubeNet::new(cfg);
+    let mut eng = EventEngine::new(&net, |a| {
         let mut node = BcastNode::new(map, cfg, a, latency);
         if a == origin && !cfg.node_faulty(origin) {
             node.start = Some(all_dims);

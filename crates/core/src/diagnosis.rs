@@ -14,7 +14,7 @@
 //! maintenance-strategy experiments a physically grounded detection
 //! delay instead of an oracle.
 
-use hypersafe_simkit::{Actor, Ctx, EventEngine, Time};
+use hypersafe_simkit::{Actor, Ctx, EventEngine, HypercubeNet, Time};
 use hypersafe_topology::{FaultConfig, NodeId};
 
 /// Heartbeat message: a ping or its echo.
@@ -188,7 +188,8 @@ pub fn detect(cfg: &FaultConfig, params: DetectorParams) -> DetectionResult {
         params.rounds > params.misses_allowed,
         "not enough rounds to convict"
     );
-    let mut eng = EventEngine::new(cfg, |_| DetectorNode::new(n, params));
+    let net = HypercubeNet::new(cfg);
+    let mut eng = EventEngine::new(&net, |_| DetectorNode::new(n, params));
     eng.run(u64::MAX);
     let views = cfg
         .cube()

@@ -27,7 +27,13 @@ impl GhSafetyMap {
     /// Computes the fixed point of Definition 4 for `gh` with the given
     /// faulty nodes, by synchronous Jacobi iteration from the all-`n`
     /// start (faulty nodes 0).
+    ///
+    /// Each Jacobi round is data-parallel (every node reads only the
+    /// previous round's levels), so the per-round sweep fans out over
+    /// rayon workers; the result is bitwise-identical to sequential
+    /// execution regardless of thread count.
     pub fn compute(gh: &GeneralizedHypercube, faults: &FaultSet) -> Self {
+        use rayon::prelude::*;
         let n = gh.dim();
         let mut levels: Vec<Level> = gh
             .nodes()
@@ -40,32 +46,33 @@ impl GhSafetyMap {
             })
             .collect();
         let mut rounds = 0u32;
-        let mut scratch = vec![0 as Level; n as usize];
-        let mut next = levels.clone();
         loop {
-            let mut changed = false;
-            for a in gh.nodes() {
-                let idx = a.raw() as usize;
-                if faults.contains(NodeId::new(a.raw())) {
-                    continue;
-                }
-                for i in 0..n {
-                    // S_i = min level among the rest of the dimension-i
-                    // clique (m_i − 1 nodes, all directly connected).
-                    scratch[i as usize] = gh
-                        .neighbors_along(a, i)
-                        .map(|b| levels[b.raw() as usize])
-                        .min()
-                        .expect("radix ≥ 2 gives ≥ 1 clique peer");
-                }
-                let lv = level_from_neighbors(n, &mut scratch);
-                next[idx] = lv;
-                changed |= lv != levels[idx];
-            }
-            if !changed {
+            let prev = &levels;
+            let next: Vec<Level> = (0..gh.num_nodes())
+                .into_par_iter()
+                .map(|raw| {
+                    let a = GhNode(raw);
+                    if faults.contains(NodeId::new(raw)) {
+                        return 0;
+                    }
+                    let mut scratch: Vec<Level> = (0..n)
+                        .map(|i| {
+                            // S_i = min level among the rest of the
+                            // dimension-i clique (m_i − 1 nodes, all
+                            // directly connected).
+                            gh.neighbors_along(a, i)
+                                .map(|b| prev[b.raw() as usize])
+                                .min()
+                                .expect("radix ≥ 2 gives ≥ 1 clique peer")
+                        })
+                        .collect();
+                    level_from_neighbors(n, &mut scratch)
+                })
+                .collect();
+            if next == levels {
                 break;
             }
-            std::mem::swap(&mut levels, &mut next);
+            levels = next;
             rounds += 1;
         }
         GhSafetyMap { levels, n, rounds }

@@ -1,5 +1,6 @@
-//! GH unicasting as a distributed protocol on the generic event
-//! engine — the §4.2 routing run message-by-message, completing the
+//! GH unicasting as a distributed protocol on the unified event
+//! engine (over [`GhNet`]) — the §4.2 routing run message-by-message,
+//! completing the
 //! "every algorithm has a centralized evaluation *and* a real
 //! protocol execution" invariant of this workspace.
 //!
@@ -12,7 +13,7 @@
 use crate::gh_safety::GhSafetyMap;
 use crate::gh_unicast::{gh_source_decision, GhDecision};
 use crate::safety::Level;
-use hypersafe_simkit::{GActor, GCtx, GenericEventEngine, Time};
+use hypersafe_simkit::{Actor, Ctx, EventEngine, GhNet, Time};
 use hypersafe_topology::{GeneralizedHypercube, GhNode, NodeId};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -70,21 +71,21 @@ impl GhUnicastNode {
         best
     }
 
-    fn forward(&self, ctx: &mut GCtx<GhMsg>, mut msg: GhMsg, next: GhNode) {
+    fn forward(&self, ctx: &mut Ctx<GhMsg>, mut msg: GhMsg, next: GhNode) {
         msg.trail.push(next);
-        ctx.send(next.raw(), msg, self.latency);
+        ctx.send(NodeId::new(next.raw()), msg, self.latency);
     }
 }
 
-impl GActor for GhUnicastNode {
+impl Actor for GhUnicastNode {
     type Msg = GhMsg;
 
-    fn on_timer(&mut self, ctx: &mut GCtx<GhMsg>, tag: u64) {
+    fn on_timer(&mut self, ctx: &mut Ctx<GhMsg>, tag: u64) {
         if tag != START_TAG {
             return;
         }
         let Some(d) = self.start.take() else { return };
-        let s = GhNode(ctx.self_id());
+        let s = GhNode(ctx.self_id().raw());
         let h = self.gh.distance(s, d) as u16;
         if h == 0 {
             self.received = Some(GhMsg {
@@ -127,8 +128,8 @@ impl GActor for GhUnicastNode {
         // else: local failure, nothing sent.
     }
 
-    fn on_message(&mut self, ctx: &mut GCtx<GhMsg>, _from: u64, msg: GhMsg) {
-        let me = GhNode(ctx.self_id());
+    fn on_message(&mut self, ctx: &mut Ctx<GhMsg>, _from: NodeId, msg: GhMsg) {
+        let me = GhNode(ctx.self_id().raw());
         if msg.dest == me {
             self.received = Some(msg);
             return;
@@ -160,22 +161,20 @@ pub fn run_gh_unicast(
     latency: Time,
 ) -> GhDistributedRun {
     let gh_arc = Arc::new(gh.clone());
-    let faulty: Vec<bool> = (0..gh.num_nodes())
-        .map(|a| faults.contains(NodeId::new(a)))
-        .collect();
-    let mut eng = GenericEventEngine::new(gh, faulty, |a| {
-        let mut node = GhUnicastNode::new(gh_arc.clone(), map, GhNode(a), latency.max(1));
-        if a == s.raw() {
+    let net = GhNet::new(gh, faults);
+    let mut eng = EventEngine::new(&net, |a| {
+        let mut node = GhUnicastNode::new(gh_arc.clone(), map, GhNode(a.raw()), latency.max(1));
+        if a.raw() == s.raw() {
             node.start = Some(d);
         }
         node
     });
-    eng.inject(s.raw(), START_TAG, 0);
+    eng.inject(NodeId::new(s.raw()), START_TAG, 0);
     eng.run(u64::MAX);
     GhDistributedRun {
         decision: gh_source_decision(gh, map, s, d),
         trail: eng
-            .actor(d.raw())
+            .actor(NodeId::new(d.raw()))
             .and_then(|n| n.received.as_ref())
             .map(|m| m.trail.clone()),
         messages: eng.stats().delivered,

@@ -17,8 +17,8 @@
 
 use crate::safety::{level_from_neighbors, Level, SafetyMap};
 use hypersafe_simkit::{
-    Actor, ChannelModel, Ctx, EventEngine, EventStats, RelCtx, Reliable, ReliableActor,
-    ReliableConfig, SyncEngine, SyncNode, SyncStats,
+    Actor, ChannelModel, Ctx, EventEngine, EventStats, HypercubeNet, RelCtx, Reliable,
+    ReliableActor, ReliableConfig, SyncEngine, SyncNode, SyncStats,
 };
 use hypersafe_topology::{FaultConfig, NodeId};
 
@@ -203,7 +203,8 @@ impl Actor for AsyncGsNode {
 /// Runs the asynchronous GS protocol with the given per-hop message
 /// latency and returns the converged map plus engine statistics.
 pub fn run_gs_async(cfg: &FaultConfig, latency: u64) -> (SafetyMap, hypersafe_simkit::EventStats) {
-    let mut eng = EventEngine::new(cfg, |a| AsyncGsNode::new(cfg, a, latency.max(1)));
+    let net = HypercubeNet::new(cfg);
+    let mut eng = EventEngine::new(&net, |a| AsyncGsNode::new(cfg, a, latency.max(1)));
     eng.run(u64::MAX);
     let levels = cfg
         .cube()
@@ -284,7 +285,8 @@ pub fn run_gs_reliable(
 ) -> GsLossyRun {
     let n = cfg.cube().dim();
     let latency = latency.max(1);
-    let mut eng = EventEngine::with_channel(cfg, channel, |a| {
+    let net = HypercubeNet::new(cfg);
+    let mut eng = EventEngine::with_channel(&net, channel, |a| {
         Reliable::new(AsyncGsNode::new(cfg, a, latency), a, n, latency, rcfg)
     });
     let processed = eng.run(max_events);

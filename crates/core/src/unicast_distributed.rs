@@ -14,8 +14,8 @@ use crate::navigation::NavVector;
 use crate::safety::{Level, SafetyMap};
 use crate::unicast::{source_decision, Decision};
 use hypersafe_simkit::{
-    Actor, ChannelModel, Ctx, EventEngine, EventStats, RelCtx, Reliable, ReliableActor,
-    ReliableConfig, Time,
+    Actor, ChannelModel, Ctx, EventEngine, EventStats, HypercubeNet, RelCtx, Reliable,
+    ReliableActor, ReliableConfig, Time,
 };
 use hypersafe_topology::{FaultConfig, NodeId};
 
@@ -186,7 +186,8 @@ pub fn run_unicast(
     latency: Time,
 ) -> DistributedRun {
     let latency = latency.max(1);
-    let mut eng = EventEngine::new(cfg, |a| {
+    let net = HypercubeNet::new(cfg);
+    let mut eng = EventEngine::new(&net, |a| {
         let mut node = UnicastNode::new(map, cfg, a, latency);
         if a == s {
             node.start = Some(d);
@@ -365,7 +366,8 @@ pub fn run_unicast_lossy(
 ) -> LossyRun {
     let latency = latency.max(1);
     let n = cfg.cube().dim();
-    let mut eng = EventEngine::with_channel(cfg, channel, |a| {
+    let net = HypercubeNet::new(cfg);
+    let mut eng = EventEngine::with_channel(&net, channel, |a| {
         let mut inner = LossyUnicastNode::new(map, cfg, a);
         if a == s {
             inner.start = Some(d);

@@ -8,7 +8,7 @@
 
 use crate::table::{f2, Report};
 use hypersafe_core::{intermediate_dim_tb, NavVector, SafetyMap, TieBreak};
-use hypersafe_simkit::{Actor, Ctx, EventEngine, Time};
+use hypersafe_simkit::{Actor, Ctx, EventEngine, HypercubeNet, Time};
 use hypersafe_topology::{FaultConfig, Hypercube, NodeId};
 use hypersafe_workloads::{mean, random_pair, uniform_faults, Sweep};
 use std::collections::HashMap;
@@ -110,7 +110,8 @@ pub fn simulate_burst(
             .or_default()
             .push((i as u64, (d, i as u32)));
     }
-    let mut eng = EventEngine::new(cfg, |a| QueueNode {
+    let net = HypercubeNet::new(cfg);
+    let mut eng = EventEngine::new(&net, |a| QueueNode {
         neighbor_levels_map: map.clone(),
         tb,
         service: 1,
@@ -121,8 +122,13 @@ pub fn simulate_burst(
             .unwrap_or_default(),
         completed: Vec::new(),
     });
-    for (s, jobs) in &assignments {
-        for &(tag, _) in jobs {
+    // Inject in sorted source order: the engine breaks same-time ties
+    // by insertion sequence, so iterating the HashMap directly would
+    // make the simulation outcome depend on hasher state.
+    let mut sources: Vec<&u64> = assignments.keys().collect();
+    sources.sort();
+    for s in sources {
+        for &(tag, _) in &assignments[s] {
             eng.inject(NodeId::new(*s), tag, 0);
         }
     }

@@ -3,8 +3,7 @@
 //! The paper's system model assumes reliable links: a message sent over
 //! a usable link always arrives. Real interconnects drop, delay, and
 //! occasionally duplicate packets, so the robustness experiments plug a
-//! [`ChannelModel`] into [`crate::event_engine::EventEngine`] /
-//! [`crate::generic_event::GenericEventEngine`]: every send across a
+//! [`ChannelModel`] into [`crate::event::EventEngine`]: every send across a
 //! *usable* link (fault-stop drops still happen first and are counted
 //! separately) is independently lost with probability `loss`, delayed
 //! by a uniform extra jitter in `0..=jitter`, and duplicated with
@@ -16,7 +15,7 @@
 //! mixing — no RNG state is shared with the workload generators, and a
 //! run is exactly reproducible from the engine's inputs.
 
-use crate::event_engine::Time;
+use crate::event::Time;
 
 /// One 64-bit avalanche round (the SplitMix64 finalizer).
 fn mix(mut z: u64) -> u64 {

@@ -1,23 +1,52 @@
-//! Discrete-event engine for asynchronous protocol execution.
+//! The discrete-event engine: asynchronous protocol execution over any
+//! [`Network`].
 //!
 //! The paper remarks that `GLOBAL_STATUS` "can be implemented
 //! asynchronously" and that the demand-driven / state-change-driven
 //! maintenance modes are naturally asynchronous (§2.2). This engine
 //! provides the substrate: virtual-time message delivery between
-//! neighboring nodes with per-message latency, plus node-local timers.
+//! adjacent nodes with per-message latency, plus node-local timers —
+//! on binary cubes ([`crate::network::HypercubeNet`], with link
+//! faults) and generalized hypercubes ([`crate::network::GhNet`],
+//! §4.2) alike, so one actor implementation serves every topology the
+//! workspace models.
 //!
 //! Determinism: events at equal virtual times are processed in
 //! scheduling order (a monotone sequence number breaks ties), so a run
 //! is a pure function of the initial state and the actors' logic.
+//! Channel noise ([`ChannelModel`]) is itself seeded, keeping lossy
+//! runs reproducible.
 
 use crate::channel::ChannelModel;
+use crate::network::Network;
 use crate::stats::EventStats;
-use hypersafe_topology::{FaultConfig, NodeId};
+use crate::trace::{TraceEvent, TraceSink};
+use hypersafe_topology::NodeId;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 /// Virtual time, in abstract ticks.
 pub type Time = u64;
+
+/// Who armed a timer. Protocol actors arm [`TimerTag::Actor`] tags via
+/// [`Ctx::set_timer`]; the reliable ARQ layer ([`crate::reliable`])
+/// arms [`TimerTag::Arq`] retransmission timers. The two spaces are
+/// disjoint by construction, so a wrapped actor can use any `u64` tag
+/// without colliding with the transport (this replaces an earlier
+/// reserved-high-bit convention).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TimerTag {
+    /// An actor-armed timer carrying an opaque protocol tag.
+    Actor(u64),
+    /// A retransmission timer of the reliable layer: the pending
+    /// sequence number on one outgoing port.
+    Arq {
+        /// The port whose link the timer watches.
+        port: u32,
+        /// The sequence number awaiting acknowledgement.
+        seq: u64,
+    },
+}
 
 /// What an actor may do in response to an event: collected by the
 /// [`Ctx`] handed to every callback.
@@ -26,7 +55,7 @@ pub struct Ctx<M> {
     self_id: NodeId,
     now: Time,
     sends: Vec<(Time, NodeId, M)>,
-    timers: Vec<(Time, u64)>,
+    timers: Vec<(Time, TimerTag)>,
     retransmits: u64,
     acks: u64,
     halt: bool,
@@ -53,7 +82,14 @@ impl<M> Ctx<M> {
     /// Arms a timer on this node firing after `delay` ticks, carrying an
     /// opaque `tag`.
     pub fn set_timer(&mut self, delay: Time, tag: u64) {
-        self.timers.push((self.now + delay, tag));
+        self.timers.push((self.now + delay, TimerTag::Actor(tag)));
+    }
+
+    /// Arms a reliable-layer retransmission timer (crate-internal: only
+    /// [`crate::reliable`] may occupy the ARQ tag space).
+    pub(crate) fn set_arq_timer(&mut self, delay: Time, port: u32, seq: u64) {
+        self.timers
+            .push((self.now + delay, TimerTag::Arq { port, seq }));
     }
 
     /// Records `n` retransmissions into [`EventStats::retransmitted`]
@@ -88,11 +124,24 @@ pub trait Actor: Sized {
 
     /// Called when a timer armed via [`Ctx::set_timer`] fires.
     fn on_timer(&mut self, _ctx: &mut Ctx<Self::Msg>, _tag: u64) {}
+
+    /// Full-tag dispatch. Plain actors keep the default, which routes
+    /// [`TimerTag::Actor`] to [`Actor::on_timer`] and ignores ARQ
+    /// timers (only the reliable wrapper arms those, and it overrides
+    /// this method to claim them).
+    fn on_timer_tag(&mut self, ctx: &mut Ctx<Self::Msg>, tag: TimerTag) {
+        match tag {
+            TimerTag::Actor(t) => self.on_timer(ctx, t),
+            TimerTag::Arq { .. } => {
+                debug_assert!(false, "ARQ timer delivered to an unwrapped actor");
+            }
+        }
+    }
 }
 
 enum Payload<M> {
     Message { from: NodeId, msg: M },
-    Timer { tag: u64 },
+    Timer { tag: TimerTag },
 }
 
 struct Pending<M> {
@@ -120,9 +169,9 @@ impl<M> Ord for Pending<M> {
     }
 }
 
-/// The discrete-event executor.
-pub struct EventEngine<'a, A: Actor> {
-    cfg: &'a FaultConfig,
+/// The discrete-event executor over any [`Network`].
+pub struct EventEngine<'a, N: Network, A: Actor> {
+    net: &'a N,
     actors: Vec<Option<A>>,
     queue: BinaryHeap<Reverse<Pending<A::Msg>>>,
     seq: u64,
@@ -130,38 +179,29 @@ pub struct EventEngine<'a, A: Actor> {
     stats: EventStats,
     channel: Option<ChannelModel>,
     halted: bool,
+    trace: Option<Box<dyn TraceSink>>,
 }
 
-impl<'a, A: Actor> EventEngine<'a, A> {
+impl<'a, N: Network, A: Actor> EventEngine<'a, N, A> {
     /// Builds the engine with one actor per nonfaulty node and runs
     /// every actor's `on_start`. Links are perfect (the paper's model);
     /// use [`EventEngine::with_channel`] for lossy links.
-    pub fn new(cfg: &'a FaultConfig, init: impl FnMut(NodeId) -> A) -> Self {
-        Self::build(cfg, None, init)
+    pub fn new(net: &'a N, init: impl FnMut(NodeId) -> A) -> Self {
+        Self::build(net, None, init)
     }
 
     /// Like [`EventEngine::new`], but every send across a usable link
     /// passes through `channel` (loss / jitter / duplication).
-    pub fn with_channel(
-        cfg: &'a FaultConfig,
-        channel: ChannelModel,
-        init: impl FnMut(NodeId) -> A,
-    ) -> Self {
-        Self::build(cfg, Some(channel), init)
+    pub fn with_channel(net: &'a N, channel: ChannelModel, init: impl FnMut(NodeId) -> A) -> Self {
+        Self::build(net, Some(channel), init)
     }
 
-    fn build(
-        cfg: &'a FaultConfig,
-        channel: Option<ChannelModel>,
-        mut init: impl FnMut(NodeId) -> A,
-    ) -> Self {
-        let actors: Vec<Option<A>> = cfg
-            .cube()
-            .nodes()
-            .map(|a| (!cfg.node_faulty(a)).then(|| init(a)))
+    fn build(net: &'a N, channel: Option<ChannelModel>, mut init: impl FnMut(NodeId) -> A) -> Self {
+        let actors: Vec<Option<A>> = (0..net.num_nodes())
+            .map(|a| (!net.node_faulty(a)).then(|| init(NodeId::new(a))))
             .collect();
         let mut eng = EventEngine {
-            cfg,
+            net,
             actors,
             queue: BinaryHeap::new(),
             seq: 0,
@@ -169,19 +209,32 @@ impl<'a, A: Actor> EventEngine<'a, A> {
             stats: EventStats::default(),
             channel,
             halted: false,
+            trace: None,
         };
-        for a in cfg.cube().nodes() {
-            let idx = a.raw() as usize;
-            if eng.actors[idx].is_some() {
-                let mut ctx = eng.ctx_for(a);
-                eng.actors[idx]
+        for a in 0..eng.net.num_nodes() {
+            if eng.actors[a as usize].is_some() {
+                let id = NodeId::new(a);
+                let mut ctx = eng.ctx_for(id);
+                eng.actors[a as usize]
                     .as_mut()
                     .expect("present")
                     .on_start(&mut ctx);
-                eng.absorb_ctx(a, ctx);
+                eng.absorb_ctx(id, ctx);
             }
         }
         eng
+    }
+
+    /// Records every delivered message as a [`TraceEvent::Hop`] into
+    /// `sink` (dimension = sender's port, word = engine sequence
+    /// number). Reclaim the sink with [`EventEngine::take_trace`].
+    pub fn set_trace(&mut self, sink: Box<dyn TraceSink>) {
+        self.trace = Some(sink);
+    }
+
+    /// Detaches the trace sink installed via [`EventEngine::set_trace`].
+    pub fn take_trace(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.trace.take()
     }
 
     fn ctx_for(&self, a: NodeId) -> Ctx<A::Msg> {
@@ -208,14 +261,13 @@ impl<'a, A: Actor> EventEngine<'a, A> {
 
     fn absorb_ctx(&mut self, src: NodeId, ctx: Ctx<A::Msg>) {
         for (time, dst, msg) in ctx.sends {
-            assert_eq!(
-                src.distance(dst),
-                1,
+            assert!(
+                self.net.port_of(src.raw(), dst.raw()).is_some(),
                 "{src} may only message neighbors, not {dst}"
             );
             // Messages into faulty nodes or across faulty links vanish
             // (fault-stop model: no malicious behaviour, just silence).
-            if self.cfg.node_faulty(dst) || self.cfg.link_faults().contains(src, dst) {
+            if self.net.node_faulty(dst.raw()) || self.net.link_faulty(src.raw(), dst.raw()) {
                 self.stats.dropped += 1;
                 continue;
             }
@@ -251,9 +303,9 @@ impl<'a, A: Actor> EventEngine<'a, A> {
         }
     }
 
-    /// The fault configuration this engine runs over.
-    pub fn config(&self) -> &FaultConfig {
-        self.cfg
+    /// The network this engine runs over.
+    pub fn network(&self) -> &'a N {
+        self.net
     }
 
     /// Statistics accumulated so far.
@@ -293,6 +345,18 @@ impl<'a, A: Actor> EventEngine<'a, A> {
         match ev.payload {
             Payload::Message { from, msg } => {
                 self.stats.delivered += 1;
+                if let Some(sink) = &mut self.trace {
+                    let dim = self
+                        .net
+                        .port_of(from.raw(), ev.dst.raw())
+                        .unwrap_or(usize::MAX) as u8;
+                    sink.record(TraceEvent::Hop {
+                        from,
+                        to: ev.dst,
+                        dim,
+                        word: ev.seq,
+                    });
+                }
                 self.actors[idx]
                     .as_mut()
                     .expect("present")
@@ -303,7 +367,7 @@ impl<'a, A: Actor> EventEngine<'a, A> {
                 self.actors[idx]
                     .as_mut()
                     .expect("present")
-                    .on_timer(&mut ctx, tag);
+                    .on_timer_tag(&mut ctx, tag);
             }
         }
         self.absorb_ctx(ev.dst, ctx);
@@ -322,16 +386,17 @@ impl<'a, A: Actor> EventEngine<'a, A> {
     }
 
     /// Injects an external message to `dst` from outside the network
-    /// (e.g. the "host" handing a unicast request to the source node).
-    /// Delivered as a timer-like self event via `on_timer` would be
-    /// wrong; instead the message appears to come from `dst` itself.
+    /// (e.g. the "host" handing a unicast request to the source node),
+    /// delivered as an actor timer with `tag` after `delay` ticks.
     pub fn inject(&mut self, dst: NodeId, tag: u64, delay: Time) {
         self.seq += 1;
         self.queue.push(Reverse(Pending {
             time: self.now + delay,
             seq: self.seq,
             dst,
-            payload: Payload::Timer { tag },
+            payload: Payload::Timer {
+                tag: TimerTag::Actor(tag),
+            },
         }));
     }
 
@@ -348,14 +413,35 @@ impl<'a, A: Actor> EventEngine<'a, A> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hypersafe_topology::{FaultSet, Hypercube};
+    use crate::network::{GhNet, HypercubeNet};
+    use crate::trace::Trace;
+    use hypersafe_topology::{FaultConfig, FaultSet, GeneralizedHypercube, GhNode, Hypercube};
 
     /// Flood protocol: on start, node 0 floods a token; every node
-    /// remembers the earliest time it saw it and forwards once.
+    /// remembers the earliest time it saw it and forwards once on all
+    /// its ports (topology-agnostic).
     struct Flood {
+        neighbors: Vec<NodeId>,
         seen_at: Option<Time>,
         origin: bool,
-        n: u8,
+    }
+
+    impl Flood {
+        fn new<N: Network>(net: &N, a: NodeId, origin: NodeId) -> Self {
+            Flood {
+                neighbors: (0..net.degree(a.raw()))
+                    .map(|p| NodeId::new(net.neighbor(a.raw(), p)))
+                    .collect(),
+                seen_at: None,
+                origin: a == origin,
+            }
+        }
+
+        fn flood<M: Clone + Default>(&self, ctx: &mut Ctx<M>) {
+            for &b in &self.neighbors {
+                ctx.send(b, M::default(), 1);
+            }
+        }
     }
 
     impl Actor for Flood {
@@ -364,18 +450,14 @@ mod tests {
         fn on_start(&mut self, ctx: &mut Ctx<()>) {
             if self.origin {
                 self.seen_at = Some(0);
-                for i in 0..self.n {
-                    ctx.send(ctx.self_id().neighbor(i), (), 1);
-                }
+                self.flood(ctx);
             }
         }
 
         fn on_message(&mut self, ctx: &mut Ctx<()>, _from: NodeId, _msg: ()) {
             if self.seen_at.is_none() {
                 self.seen_at = Some(ctx.now());
-                for i in 0..self.n {
-                    ctx.send(ctx.self_id().neighbor(i), (), 1);
-                }
+                self.flood(ctx);
             }
         }
     }
@@ -384,11 +466,8 @@ mod tests {
     fn flood_reaches_everyone_at_hamming_time() {
         let cube = Hypercube::new(4);
         let cfg = FaultConfig::fault_free(cube);
-        let mut eng = EventEngine::new(&cfg, |a| Flood {
-            seen_at: None,
-            origin: a == NodeId::ZERO,
-            n: 4,
-        });
+        let net = HypercubeNet::new(&cfg);
+        let mut eng = EventEngine::new(&net, |a| Flood::new(&net, a, NodeId::ZERO));
         eng.run(u64::MAX);
         for a in cube.nodes() {
             // With unit latency the first arrival equals BFS distance.
@@ -407,14 +486,59 @@ mod tests {
         // 2-cube path: 00 - 01/10 - 11. Make 01 and 10 faulty → 11 unreachable.
         let cfg =
             FaultConfig::with_node_faults(cube, FaultSet::from_binary_strs(cube, &["01", "10"]));
-        let mut eng = EventEngine::new(&cfg, |a| Flood {
-            seen_at: None,
-            origin: a == NodeId::ZERO,
-            n: 2,
-        });
+        let net = HypercubeNet::new(&cfg);
+        let mut eng = EventEngine::new(&net, |a| Flood::new(&net, a, NodeId::ZERO));
         eng.run(u64::MAX);
         assert_eq!(eng.actor(NodeId::new(0b11)).unwrap().seen_at, None);
         assert_eq!(eng.stats().dropped, 2, "two sends into faulty neighbors");
+    }
+
+    #[test]
+    fn link_fault_drops_messages() {
+        let cube = Hypercube::new(2);
+        let mut cfg = FaultConfig::fault_free(cube);
+        cfg.link_faults_mut()
+            .insert(NodeId::new(0b00), NodeId::new(0b01));
+        let net = HypercubeNet::new(&cfg);
+        let mut eng = EventEngine::new(&net, |a| Flood::new(&net, a, NodeId::ZERO));
+        eng.run(u64::MAX);
+        // 01 still hears the flood via the 00→10→11→01 detour.
+        assert_eq!(eng.actor(NodeId::new(0b01)).unwrap().seen_at, Some(3));
+        assert!(eng.stats().dropped >= 1, "the faulty link ate a send");
+    }
+
+    #[test]
+    fn flood_arrival_equals_gh_distance() {
+        let gh = GeneralizedHypercube::from_product(&[3, 4]);
+        let faults = gh.fault_set();
+        let net = GhNet::new(&gh, &faults);
+        let mut eng = EventEngine::new(&net, |a| Flood::new(&net, a, NodeId::ZERO));
+        eng.run(u64::MAX);
+        for a in 0..net.num_nodes() {
+            let d = gh.distance(GhNode(0), GhNode(a));
+            assert_eq!(
+                eng.actor(NodeId::new(a)).unwrap().seen_at,
+                Some(d as u64),
+                "node {a}"
+            );
+        }
+    }
+
+    #[test]
+    fn gh_faulty_nodes_drop_messages() {
+        let gh = GeneralizedHypercube::from_product(&[2, 2]);
+        let mut faults = gh.fault_set();
+        faults.insert(NodeId::new(1));
+        faults.insert(NodeId::new(2));
+        let net = GhNet::new(&gh, &faults);
+        let mut eng = EventEngine::new(&net, |a| Flood::new(&net, a, NodeId::ZERO));
+        eng.run(u64::MAX);
+        assert_eq!(
+            eng.actor(NodeId::new(3)).unwrap().seen_at,
+            None,
+            "cut off by faults"
+        );
+        assert_eq!(eng.stats().dropped, 2);
     }
 
     #[test]
@@ -438,7 +562,8 @@ mod tests {
         let mut faults = FaultSet::new(cube);
         faults.insert(NodeId::new(1));
         let cfg = FaultConfig::with_node_faults(cube, faults);
-        let mut eng = EventEngine::new(&cfg, |_| T { fired: vec![] });
+        let net = HypercubeNet::new(&cfg);
+        let mut eng = EventEngine::new(&net, |_| T { fired: vec![] });
         eng.run(u64::MAX);
         assert_eq!(eng.actor(NodeId::new(0)).unwrap().fired, vec![1, 3, 5]);
         assert_eq!(eng.stats().timers, 3);
@@ -465,7 +590,8 @@ mod tests {
         let mut faults = FaultSet::new(cube);
         faults.insert(NodeId::new(1));
         let cfg = FaultConfig::with_node_faults(cube, faults);
-        let mut eng = EventEngine::new(&cfg, |_| H);
+        let net = HypercubeNet::new(&cfg);
+        let mut eng = EventEngine::new(&net, |_| H);
         eng.run(u64::MAX);
         assert_eq!(eng.stats().timers, 1, "second timer never fires");
     }
@@ -484,10 +610,35 @@ mod tests {
         }
         let cube = Hypercube::new(2);
         let cfg = FaultConfig::fault_free(cube);
-        let mut eng = EventEngine::new(&cfg, |_| I { tags: vec![] });
+        let net = HypercubeNet::new(&cfg);
+        let mut eng = EventEngine::new(&net, |_| I { tags: vec![] });
         eng.inject(NodeId::new(2), 42, 0);
+        eng.inject(NodeId::new(2), 7, 5);
         eng.run(u64::MAX);
-        assert_eq!(eng.actor(NodeId::new(2)).unwrap().tags, vec![42]);
+        assert_eq!(
+            eng.actor(NodeId::new(2)).unwrap().tags,
+            vec![42, 7],
+            "time order respected"
+        );
+        assert_eq!(eng.stats().end_time, 5);
+    }
+
+    #[test]
+    fn trace_sink_records_hops() {
+        let cube = Hypercube::new(2);
+        let cfg = FaultConfig::fault_free(cube);
+        let net = HypercubeNet::new(&cfg);
+        let mut eng = EventEngine::new(&net, |a| Flood::new(&net, a, NodeId::ZERO));
+        eng.set_trace(Box::new(Trace::enabled()));
+        eng.run(u64::MAX);
+        let delivered = eng.stats().delivered;
+        let sink = eng.take_trace().expect("sink installed");
+        let trace = sink.into_trace().expect("Trace sink");
+        assert_eq!(trace.events().len() as u64, delivered);
+        assert!(trace
+            .events()
+            .iter()
+            .all(|e| matches!(e, TraceEvent::Hop { .. })));
     }
 
     #[test]
@@ -505,6 +656,7 @@ mod tests {
         }
         let cube = Hypercube::new(2);
         let cfg = FaultConfig::fault_free(cube);
-        let _ = EventEngine::new(&cfg, |_| Bad);
+        let net = HypercubeNet::new(&cfg);
+        let _ = EventEngine::new(&net, |_| Bad);
     }
 }

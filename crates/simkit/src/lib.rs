@@ -6,10 +6,13 @@
 //! asynchronous and maintenance-mode variants), plus statistics and
 //! tracing.
 //!
-//! The engines are generic over per-node state machines and enforce the
-//! paper's system model: fault-stop nodes (faulty nodes neither run nor
-//! send), neighbor-only communication, and silent loss across faulty
-//! links.
+//! The engines are generic over per-node state machines and the
+//! [`network::Network`] topology they run over — binary cubes with
+//! fault overlays ([`network::HypercubeNet`]) and generalized
+//! hypercubes ([`network::GhNet`]) share one event engine, one actor
+//! trait, and one reliability layer. The engines enforce the paper's
+//! system model: fault-stop nodes (faulty nodes neither run nor send),
+//! neighbor-only communication, and silent loss across faulty links.
 //!
 //! Beyond the paper's reliable-link assumption, [`channel`] models
 //! noisy links (seeded deterministic loss / jitter / duplication) and
@@ -20,8 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod channel;
-pub mod event_engine;
-pub mod generic_event;
+pub mod event;
 pub mod network;
 pub mod reliable;
 pub mod stats;
@@ -29,12 +31,11 @@ pub mod sync_engine;
 pub mod trace;
 
 pub use channel::{ChannelModel, LinkFate};
-pub use event_engine::{Actor, Ctx, EventEngine, Time};
-pub use generic_event::{GActor, GCtx, GenericEventEngine};
-pub use network::{gh_port_dim, GenericSyncEngine, Network, PortNode};
+pub use event::{Actor, Ctx, EventEngine, Time, TimerTag};
+pub use network::{gh_port_dim, GenericSyncEngine, GhNet, HypercubeNet, Network, PortNode};
 pub use reliable::{
     RelCtx, Reliable, ReliableActor, ReliableConfig, ReliableEndpoint, ReliableMsg,
 };
 pub use stats::{EventStats, Histogram, SyncStats};
 pub use sync_engine::{SyncEngine, SyncNode};
-pub use trace::{Trace, TraceEvent};
+pub use trace::{Trace, TraceEvent, TraceSink};

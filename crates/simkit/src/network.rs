@@ -9,7 +9,7 @@
 //! be executed message-accurately on any port-labeled topology.
 
 use crate::stats::SyncStats;
-use hypersafe_topology::{GeneralizedHypercube, Hypercube};
+use hypersafe_topology::{FaultConfig, FaultSet, GeneralizedHypercube, Hypercube, NodeId};
 
 /// A static point-to-point topology: `num_nodes` endpoints, each with
 /// `degree(a)` numbered ports; `neighbor(a, p)` is the node at the far
@@ -18,6 +18,11 @@ use hypersafe_topology::{GeneralizedHypercube, Hypercube};
 /// Port numbering is *local to each node* and stable; protocols that
 /// need structure (e.g. the GH dimension grouping) receive it at node
 /// construction time.
+///
+/// A network also carries the fault model the engines consult:
+/// [`Network::node_faulty`] and [`Network::link_faulty`] default to a
+/// fault-free topology, and the wrappers [`HypercubeNet`] / [`GhNet`]
+/// overlay a concrete fault configuration on the pure topologies.
 pub trait Network {
     /// Number of nodes; addresses are `0..num_nodes`.
     fn num_nodes(&self) -> u64;
@@ -27,6 +32,108 @@ pub trait Network {
 
     /// The node reached from `a` through port `p` (`p < degree(a)`).
     fn neighbor(&self, a: u64, p: usize) -> u64;
+
+    /// The port of `a` that reaches `b`, or `None` when they are not
+    /// adjacent. The default scans `a`'s ports; implementations with
+    /// structure (e.g. binary cubes) override it with O(1) lookups.
+    fn port_of(&self, a: u64, b: u64) -> Option<usize> {
+        (0..self.degree(a)).find(|&p| self.neighbor(a, p) == b)
+    }
+
+    /// Whether node `a` is fault-stop dead (no actor, drops arrivals).
+    fn node_faulty(&self, _a: u64) -> bool {
+        false
+    }
+
+    /// Whether the link `a ↔ b` is faulty (messages across it vanish).
+    fn link_faulty(&self, _a: u64, _b: u64) -> bool {
+        false
+    }
+}
+
+/// A binary hypercube with its fault configuration: the [`Network`]
+/// the cube-specific protocols hand to the event engine. Ports are
+/// dimensions, so `port_of` is a single XOR.
+pub struct HypercubeNet<'a> {
+    cfg: &'a FaultConfig,
+}
+
+impl<'a> HypercubeNet<'a> {
+    /// Wraps a fault configuration as an engine-ready network.
+    pub fn new(cfg: &'a FaultConfig) -> Self {
+        HypercubeNet { cfg }
+    }
+
+    /// The underlying fault configuration.
+    pub fn config(&self) -> &'a FaultConfig {
+        self.cfg
+    }
+}
+
+impl Network for HypercubeNet<'_> {
+    fn num_nodes(&self) -> u64 {
+        self.cfg.cube().num_nodes()
+    }
+
+    fn degree(&self, _a: u64) -> usize {
+        self.cfg.cube().dim() as usize
+    }
+
+    fn neighbor(&self, a: u64, p: usize) -> u64 {
+        a ^ (1 << p)
+    }
+
+    fn port_of(&self, a: u64, b: u64) -> Option<usize> {
+        let x = a ^ b;
+        (x.count_ones() == 1).then(|| x.trailing_zeros() as usize)
+    }
+
+    fn node_faulty(&self, a: u64) -> bool {
+        self.cfg.node_faulty(NodeId::new(a))
+    }
+
+    fn link_faulty(&self, a: u64, b: u64) -> bool {
+        self.cfg
+            .link_faults()
+            .contains(NodeId::new(a), NodeId::new(b))
+    }
+}
+
+/// A generalized hypercube with a node-fault overlay (the GH extension
+/// models no link faults, matching §4.2).
+pub struct GhNet<'a> {
+    gh: &'a GeneralizedHypercube,
+    faults: &'a FaultSet,
+}
+
+impl<'a> GhNet<'a> {
+    /// Wraps a GH and its faulty-node set as an engine-ready network.
+    pub fn new(gh: &'a GeneralizedHypercube, faults: &'a FaultSet) -> Self {
+        GhNet { gh, faults }
+    }
+
+    /// The underlying topology.
+    pub fn gh(&self) -> &'a GeneralizedHypercube {
+        self.gh
+    }
+}
+
+impl Network for GhNet<'_> {
+    fn num_nodes(&self) -> u64 {
+        GeneralizedHypercube::num_nodes(self.gh)
+    }
+
+    fn degree(&self, a: u64) -> usize {
+        Network::degree(self.gh, a)
+    }
+
+    fn neighbor(&self, a: u64, p: usize) -> u64 {
+        Network::neighbor(self.gh, a, p)
+    }
+
+    fn node_faulty(&self, a: u64) -> bool {
+        self.faults.contains(NodeId::new(a))
+    }
 }
 
 impl Network for Hypercube {

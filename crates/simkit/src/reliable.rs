@@ -14,42 +14,31 @@
 //!   owns a [`ReliableEndpoint`] doing sequencing/ACK/retransmit and
 //!   surfaces to the inner actor only fresh, in-order messages.
 //!
-//! Per link (one per hypercube dimension) the endpoint keeps an
-//! outgoing stream with sequence numbers starting at 1 and an incoming
-//! cursor `cum` = highest sequence delivered in order. Every arriving
-//! `Data` is answered with a cumulative `Ack { cum }`; data at or below
-//! `cum` (channel duplicates or retransmissions that crossed an ACK)
-//! are suppressed, data above `cum + 1` is buffered until the gap
-//! fills, so the inner actor sees each message exactly once, in send
-//! order. Unacknowledged messages are retransmitted individually on a
+//! Per link (one per neighbor port; on a binary cube, port ≡
+//! dimension) the endpoint keeps an outgoing stream with sequence
+//! numbers starting at 1 and an incoming cursor `cum` = highest
+//! sequence delivered in order. Every arriving `Data` is answered with
+//! a cumulative `Ack { cum }`; data at or below `cum` (channel
+//! duplicates or retransmissions that crossed an ACK) are suppressed,
+//! data above `cum + 1` is buffered until the gap fills, so the inner
+//! actor sees each message exactly once, in send order.
+//! Unacknowledged messages are retransmitted individually on a
 //! per-sequence timer whose period doubles each attempt up to
 //! [`ReliableConfig::rto_cap`]; after [`ReliableConfig::max_retries`]
 //! attempts the link is declared dead (the peer is fault-stop silent —
 //! indistinguishable from total loss) and recorded in
 //! [`ReliableEndpoint::gave_up_dims`].
 //!
-//! Retransmission and ACK counts are folded into the engine's
-//! [`crate::stats::EventStats`] via [`Ctx::note_retransmits`] /
-//! [`Ctx::note_acks`], so experiment code can read total overhead from
-//! one place.
+//! Retransmission timers live in their own [`TimerTag::Arq`] tag
+//! space, so inner actors may use any `u64` tag without colliding with
+//! the transport. Retransmission and ACK counts are folded into the
+//! engine's [`crate::stats::EventStats`] via [`Ctx::note_retransmits`]
+//! / [`Ctx::note_acks`], so experiment code can read total overhead
+//! from one place.
 
-use crate::event_engine::{Actor, Ctx, Time};
+use crate::event::{Actor, Ctx, Time, TimerTag};
 use hypersafe_topology::NodeId;
 use std::collections::BTreeMap;
-
-/// Timer tags with this bit set are reserved for the reliable layer;
-/// [`RelCtx::set_timer`] rejects them for inner actors.
-const RELIABLE_TAG_BIT: u64 = 1 << 63;
-const SEQ_MASK: u64 = (1 << 48) - 1;
-
-fn encode_tag(dim: u8, seq: u64) -> u64 {
-    debug_assert!(seq <= SEQ_MASK);
-    RELIABLE_TAG_BIT | ((dim as u64) << 48) | (seq & SEQ_MASK)
-}
-
-fn decode_tag(tag: u64) -> (u8, u64) {
-    (((tag >> 48) & 0x7FFF) as u8, tag & SEQ_MASK)
-}
 
 /// Tuning knobs for the retransmission machinery.
 #[derive(Clone, Copy, Debug)]
@@ -124,9 +113,10 @@ impl<M> Default for InLink<M> {
 }
 
 /// Per-node transport state: one outgoing stream and one incoming
-/// cursor per hypercube dimension.
+/// cursor per neighbor port.
 pub struct ReliableEndpoint<M> {
-    me: NodeId,
+    /// The node at port `p`'s far end, fixed at construction.
+    neighbors: Vec<NodeId>,
     latency: Time,
     cfg: ReliableConfig,
     out: Vec<OutLink<M>>,
@@ -138,16 +128,24 @@ pub struct ReliableEndpoint<M> {
 }
 
 impl<M: Clone> ReliableEndpoint<M> {
-    /// Fresh endpoint for node `me` of an `n`-cube; `latency` is the
-    /// per-hop send latency used for both data and ACKs.
+    /// Fresh endpoint for node `me` of an `n`-cube (port `p` reaches
+    /// the dimension-`p` neighbor); `latency` is the per-hop send
+    /// latency used for both data and ACKs.
     pub fn new(me: NodeId, n: u8, latency: Time, cfg: ReliableConfig) -> Self {
+        Self::with_neighbors((0..n).map(|d| me.neighbor(d)).collect(), latency, cfg)
+    }
+
+    /// Fresh endpoint with an explicit port → neighbor table, for
+    /// topologies where ports are not cube dimensions.
+    pub fn with_neighbors(neighbors: Vec<NodeId>, latency: Time, cfg: ReliableConfig) -> Self {
         assert!(cfg.rto > 0, "rto must be positive");
+        let ports = neighbors.len();
         ReliableEndpoint {
-            me,
+            neighbors,
             latency: latency.max(1),
             cfg,
-            out: (0..n).map(|_| OutLink::default()).collect(),
-            inn: (0..n).map(|_| InLink::default()).collect(),
+            out: (0..ports).map(|_| OutLink::default()).collect(),
+            inn: (0..ports).map(|_| InLink::default()).collect(),
             retransmits: 0,
             acks_sent: 0,
             duplicates_suppressed: 0,
@@ -175,22 +173,22 @@ impl<M: Clone> ReliableEndpoint<M> {
         self.out.iter().map(|o| o.unacked.len()).sum()
     }
 
-    /// Dimensions on which delivery was abandoned after
-    /// `max_retries` attempts (dead or unreachable peer).
+    /// Ports on which delivery was abandoned after `max_retries`
+    /// attempts (dead or unreachable peer). On a binary cube a port is
+    /// exactly a dimension, hence the name.
     pub fn gave_up_dims(&self) -> &[u8] {
         &self.gave_up
     }
 
-    fn dim_of(&self, peer: NodeId) -> u8 {
-        self.me
-            .xor(peer)
-            .set_dims()
-            .next()
+    fn port_of(&self, peer: NodeId) -> usize {
+        self.neighbors
+            .iter()
+            .position(|&b| b == peer)
             .expect("peer must be a neighbor")
     }
 
-    fn send(&mut self, raw: &mut Ctx<ReliableMsg<M>>, dim: u8, payload: M) {
-        let link = &mut self.out[dim as usize];
+    fn send(&mut self, raw: &mut Ctx<ReliableMsg<M>>, port: usize, payload: M) {
+        let link = &mut self.out[port];
         if link.dead {
             return; // peer already declared dead; don't queue behind it
         }
@@ -198,11 +196,11 @@ impl<M: Clone> ReliableEndpoint<M> {
         link.next_seq += 1;
         link.unacked.insert(seq, (payload.clone(), 0, self.cfg.rto));
         raw.send(
-            self.me.neighbor(dim),
+            self.neighbors[port],
             ReliableMsg::Data { seq, payload },
             self.latency,
         );
-        raw.set_timer(self.cfg.rto, encode_tag(dim, seq));
+        raw.set_arq_timer(self.cfg.rto, port as u32, seq);
     }
 
     fn handle_message(
@@ -211,15 +209,15 @@ impl<M: Clone> ReliableEndpoint<M> {
         from: NodeId,
         msg: ReliableMsg<M>,
     ) -> Vec<(NodeId, M)> {
-        let dim = self.dim_of(from);
+        let port = self.port_of(from);
         match msg {
             ReliableMsg::Ack { cum } => {
-                let link = &mut self.out[dim as usize];
+                let link = &mut self.out[port];
                 link.unacked.retain(|&seq, _| seq > cum);
                 Vec::new()
             }
             ReliableMsg::Data { seq, payload } => {
-                let link = &mut self.inn[dim as usize];
+                let link = &mut self.inn[port];
                 let mut delivered = Vec::new();
                 if seq <= link.cum || link.buffer.contains_key(&seq) {
                     self.duplicates_suppressed += 1;
@@ -241,9 +239,8 @@ impl<M: Clone> ReliableEndpoint<M> {
         }
     }
 
-    fn handle_timer(&mut self, raw: &mut Ctx<ReliableMsg<M>>, tag: u64) {
-        let (dim, seq) = decode_tag(tag);
-        let link = &mut self.out[dim as usize];
+    fn handle_timer(&mut self, raw: &mut Ctx<ReliableMsg<M>>, port: u32, seq: u64) {
+        let link = &mut self.out[port as usize];
         let Some((payload, attempts, rto)) = link.unacked.get_mut(&seq) else {
             return; // acknowledged in the meantime — stale timer
         };
@@ -252,7 +249,7 @@ impl<M: Clone> ReliableEndpoint<M> {
             // treat the link as dead and stop spending messages on it.
             link.dead = true;
             link.unacked.clear();
-            self.gave_up.push(dim);
+            self.gave_up.push(port as u8);
             return;
         }
         *attempts += 1;
@@ -262,16 +259,15 @@ impl<M: Clone> ReliableEndpoint<M> {
             seq,
             payload: payload.clone(),
         };
-        raw.send(self.me.neighbor(dim), msg, self.latency);
-        raw.set_timer(delay, tag);
+        raw.send(self.neighbors[port as usize], msg, self.latency);
+        raw.set_arq_timer(delay, port, seq);
         raw.note_retransmits(1);
         self.retransmits += 1;
     }
 }
 
 /// Context handed to a [`ReliableActor`]: like [`Ctx`], but sends are
-/// sequenced/acknowledged and timer tags are checked against the
-/// reserved reliable-layer range.
+/// sequenced/acknowledged.
 pub struct RelCtx<'a, M: Clone> {
     raw: &'a mut Ctx<ReliableMsg<M>>,
     ep: &'a mut ReliableEndpoint<M>,
@@ -292,22 +288,14 @@ impl<M: Clone> RelCtx<'_, M> {
     /// delivery (as long as the peer is alive and the loss rate is
     /// below 1).
     pub fn send_reliable(&mut self, dst: NodeId, msg: M) {
-        let dim = self.ep.dim_of(dst);
-        self.ep.send(self.raw, dim, msg);
+        let port = self.ep.port_of(dst);
+        self.ep.send(self.raw, port, msg);
     }
 
-    /// Arms a timer for the inner actor. The tag must not use the
-    /// reserved high bit.
-    ///
-    /// # Panics
-    /// Panics if `tag` has bit 63 set (reserved for retransmission
-    /// timers).
+    /// Arms a timer for the inner actor. Any tag is fine:
+    /// retransmission timers live in their own [`TimerTag::Arq`]
+    /// space, so collisions are impossible by construction.
     pub fn set_timer(&mut self, delay: Time, tag: u64) {
-        assert_eq!(
-            tag & RELIABLE_TAG_BIT,
-            0,
-            "timer tag {tag:#x} collides with the reliable layer"
-        );
         self.raw.set_timer(delay, tag);
     }
 
@@ -342,7 +330,7 @@ pub trait ReliableActor: Sized {
 
 /// The [`Actor`] adapter running a [`ReliableActor`] over the reliable
 /// layer. Construct with [`Reliable::new`] and hand to
-/// [`crate::event_engine::EventEngine`] as usual.
+/// [`crate::event::EventEngine`] as usual.
 pub struct Reliable<A: ReliableActor> {
     /// The wrapped protocol actor.
     pub inner: A,
@@ -356,6 +344,20 @@ impl<A: ReliableActor> Reliable<A> {
         Reliable {
             inner,
             endpoint: ReliableEndpoint::new(me, n, latency, cfg),
+        }
+    }
+
+    /// Wraps `inner` with an explicit port → neighbor table (for
+    /// non-cube topologies driven through the generic engine).
+    pub fn with_neighbors(
+        inner: A,
+        neighbors: Vec<NodeId>,
+        latency: Time,
+        cfg: ReliableConfig,
+    ) -> Self {
+        Reliable {
+            inner,
+            endpoint: ReliableEndpoint::with_neighbors(neighbors, latency, cfg),
         }
     }
 }
@@ -386,18 +388,19 @@ impl<A: ReliableActor> Actor for Reliable<A> {
         }
     }
 
-    fn on_timer(&mut self, ctx: &mut Ctx<Self::Msg>, tag: u64) {
-        if tag & RELIABLE_TAG_BIT != 0 {
-            self.endpoint.handle_timer(ctx, tag);
-        } else {
-            let Reliable { inner, endpoint } = self;
-            inner.on_timer(
-                &mut RelCtx {
-                    raw: ctx,
-                    ep: endpoint,
-                },
-                tag,
-            );
+    fn on_timer_tag(&mut self, ctx: &mut Ctx<Self::Msg>, tag: TimerTag) {
+        match tag {
+            TimerTag::Arq { port, seq } => self.endpoint.handle_timer(ctx, port, seq),
+            TimerTag::Actor(t) => {
+                let Reliable { inner, endpoint } = self;
+                inner.on_timer(
+                    &mut RelCtx {
+                        raw: ctx,
+                        ep: endpoint,
+                    },
+                    t,
+                );
+            }
         }
     }
 }
@@ -406,7 +409,8 @@ impl<A: ReliableActor> Actor for Reliable<A> {
 mod tests {
     use super::*;
     use crate::channel::ChannelModel;
-    use crate::event_engine::EventEngine;
+    use crate::event::EventEngine;
+    use crate::network::HypercubeNet;
     use hypersafe_topology::{FaultConfig, FaultSet, Hypercube};
 
     /// Node 0 streams `count` numbered messages to node 1; node 1 logs
@@ -438,6 +442,7 @@ mod tests {
     ) -> (Vec<u64>, crate::stats::EventStats) {
         let cube = Hypercube::new(1);
         let cfg = FaultConfig::fault_free(cube);
+        let net = HypercubeNet::new(&cfg);
         let init = |a: NodeId| {
             Reliable::new(
                 Stream { count, log: vec![] },
@@ -448,8 +453,8 @@ mod tests {
             )
         };
         let mut eng = match channel {
-            Some(ch) => EventEngine::with_channel(&cfg, ch, init),
-            None => EventEngine::new(&cfg, init),
+            Some(ch) => EventEngine::with_channel(&net, ch, init),
+            None => EventEngine::new(&net, init),
         };
         eng.run(1_000_000);
         let stats = eng.stats().clone();
@@ -500,7 +505,8 @@ mod tests {
             rto_cap: 16,
             max_retries: 5,
         };
-        let mut eng = EventEngine::new(&cfg, |a| {
+        let net = HypercubeNet::new(&cfg);
+        let mut eng = EventEngine::new(&net, |a| {
             Reliable::new(
                 Stream {
                     count: if a == NodeId::ZERO { 1 } else { 0 },
@@ -533,7 +539,8 @@ mod tests {
             rto_cap: 8,
             max_retries: 4,
         };
-        let mut eng = EventEngine::new(&cfg, |a| {
+        let net = HypercubeNet::new(&cfg);
+        let mut eng = EventEngine::new(&net, |a| {
             Reliable::new(
                 Stream {
                     count: 1,
@@ -550,26 +557,48 @@ mod tests {
         assert_eq!(eng.stats().end_time, 30);
     }
 
+    /// The old reserved-bit convention made tags like `1 << 63`
+    /// collide with retransmission timers; the typed [`TimerTag`]
+    /// spaces make every `u64` safe for inner actors.
     #[test]
-    #[should_panic]
-    fn inner_timer_tag_collision_rejected() {
-        struct Bad;
-        impl ReliableActor for Bad {
+    fn any_inner_timer_tag_is_safe() {
+        struct EdgeTags {
+            fired: Vec<u64>,
+        }
+        impl ReliableActor for EdgeTags {
             type Msg = ();
             fn on_start(&mut self, ctx: &mut RelCtx<()>) {
-                ctx.set_timer(1, RELIABLE_TAG_BIT | 3);
+                ctx.set_timer(1, u64::MAX);
+                ctx.set_timer(2, 1 << 63);
+                ctx.set_timer(3, 0);
             }
             fn on_message(&mut self, _: &mut RelCtx<()>, _: NodeId, _: ()) {}
+            fn on_timer(&mut self, _: &mut RelCtx<()>, tag: u64) {
+                self.fired.push(tag);
+            }
         }
         let cube = Hypercube::new(1);
         let cfg = FaultConfig::fault_free(cube);
-        let _ = EventEngine::new(&cfg, |a| Bad.into_reliable(a));
+        let net = HypercubeNet::new(&cfg);
+        let mut eng = EventEngine::new(&net, |a| {
+            Reliable::new(
+                EdgeTags { fired: vec![] },
+                a,
+                1,
+                1,
+                ReliableConfig::default(),
+            )
+        });
+        eng.run(u64::MAX);
+        assert_eq!(
+            eng.actor(NodeId::ZERO).unwrap().inner.fired,
+            vec![u64::MAX, 1 << 63, 0],
+            "high-bit tags reach the inner actor untouched"
+        );
+        assert_eq!(
+            eng.actor(NodeId::ZERO).unwrap().endpoint.retransmits(),
+            0,
+            "no tag was mistaken for an ARQ timer"
+        );
     }
-
-    trait IntoReliable: ReliableActor {
-        fn into_reliable(self, me: NodeId) -> Reliable<Self> {
-            Reliable::new(self, me, 1, 1, ReliableConfig::default())
-        }
-    }
-    impl<A: ReliableActor> IntoReliable for A {}
 }

@@ -28,10 +28,10 @@ pub struct EventStats {
     /// Extra copies injected by channel duplication.
     pub duplicated: u64,
     /// Retransmissions performed by the reliable layer
-    /// (`crate::reliable`), reported via [`crate::event_engine::Ctx::note_retransmits`].
+    /// (`crate::reliable`), reported via [`crate::event::Ctx::note_retransmits`].
     pub retransmitted: u64,
     /// Acknowledgements sent by the reliable layer, reported via
-    /// [`crate::event_engine::Ctx::note_acks`].
+    /// [`crate::event::Ctx::note_acks`].
     pub acked: u64,
     /// Timer events fired.
     pub timers: u64,

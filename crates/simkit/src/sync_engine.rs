@@ -73,8 +73,21 @@ impl<'a, N: SyncNode> SyncEngine<'a, N> {
     /// Executes one lock-step round: every nonfaulty node broadcasts,
     /// then every nonfaulty node absorbs. Returns the number of nodes
     /// whose state changed.
-    pub fn run_round(&mut self) -> usize {
+    ///
+    /// The absorb half is data-parallel by construction — every node
+    /// reads only the immutable pre-round snapshot and writes only its
+    /// own state — so it fans out across rayon workers in contiguous
+    /// node-id chunks. Results are bitwise-identical to sequential
+    /// execution: per-chunk counters are committed in chunk order, and
+    /// no node observes another's current-round update either way.
+    pub fn run_round(&mut self) -> usize
+    where
+        N: Send,
+        N::Msg: Sync,
+    {
+        use rayon::prelude::*;
         let cube = self.cfg.cube();
+        let cfg = self.cfg;
         // Snapshot phase: collect every node's outgoing value first so
         // that all receives observe pre-round state (parbegin/parend).
         let outgoing: Vec<Option<N::Msg>> = self
@@ -83,27 +96,43 @@ impl<'a, N: SyncNode> SyncEngine<'a, N> {
             .map(|n| n.as_ref().map(SyncNode::broadcast))
             .collect();
 
+        let chunk_len = self.nodes.len().div_ceil(rayon::num_threads()).max(1);
+        let per_chunk: Vec<(usize, u64)> = self
+            .nodes
+            .par_chunks_mut(chunk_len)
+            .enumerate()
+            .map(|(ci, nodes)| {
+                let base = ci * chunk_len;
+                let mut changed = 0usize;
+                let mut messages = 0u64;
+                let mut inbox: Vec<(u8, N::Msg)> = Vec::with_capacity(cube.dim() as usize);
+                for (off, slot) in nodes.iter_mut().enumerate() {
+                    let Some(node) = slot.as_mut() else {
+                        continue;
+                    };
+                    let a = NodeId::new((base + off) as u64);
+                    inbox.clear();
+                    for (dim, b) in cube.neighbors_with_dims(a) {
+                        if cfg.link_faults().contains(a, b) {
+                            continue;
+                        }
+                        if let Some(msg) = &outgoing[b.raw() as usize] {
+                            inbox.push((dim, msg.clone()));
+                            messages += 1;
+                        }
+                    }
+                    if node.receive(&inbox) {
+                        changed += 1;
+                    }
+                }
+                (changed, messages)
+            })
+            .collect();
+
         let mut changed = 0usize;
-        let mut inbox: Vec<(u8, N::Msg)> = Vec::with_capacity(cube.dim() as usize);
-        for a in cube.nodes() {
-            let idx = a.raw() as usize;
-            if self.nodes[idx].is_none() {
-                continue;
-            }
-            inbox.clear();
-            for (dim, b) in cube.neighbors_with_dims(a) {
-                if self.cfg.link_faults().contains(a, b) {
-                    continue;
-                }
-                if let Some(msg) = &outgoing[b.raw() as usize] {
-                    inbox.push((dim, msg.clone()));
-                    self.stats.messages += 1;
-                }
-            }
-            let node = self.nodes[idx].as_mut().expect("checked above");
-            if node.receive(&inbox) {
-                changed += 1;
-            }
+        for (c, m) in per_chunk {
+            changed += c;
+            self.stats.messages += m;
         }
         self.stats.rounds_run += 1;
         if changed > 0 {
@@ -116,7 +145,11 @@ impl<'a, N: SyncNode> SyncEngine<'a, N> {
     /// Runs rounds until a fully quiescent round occurs or `max_rounds`
     /// have executed. Returns the number of *active* rounds (rounds in
     /// which some node changed) — the paper's Fig. 2 metric.
-    pub fn run_until_stable(&mut self, max_rounds: u32) -> u32 {
+    pub fn run_until_stable(&mut self, max_rounds: u32) -> u32
+    where
+        N: Send,
+        N::Msg: Sync,
+    {
         for _ in 0..max_rounds {
             if self.run_round() == 0 {
                 break;
@@ -127,7 +160,11 @@ impl<'a, N: SyncNode> SyncEngine<'a, N> {
 
     /// Runs exactly `rounds` rounds regardless of quiescence — the
     /// paper's fixed-`D` formulation of `GLOBAL_STATUS`.
-    pub fn run_fixed(&mut self, rounds: u32) {
+    pub fn run_fixed(&mut self, rounds: u32)
+    where
+        N: Send,
+        N::Msg: Sync,
+    {
         for _ in 0..rounds {
             self.run_round();
         }

@@ -61,6 +61,31 @@ impl fmt::Display for TraceEvent {
     }
 }
 
+/// A consumer of trace events. The event engine
+/// ([`crate::event::EventEngine::set_trace`]) streams per-delivery
+/// [`TraceEvent::Hop`]s into one; [`Trace`] is the standard in-memory
+/// implementation, but tests can plug in counters or filters.
+pub trait TraceSink {
+    /// Consumes one event.
+    fn record(&mut self, ev: TraceEvent);
+
+    /// Recovers the concrete [`Trace`] when this sink is one (lets
+    /// callers read back events without downcasting machinery).
+    fn into_trace(self: Box<Self>) -> Option<Trace> {
+        None
+    }
+}
+
+impl TraceSink for Trace {
+    fn record(&mut self, ev: TraceEvent) {
+        self.push(ev);
+    }
+
+    fn into_trace(self: Box<Self>) -> Option<Trace> {
+        Some(*self)
+    }
+}
+
 /// An append-only trace. The `enabled` flag lets hot paths skip
 /// recording without the callers branching.
 #[derive(Clone, Debug, Default)]

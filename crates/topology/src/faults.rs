@@ -2,8 +2,10 @@
 //!
 //! The paper's main development (§2–§3) assumes *fault-stop node faults*
 //! only; §4.1 extends to faulty links. [`FaultSet`] is a dense bitset of
-//! faulty node addresses; [`LinkFaultSet`] stores faulty undirected
-//! links; [`FaultConfig`] combines both and is what algorithms consume.
+//! faulty node addresses; [`LinkFaultSet`] packs faulty undirected links
+//! into one bit per (lower endpoint, dimension) pair so the per-hop
+//! usability test stays branch-cheap; [`FaultConfig`] combines both and
+//! is what algorithms consume.
 
 use crate::addr::NodeId;
 use crate::cube::Hypercube;
@@ -117,10 +119,20 @@ impl FaultSet {
     }
 }
 
-/// A set of faulty undirected links, keyed by `(min, max)` endpoints.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+/// A set of faulty undirected links, stored as a packed bitset: one
+/// 64-bit word per lower endpoint, with bit `d` set when the link
+/// along dimension `d` (the single differing bit of the endpoints) is
+/// faulty. A hypercube has at most 64 dimensions, so a word per node
+/// always suffices, and the membership test in the engines' per-hop
+/// hot path is two shifts and a mask instead of a hash lookup.
+///
+/// The backing vector grows lazily with the highest inserted lower
+/// endpoint, so the empty set stays allocation-free and equality is
+/// defined on set contents, not backing-store length.
+#[derive(Clone, Debug, Default)]
 pub struct LinkFaultSet {
-    links: std::collections::HashSet<(NodeId, NodeId)>,
+    bits: Vec<u64>,
+    len: usize,
 }
 
 impl LinkFaultSet {
@@ -129,12 +141,12 @@ impl LinkFaultSet {
         Self::default()
     }
 
-    fn key(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
-        if a <= b {
-            (a, b)
-        } else {
-            (b, a)
-        }
+    /// Canonical form of the undirected link `a`–`b`: the lower
+    /// endpoint and the dimension the endpoints differ in.
+    #[inline]
+    fn key(a: NodeId, b: NodeId) -> (usize, u32) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        (lo.raw() as usize, (lo.raw() ^ hi.raw()).trailing_zeros())
     }
 
     /// Marks the link between `a` and `b` faulty.
@@ -143,33 +155,57 @@ impl LinkFaultSet {
     /// Panics if `a` and `b` are not adjacent (`H(a,b) ≠ 1`).
     pub fn insert(&mut self, a: NodeId, b: NodeId) -> bool {
         assert_eq!(a.distance(b), 1, "({a}, {b}) is not a hypercube link");
-        self.links.insert(Self::key(a, b))
+        let (lo, d) = Self::key(a, b);
+        if lo >= self.bits.len() {
+            self.bits.resize(lo + 1, 0);
+        }
+        let fresh = (self.bits[lo] >> d) & 1 == 0;
+        if fresh {
+            self.bits[lo] |= 1 << d;
+            self.len += 1;
+        }
+        fresh
     }
 
     /// Restores the link between `a` and `b`.
     pub fn remove(&mut self, a: NodeId, b: NodeId) -> bool {
-        self.links.remove(&Self::key(a, b))
+        let (lo, d) = Self::key(a, b);
+        let present = lo < self.bits.len() && (self.bits[lo] >> d) & 1 == 1;
+        if present {
+            self.bits[lo] &= !(1 << d);
+            self.len -= 1;
+        }
+        present
     }
 
     /// Whether the link between `a` and `b` is faulty.
     #[inline]
     pub fn contains(&self, a: NodeId, b: NodeId) -> bool {
-        self.links.contains(&Self::key(a, b))
+        let x = a.raw() ^ b.raw();
+        if !x.is_power_of_two() {
+            return false;
+        }
+        let lo = a.raw().min(b.raw()) as usize;
+        lo < self.bits.len() && (self.bits[lo] >> x.trailing_zeros()) & 1 == 1
     }
 
     /// Number of faulty links.
     pub fn len(&self) -> usize {
-        self.links.len()
+        self.len
     }
 
     /// Whether no link is faulty.
     pub fn is_empty(&self) -> bool {
-        self.links.is_empty()
+        self.len == 0
     }
 
-    /// Iterator over faulty links as `(low, high)` pairs.
+    /// Iterator over faulty links as `(low, high)` pairs, ascending by
+    /// lower endpoint then dimension.
     pub fn iter(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
-        self.links.iter().copied()
+        self.bits.iter().enumerate().flat_map(|(lo, &word)| {
+            crate::addr::BitDims(word)
+                .map(move |d| (NodeId::new(lo as u64), NodeId::new(lo as u64 | (1 << d))))
+        })
     }
 
     /// Whether node `a` has at least one adjacent faulty link — i.e.
@@ -187,6 +223,23 @@ impl LinkFaultSet {
         cube.neighbors(a).filter(move |&b| self.contains(a, b))
     }
 }
+
+impl PartialEq for LinkFaultSet {
+    fn eq(&self, other: &Self) -> bool {
+        // Backing vectors grow lazily, so equal sets may differ in
+        // trailing zero words; compare contents, not storage.
+        let (short, long) = if self.bits.len() <= other.bits.len() {
+            (&self.bits, &other.bits)
+        } else {
+            (&other.bits, &self.bits)
+        };
+        self.len == other.len
+            && short[..] == long[..short.len()]
+            && long[short.len()..].iter().all(|&w| w == 0)
+    }
+}
+
+impl Eq for LinkFaultSet {}
 
 /// Complete fault state of one faulty hypercube instance: the cube, its
 /// faulty nodes, and its faulty links.
@@ -330,6 +383,53 @@ mod tests {
         assert_eq!(lf.faulty_ends_of(q4(), a).collect::<Vec<_>>(), vec![b]);
         assert!(lf.remove(a, b));
         assert!(lf.is_empty());
+    }
+
+    #[test]
+    fn link_iteration_is_sorted_and_complete() {
+        let mut lf = LinkFaultSet::new();
+        // Insert in scrambled order; iteration must come out sorted by
+        // (low endpoint, dimension).
+        lf.insert(NodeId::new(0b1110), NodeId::new(0b1111));
+        lf.insert(NodeId::new(0b0001), NodeId::new(0b0000));
+        lf.insert(NodeId::new(0b0100), NodeId::new(0b0000));
+        lf.insert(NodeId::new(0b0010), NodeId::new(0b0000));
+        assert_eq!(lf.len(), 4);
+        let listed: Vec<(u64, u64)> = lf.iter().map(|(a, b)| (a.raw(), b.raw())).collect();
+        assert_eq!(
+            listed,
+            vec![(0, 1), (0, 0b10), (0, 0b100), (0b1110, 0b1111)]
+        );
+    }
+
+    #[test]
+    fn link_set_equality_ignores_backing_growth() {
+        let a = NodeId::new(0b0000);
+        let b = NodeId::new(0b0001);
+        let hi = NodeId::new(0b1110);
+        let mut grown = LinkFaultSet::new();
+        grown.insert(a, b);
+        grown.insert(hi, NodeId::new(0b1111));
+        grown.remove(hi, NodeId::new(0b1111));
+        let mut small = LinkFaultSet::new();
+        small.insert(a, b);
+        assert_eq!(grown, small, "trailing zero words must not matter");
+        assert_eq!(small, grown);
+        small.remove(a, b);
+        assert_eq!(small, LinkFaultSet::new());
+        assert_ne!(grown, small);
+    }
+
+    #[test]
+    fn link_contains_rejects_non_links_quietly() {
+        let mut lf = LinkFaultSet::new();
+        lf.insert(NodeId::new(0b0000), NodeId::new(0b0001));
+        // Queries about node pairs that are not links (H ≠ 1) are
+        // simply absent, matching the old set-of-pairs semantics.
+        assert!(!lf.contains(NodeId::new(0b0000), NodeId::new(0b0011)));
+        assert!(!lf.contains(NodeId::new(0b0101), NodeId::new(0b0101)));
+        // Out-of-range endpoints (beyond anything inserted) are absent.
+        assert!(!lf.contains(NodeId::new(0b1000_0000), NodeId::new(0b1000_0001)));
     }
 
     #[test]

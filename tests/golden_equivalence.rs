@@ -1,0 +1,352 @@
+//! Golden equivalence harness for the engine unification refactor.
+//!
+//! Records the observable outcomes of every distributed entry point —
+//! safety maps, unicast decisions and trails, broadcast coverage,
+//! detector views, congestion summaries, and stats counters — across
+//! `n ∈ {4, 6, 8}`, fault densities `{0, n, 2n}`, link-fault mixes,
+//! and loss rates `{0%, 5%, 20%}`. The recorded file
+//! (`tests/goldens/engine_goldens.txt`) was generated against the
+//! pre-refactor twin engines; the unified engine must reproduce it
+//! byte-for-byte.
+//!
+//! Regenerate (only when intentionally changing observable behavior):
+//!
+//! ```sh
+//! GOLDEN_REGEN=1 cargo test --test golden_equivalence
+//! ```
+
+use hypersafe::experiments::congestion_exp::simulate_burst;
+use hypersafe::safety::gh_unicast_distributed::run_gh_unicast;
+use hypersafe::safety::unicast_distributed::{run_unicast, run_unicast_lossy, LossyOutcome};
+use hypersafe::safety::{
+    detect, run_broadcast, run_gh_gs, run_gs, run_gs_async, run_gs_reliable, DetectorParams,
+    GhSafetyMap, SafetyMap, TieBreak,
+};
+use hypersafe::simkit::{ChannelModel, EventStats, ReliableConfig, SyncStats};
+use hypersafe::topology::{FaultConfig, GeneralizedHypercube, GhNode, Hypercube, NodeId};
+use hypersafe::workloads::{uniform_faults, Sweep};
+use std::fmt::Write as _;
+
+/// SplitMix64: deterministic pair sampling without threading an RNG
+/// through the harness.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One deterministic fault instance per (n, m), drawn from the same
+/// seeded sweep machinery the experiments use.
+fn node_fault_cfg(n: u8, m: usize) -> FaultConfig {
+    let cube = Hypercube::new(n);
+    let seed = 0x601D ^ ((n as u64) << 8) ^ m as u64;
+    Sweep::new(1, seed)
+        .run_seq(|_, rng| FaultConfig::with_node_faults(cube, uniform_faults(cube, m, rng)))
+        .pop()
+        .expect("one instance")
+}
+
+/// Deterministic link-fault injection by fixed stride (mirrors the
+/// bench helper so before/after comparisons see identical instances).
+fn add_link_faults(mut cfg: FaultConfig, count: usize) -> FaultConfig {
+    let cube = cfg.cube();
+    let nodes = cube.num_nodes();
+    let n = cube.dim() as u64;
+    let mut inserted = 0usize;
+    let mut k = 0u64;
+    while inserted < count {
+        let a = NodeId::new((k.wrapping_mul(0x9E37_79B9)) % nodes);
+        let b = a.neighbor((k % n) as u8);
+        if cfg.link_faults_mut().insert(a, b) {
+            inserted += 1;
+        }
+        k += 1;
+    }
+    cfg
+}
+
+/// Deterministic healthy (s, d) pairs, s != d.
+fn sample_pairs(cfg: &FaultConfig, count: usize, salt: u64) -> Vec<(NodeId, NodeId)> {
+    let healthy: Vec<NodeId> = cfg.healthy_nodes().collect();
+    let mut state = 0xD1CE ^ salt;
+    let mut pairs = Vec::new();
+    while pairs.len() < count {
+        let s = healthy[(splitmix64(&mut state) % healthy.len() as u64) as usize];
+        let d = healthy[(splitmix64(&mut state) % healthy.len() as u64) as usize];
+        if s != d {
+            pairs.push((s, d));
+        }
+    }
+    pairs
+}
+
+fn fmt_sync_stats(s: &SyncStats) -> String {
+    format!(
+        "rounds_run={} active={} msgs={} changes={}",
+        s.rounds_run, s.active_rounds, s.messages, s.state_changes
+    )
+}
+
+fn fmt_event_stats(s: &EventStats) -> String {
+    format!(
+        "delivered={} dropped={} lost={} dup={} retx={} acked={} timers={} end={}",
+        s.delivered,
+        s.dropped,
+        s.lost,
+        s.duplicated,
+        s.retransmitted,
+        s.acked,
+        s.timers,
+        s.end_time
+    )
+}
+
+fn fmt_levels(levels: &[u8]) -> String {
+    let mut s = String::with_capacity(levels.len() * 2);
+    for &l in levels {
+        let _ = write!(s, "{l:x}");
+    }
+    s
+}
+
+fn fmt_trail(trail: &Option<Vec<NodeId>>) -> String {
+    match trail {
+        None => "-".to_string(),
+        Some(t) => t
+            .iter()
+            .map(|a| a.raw().to_string())
+            .collect::<Vec<_>>()
+            .join(">"),
+    }
+}
+
+fn fmt_lossy_outcome(o: &LossyOutcome) -> String {
+    match o {
+        LossyOutcome::Delivered { retransmits, delay } => {
+            format!("Delivered(retx={retransmits},delay={delay})")
+        }
+        LossyOutcome::TimedOut => "TimedOut".to_string(),
+        LossyOutcome::AbortedAt(a) => format!("AbortedAt({})", a.raw()),
+        LossyOutcome::HolderFailed(a) => format!("HolderFailed({})", a.raw()),
+    }
+}
+
+const LOSS_RATES: [(u64, f64); 3] = [(0, 0.0), (5, 0.05), (20, 0.20)];
+const MAX_EVENTS: u64 = 2_000_000;
+
+/// Records every observable outcome for one cube fault instance.
+fn record_cube_scenario(out: &mut Vec<String>, tag: &str, cfg: &FaultConfig) {
+    let n = cfg.cube().dim();
+
+    // Synchronous GS (SyncEngine).
+    let sync = run_gs(cfg);
+    out.push(format!(
+        "{tag} gs_sync levels={} rounds={} {}",
+        fmt_levels(sync.map.as_slice()),
+        sync.map.rounds(),
+        fmt_sync_stats(&sync.stats)
+    ));
+    if cfg.link_faults().is_empty() {
+        let central = SafetyMap::compute(cfg);
+        assert_eq!(
+            sync.map.as_slice(),
+            central.as_slice(),
+            "{tag}: distributed GS must match the centralized fixed point"
+        );
+    }
+
+    // Asynchronous event-driven GS (EventEngine).
+    let (amap, astats) = run_gs_async(cfg, 3);
+    out.push(format!(
+        "{tag} gs_async levels={} {}",
+        fmt_levels(amap.as_slice()),
+        fmt_event_stats(&astats)
+    ));
+
+    // GS over lossy channels with the reliable ARQ layer.
+    for (pct, loss) in LOSS_RATES {
+        let channel = ChannelModel::new(0xC4A_u64 ^ ((n as u64) << 16) ^ pct)
+            .with_loss(loss)
+            .with_jitter(2);
+        let run = run_gs_reliable(cfg, channel, ReliableConfig::default(), 1, MAX_EVENTS);
+        out.push(format!(
+            "{tag} gs_reliable loss={pct} levels={} quiescent={} abandoned={} {}",
+            fmt_levels(run.map.as_slice()),
+            run.quiescent,
+            run.links_abandoned,
+            fmt_event_stats(&run.stats)
+        ));
+    }
+
+    // Unicast: lossless distributed protocol + lossy reliable variant.
+    let map = sync.map.clone();
+    for (i, &(s, d)) in sample_pairs(cfg, 4, n as u64).iter().enumerate() {
+        let run = run_unicast(cfg, &map, s, d, 2);
+        out.push(format!(
+            "{tag} unicast[{i}] {}->{} decision={:?} trail={} arrival={:?} msgs={}",
+            s.raw(),
+            d.raw(),
+            run.decision,
+            fmt_trail(&run.trail),
+            run.arrival_time,
+            run.messages
+        ));
+        for (pct, loss) in LOSS_RATES {
+            let channel = ChannelModel::new(0xF00D ^ ((i as u64) << 24) ^ pct)
+                .with_loss(loss)
+                .with_jitter(1);
+            let lossy = run_unicast_lossy(
+                cfg,
+                &map,
+                s,
+                d,
+                2,
+                channel,
+                ReliableConfig::default(),
+                MAX_EVENTS,
+            );
+            out.push(format!(
+                "{tag} unicast_lossy[{i}] loss={pct} outcome={} trail={} dupes={} {}",
+                fmt_lossy_outcome(&lossy.outcome),
+                fmt_trail(&lossy.trail),
+                lossy.duplicate_deliveries,
+                fmt_event_stats(&lossy.stats)
+            ));
+        }
+    }
+
+    // Broadcast from the first healthy node.
+    if let Some(source) = cfg.healthy_nodes().next() {
+        let b = run_broadcast(cfg, &map, source, 2);
+        out.push(format!(
+            "{tag} broadcast src={} coverage={} msgs={} steps={} relay={:?}",
+            source.raw(),
+            b.coverage(),
+            b.messages,
+            b.steps,
+            b.relayed_via.map(|a| a.raw())
+        ));
+    }
+
+    // Heartbeat fault detection.
+    let det = detect(cfg, DetectorParams::default());
+    let (fneg, fpos) = det.accuracy(cfg);
+    out.push(format!(
+        "{tag} detect msgs={} duration={} fneg={fneg} fpos={fpos}",
+        det.messages, det.duration
+    ));
+
+    // Congestion: a burst of queued unicasts over the event engine.
+    let pairs = sample_pairs(cfg, 6, 0xB00 ^ n as u64);
+    let burst = simulate_burst(cfg, &map, &pairs, TieBreak::LowestDim);
+    out.push(format!(
+        "{tag} burst delivered={} mean={:.4} max={} slowdown={:.4}",
+        burst.delivered, burst.mean_latency, burst.max_latency, burst.slowdown
+    ));
+}
+
+/// Records the generalized-hypercube protocol trio on one instance.
+fn record_gh_scenario(
+    out: &mut Vec<String>,
+    tag: &str,
+    gh: &GeneralizedHypercube,
+    faults: &hypersafe::topology::FaultSet,
+) {
+    let (map, stats) = run_gh_gs(gh, faults);
+    out.push(format!(
+        "{tag} gh_gs levels={} {}",
+        fmt_levels(map.as_slice()),
+        fmt_sync_stats(&stats)
+    ));
+    let central = GhSafetyMap::compute(gh, faults);
+    assert_eq!(
+        map.as_slice(),
+        central.as_slice(),
+        "{tag}: distributed GH GS must match the centralized fixed point"
+    );
+
+    let healthy: Vec<u64> = (0..gh.num_nodes())
+        .filter(|&a| !faults.contains(NodeId::new(a)))
+        .collect();
+    let mut state = 0x6E ^ gh.num_nodes();
+    for i in 0..4usize {
+        let s = healthy[(splitmix64(&mut state) % healthy.len() as u64) as usize];
+        let mut d = s;
+        while d == s {
+            d = healthy[(splitmix64(&mut state) % healthy.len() as u64) as usize];
+        }
+        let run = run_gh_unicast(gh, &map, faults, GhNode(s), GhNode(d), 2);
+        let trail = match &run.trail {
+            None => "-".to_string(),
+            Some(t) => t
+                .iter()
+                .map(|a| a.raw().to_string())
+                .collect::<Vec<_>>()
+                .join(">"),
+        };
+        out.push(format!(
+            "{tag} gh_unicast[{i}] {s}->{d} decision={:?} trail={trail} msgs={}",
+            run.decision, run.messages
+        ));
+    }
+}
+
+fn collect_goldens() -> Vec<String> {
+    let mut out = Vec::new();
+    for n in [4u8, 6, 8] {
+        for m in [0usize, n as usize, 2 * n as usize] {
+            let cfg = node_fault_cfg(n, m);
+            record_cube_scenario(&mut out, &format!("n{n}/m{m}"), &cfg);
+        }
+        // Mixed node + link faults (centralized comparison skipped
+        // inside — the fixed point there is distributed-only).
+        let cfg = add_link_faults(node_fault_cfg(n, n as usize / 2), n as usize);
+        record_cube_scenario(&mut out, &format!("n{n}/links{n}"), &cfg);
+    }
+
+    // GH instances: the paper's Fig. 5 cube and a flat two-dimensional
+    // one exercising radix > 2 cliques.
+    let gh = GeneralizedHypercube::from_product(&[2, 3, 2]);
+    let f = gh.fault_set_from_strs(&["011", "100", "111", "121"]);
+    record_gh_scenario(&mut out, "gh232", &gh, &f);
+    let gh2 = GeneralizedHypercube::from_product(&[3, 4]);
+    let f2 = gh2.fault_set_from_strs(&["00", "12", "23"]);
+    record_gh_scenario(&mut out, "gh34", &gh2, &f2);
+    out
+}
+
+fn golden_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/goldens/engine_goldens.txt")
+}
+
+#[test]
+fn engine_outcomes_match_pre_refactor_goldens() {
+    let got = collect_goldens();
+    let path = golden_path();
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        std::fs::create_dir_all(path.parent().expect("parent")).expect("mkdir goldens");
+        std::fs::write(&path, got.join("\n") + "\n").expect("write goldens");
+        return;
+    }
+    let want_raw = std::fs::read_to_string(&path)
+        .expect("goldens missing — run with GOLDEN_REGEN=1 to record");
+    let want: Vec<&str> = want_raw.lines().collect();
+    for (i, (g, w)) in got.iter().zip(want.iter()).enumerate() {
+        assert_eq!(
+            g,
+            w,
+            "golden mismatch at line {} — engine behavior diverged from the \
+             pre-refactor recording",
+            i + 1
+        );
+    }
+    assert_eq!(
+        got.len(),
+        want.len(),
+        "golden line count changed ({} recorded, {} produced)",
+        want.len(),
+        got.len()
+    );
+}

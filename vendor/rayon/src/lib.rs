@@ -1,27 +1,89 @@
-//! Offline stand-in for the slice of `rayon`'s parallel-iterator API
-//! this workspace uses (`into_par_iter().map(..).collect()`), executed
-//! sequentially.
+//! Offline stand-in for the slice of `rayon`'s API this workspace uses
+//! (`into_par_iter().map(..).collect()`, `par_chunks_mut`, `join`),
+//! executed on `std::thread::scope` worker threads.
 //!
-//! The workspace only ever uses rayon for embarrassingly parallel,
-//! deterministic Monte-Carlo sweeps whose results are required to be
-//! bitwise-independent of scheduling — so a sequential execution is
-//! behaviorally indistinguishable, just slower on multicore. The
-//! `Send`/`Sync` bounds of the real API are preserved so the code
-//! keeps compiling against genuine rayon if it ever returns.
+//! Unlike real rayon there is no persistent pool: each terminal
+//! operation buffers its input, splits it into one contiguous chunk
+//! per thread, runs the chunks on freshly scoped threads, and
+//! concatenates the per-chunk results in chunk order — so `collect`
+//! preserves input order and every reduction folds in a
+//! schedule-independent order. The workspace only uses this for
+//! deterministic data-parallel steps (Monte-Carlo sweeps, Jacobi
+//! rounds, lock-step round halves), which is exactly the shape this
+//! executor handles bitwise-reproducibly.
+//!
+//! Thread count: `RAYON_NUM_THREADS` if set and ≥ 1, else
+//! [`std::thread::available_parallelism`]. With one thread (or one
+//! item) everything runs inline with no spawns. The `Send`/`Sync`
+//! bounds mirror the real API so the code keeps compiling against
+//! genuine rayon if it ever returns.
 
-/// Parallel iterator adapter (sequential in this vendored build).
+/// Worker-thread count: `RAYON_NUM_THREADS` when set to a positive
+/// integer, otherwise the machine's available parallelism (1 if that
+/// is unknown). Resolved once per process — this sits on the
+/// per-round hot path of the lock-step engine, where an environment
+/// lookup per call is measurable on small cubes.
+pub fn num_threads() -> usize {
+    static THREADS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *THREADS.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|p| p.get())
+                    .unwrap_or(1)
+            })
+    })
+}
+
+/// Chunked fork/join core: applies `f` to every item on `threads`
+/// scoped workers, returning outputs in input order.
+fn execute_chunked<T, O, F>(items: Vec<T>, f: &F, threads: usize) -> Vec<O>
+where
+    T: Send,
+    O: Send,
+    F: Fn(T) -> O + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_len = items.len().div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut it = items.into_iter();
+    loop {
+        let c: Vec<T> = it.by_ref().take(chunk_len).collect();
+        if c.is_empty() {
+            break;
+        }
+        chunks.push(c);
+    }
+    let mut out: Vec<O> = Vec::new();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| s.spawn(move || c.into_iter().map(f).collect::<Vec<O>>()))
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("rayon worker panicked"));
+        }
+    });
+    out
+}
+
+/// Parallel iterator over a buffered source (identity stage).
 pub struct ParIter<I>(I);
 
 impl<I: Iterator> ParIter<I> {
-    /// Maps each item through `f`.
-    pub fn map<O, F>(self, f: F) -> ParIter<std::iter::Map<I, F>>
-    where
-        F: FnMut(I::Item) -> O,
-    {
-        ParIter(self.0.map(f))
+    /// Pairs every item with its index, like [`Iterator::enumerate`].
+    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
+        ParIter(self.0.enumerate())
     }
 
-    /// Keeps items for which `f` is true.
+    /// Keeps items for which `f` is true. The predicate runs while the
+    /// source is buffered (sequentially); downstream stages of the
+    /// surviving items run in parallel.
     pub fn filter<F>(self, f: F) -> ParIter<std::iter::Filter<I, F>>
     where
         F: FnMut(&I::Item) -> bool,
@@ -29,17 +91,29 @@ impl<I: Iterator> ParIter<I> {
         ParIter(self.0.filter(f))
     }
 
-    /// Collects into any `FromIterator` container, preserving order.
-    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
-        self.0.collect()
+    /// Maps each item through `f` on the worker threads.
+    pub fn map<O, F>(self, f: F) -> ParMap<I, F>
+    where
+        F: Fn(I::Item) -> O + Sync,
+        O: Send,
+    {
+        ParMap { iter: self.0, f }
     }
 
-    /// Runs `f` on every item.
+    /// Collects into any `FromIterator` container, preserving order.
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C
+    where
+        I::Item: Send,
+    {
+        self.map(|x| x).collect()
+    }
+
+    /// Runs `f` on every item, in input order.
     pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
         self.0.for_each(f)
     }
 
-    /// Sums the items.
+    /// Sums the items (folded in input order).
     pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
         self.0.sum()
     }
@@ -50,7 +124,62 @@ impl<I: Iterator> ParIter<I> {
     }
 }
 
-/// Conversion into a (nominally) parallel iterator.
+/// A mapped parallel iterator; terminal operations fan the map out
+/// across the worker threads.
+pub struct ParMap<I, F> {
+    iter: I,
+    f: F,
+}
+
+impl<I, O, F> ParMap<I, F>
+where
+    I: Iterator,
+    I::Item: Send,
+    O: Send,
+    F: Fn(I::Item) -> O + Sync,
+{
+    /// Composes a second map stage.
+    pub fn map<O2, G>(self, g: G) -> ParMap<I, impl Fn(I::Item) -> O2 + Sync>
+    where
+        G: Fn(O) -> O2 + Sync,
+        O2: Send,
+    {
+        let f = self.f;
+        ParMap {
+            iter: self.iter,
+            f: move |x| g(f(x)),
+        }
+    }
+
+    /// Runs the map on the workers, returning outputs in input order.
+    fn run(self) -> Vec<O> {
+        let items: Vec<I::Item> = self.iter.collect();
+        execute_chunked(items, &self.f, num_threads())
+    }
+
+    /// Collects into any `FromIterator` container, preserving order.
+    pub fn collect<C: FromIterator<O>>(self) -> C {
+        self.run().into_iter().collect()
+    }
+
+    /// Runs `g` on every mapped item, in input order.
+    pub fn for_each<G: FnMut(O)>(self, g: G) {
+        self.run().into_iter().for_each(g)
+    }
+
+    /// Sums the mapped items. The partials are folded in input order,
+    /// so floating-point reductions are bitwise-reproducible.
+    pub fn sum<S: std::iter::Sum<O>>(self) -> S {
+        self.run().into_iter().sum()
+    }
+
+    /// Counts the mapped items.
+    pub fn count(self) -> usize {
+        self.run().len()
+    }
+}
+
+/// Conversion into a parallel iterator.
 pub trait IntoParallelIterator: IntoIterator + Sized {
     /// Wraps `self` in the parallel adapter.
     fn into_par_iter(self) -> ParIter<Self::IntoIter> {
@@ -89,18 +218,42 @@ impl<'a, T: 'a + Sync> IntoParallelRefIterator<'a> for Vec<T> {
     }
 }
 
-/// Runs both closures (sequentially here) and returns both results.
+/// Mutable chunked views of a slice, mirroring `rayon`'s
+/// `par_chunks_mut` — each chunk is handed to one worker.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over non-overlapping mutable chunks of
+    /// `chunk_size` elements (the last chunk may be shorter).
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>> {
+        ParIter(self.chunks_mut(chunk_size))
+    }
+}
+
+/// Runs both closures (on two scoped threads when the machine has
+/// them) and returns both results.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
-    A: FnOnce() -> RA,
-    B: FnOnce() -> RB,
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
 {
-    (a(), b())
+    if num_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon join worker panicked"))
+    })
 }
 
 /// The customary glob-import module.
 pub mod prelude {
-    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter};
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter, ParallelSliceMut};
 }
 
 #[cfg(test)]
@@ -114,6 +267,24 @@ mod tests {
     }
 
     #[test]
+    fn chunked_execution_matches_sequential_at_any_width() {
+        let items: Vec<u32> = (0..101).collect();
+        let expect: Vec<u32> = items.iter().map(|&x| x * x + 1).collect();
+        for threads in [1, 2, 3, 7, 16, 128] {
+            let got = super::execute_chunked(items.clone(), &|x| x * x + 1, threads);
+            assert_eq!(got, expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn chunked_execution_handles_degenerate_inputs() {
+        let empty: Vec<u8> = super::execute_chunked(Vec::new(), &|x: u8| x, 4);
+        assert!(empty.is_empty());
+        let one = super::execute_chunked(vec![9u8], &|x| x + 1, 4);
+        assert_eq!(one, vec![10]);
+    }
+
+    #[test]
     fn par_iter_over_slice() {
         let xs = vec![1u32, 2, 3];
         let s: u32 = xs.par_iter().map(|&x| x).sum();
@@ -121,8 +292,43 @@ mod tests {
     }
 
     #[test]
+    fn composed_maps_and_enumerate() {
+        let v: Vec<usize> = (0usize..10)
+            .into_par_iter()
+            .enumerate()
+            .map(|(i, x)| i + x)
+            .map(|y| y * 3)
+            .collect();
+        assert_eq!(v, (0..10).map(|x| 2 * x * 3).collect::<Vec<usize>>());
+    }
+
+    #[test]
+    fn par_chunks_mut_sees_every_element_once() {
+        let mut xs: Vec<u64> = (0..100).collect();
+        let counts: Vec<(usize, usize)> = xs
+            .par_chunks_mut(7)
+            .enumerate()
+            .map(|(ci, chunk)| {
+                for x in chunk.iter_mut() {
+                    *x += 1;
+                }
+                (ci, chunk.len())
+            })
+            .collect();
+        assert_eq!(xs, (1..=100).collect::<Vec<u64>>());
+        assert_eq!(counts.len(), 15);
+        assert_eq!(counts.iter().map(|&(_, l)| l).sum::<usize>(), 100);
+        assert!(counts.iter().enumerate().all(|(i, &(ci, _))| i == ci));
+    }
+
+    #[test]
     fn join_returns_both() {
         let (a, b) = super::join(|| 1, || "x");
         assert_eq!((a, b), (1, "x"));
+    }
+
+    #[test]
+    fn num_threads_is_positive() {
+        assert!(super::num_threads() >= 1);
     }
 }
