@@ -18,7 +18,7 @@
 use crate::safety::{level_from_neighbors, Level, SafetyMap};
 use hypersafe_simkit::{
     Actor, ChannelModel, Ctx, EventEngine, EventStats, HypercubeNet, RelCtx, Reliable,
-    ReliableActor, ReliableConfig, SyncEngine, SyncNode, SyncStats,
+    ReliableActor, ReliableConfig, Scheduler, SyncEngine, SyncNode, SyncStats,
 };
 use hypersafe_topology::{FaultConfig, NodeId};
 
@@ -135,10 +135,17 @@ pub struct AsyncGsNode {
     /// a healthy link) — assumption 2's local fault detection.
     usable: Vec<bool>,
     latency: u64,
+    /// Whether every level change so far was a decrease. Starting from
+    /// the top element this must stay `true` (the Definition 1 operator
+    /// is monotone); the DST invariant suite
+    /// ([`crate::invariants::GsLevelsConverge`]) checks it at every
+    /// quiescent point instead of a `debug_assert` so adversarial runs
+    /// report a violation rather than abort.
+    monotone: bool,
 }
 
 impl AsyncGsNode {
-    fn new(cfg: &FaultConfig, me: NodeId, latency: u64) -> Self {
+    pub(crate) fn new(cfg: &FaultConfig, me: NodeId, latency: u64) -> Self {
         let n = cfg.cube().dim();
         let usable: Vec<bool> = cfg
             .cube()
@@ -152,6 +159,7 @@ impl AsyncGsNode {
             heard,
             usable,
             latency,
+            monotone: true,
         }
     }
 
@@ -160,11 +168,17 @@ impl AsyncGsNode {
         self.level
     }
 
+    /// `true` while every level change has been a strict decrease (the
+    /// lattice-descent property termination rests on).
+    pub fn monotone(&self) -> bool {
+        self.monotone
+    }
+
     fn reevaluate(&mut self) -> bool {
         let mut scratch = self.heard.clone();
         let new = level_from_neighbors(self.n, &mut scratch);
         if new != self.level {
-            debug_assert!(new < self.level, "levels only decrease from the top start");
+            self.monotone &= new < self.level;
             self.level = new;
             true
         } else {
@@ -193,7 +207,13 @@ impl Actor for AsyncGsNode {
 
     fn on_message(&mut self, ctx: &mut Ctx<Level>, from: NodeId, msg: Level) {
         let dim = ctx.self_id().xor(from).set_dims().next().expect("neighbor");
-        self.heard[dim as usize] = msg;
+        // Monotone merge: a neighbor's true level only ever decreases,
+        // so a value above current knowledge is a stale reordered
+        // announcement — ignore it. With plain overwrite a late-arriving
+        // high level could resurrect knowledge under an adversarial
+        // schedule; the min() makes descent unconditional, which is what
+        // the `GsLevelsDescend` DST invariant checks.
+        self.heard[dim as usize] = self.heard[dim as usize].min(msg);
         if self.reevaluate() {
             self.announce(ctx);
         }
@@ -203,16 +223,61 @@ impl Actor for AsyncGsNode {
 /// Runs the asynchronous GS protocol with the given per-hop message
 /// latency and returns the converged map plus engine statistics.
 pub fn run_gs_async(cfg: &FaultConfig, latency: u64) -> (SafetyMap, hypersafe_simkit::EventStats) {
+    let run = run_gs_async_sched(cfg, latency, Box::new(hypersafe_simkit::FifoScheduler));
+    (run.map, run.stats)
+}
+
+/// Outcome of an asynchronous GS run under an explicit scheduler.
+#[derive(Clone, Debug)]
+pub struct GsAsyncRun {
+    /// The levels when the run went quiescent.
+    pub map: SafetyMap,
+    /// Engine statistics.
+    pub stats: EventStats,
+    /// Whether every node's level descended monotonically
+    /// (see [`AsyncGsNode::monotone`]).
+    pub monotone: bool,
+}
+
+/// [`run_gs_async`] under an arbitrary [`Scheduler`] — the DST entry
+/// point. Theorem 1's fixed point is schedule-free, so the returned map
+/// must equal the centralized computation under *any* scheduler that
+/// only reorders and delays (e.g.
+/// [`hypersafe_simkit::AdversarialScheduler::permute`]; the protocol
+/// assumes reliable links, so loss-bursting adversaries belong with
+/// [`run_gs_reliable`]).
+pub fn run_gs_async_sched(
+    cfg: &FaultConfig,
+    latency: u64,
+    sched: Box<dyn Scheduler>,
+) -> GsAsyncRun {
     let net = HypercubeNet::new(cfg);
-    let mut eng = EventEngine::new(&net, |a| AsyncGsNode::new(cfg, a, latency.max(1)));
+    let mut eng = EventEngine::with_parts(&net, None, sched, |a| {
+        AsyncGsNode::new(cfg, a, latency.max(1))
+    });
     eng.run(u64::MAX);
+    collect_gs_async(cfg, &eng)
+}
+
+pub(crate) fn collect_gs_async(
+    cfg: &FaultConfig,
+    eng: &EventEngine<'_, HypercubeNet<'_>, AsyncGsNode>,
+) -> GsAsyncRun {
     let levels = cfg
         .cube()
         .nodes()
         .map(|a| eng.actor(a).map_or(0, AsyncGsNode::level))
         .collect();
-    let stats = eng.stats().clone();
-    (SafetyMap::from_levels(cfg.cube(), levels), stats)
+    let monotone = cfg
+        .cube()
+        .nodes()
+        .filter_map(|a| eng.actor(a))
+        .all(AsyncGsNode::monotone);
+    GsAsyncRun {
+        map: SafetyMap::from_levels(cfg.cube(), levels),
+        stats: eng.stats().clone(),
+        monotone,
+    }
 }
 
 /// The same state-change-driven protocol, but every announcement goes
@@ -235,7 +300,10 @@ impl ReliableActor for AsyncGsNode {
 
     fn on_message(&mut self, ctx: &mut RelCtx<Level>, from: NodeId, msg: Level) {
         let dim = ctx.self_id().xor(from).set_dims().next().expect("neighbor");
-        self.heard[dim as usize] = msg;
+        // Same monotone merge as the unreliable actor; the ARQ layer
+        // delivers in order per link, so this is belt-and-suspenders
+        // there, but it keeps the two actors' semantics identical.
+        self.heard[dim as usize] = self.heard[dim as usize].min(msg);
         if self.reevaluate() {
             for i in 0..self.n {
                 if self.usable[i as usize] {

@@ -1,0 +1,568 @@
+//! The DST invariant suite: the paper's guarantees as machine-checked
+//! properties of *running* simulations.
+//!
+//! [`crate::properties`] states the theorems over centralized
+//! computations; this module restates them against distributed runs
+//! under arbitrary schedulers, in two layers:
+//!
+//! * **Engine invariants** ([`hypersafe_simkit::Invariant`] impls)
+//!   checked at every quiescent point of a run —
+//!   [`GsLevelsDescend`] (safety levels only ever move down the
+//!   lattice, and never below Theorem 1's fixed point) and
+//!   [`ArqSingleDelivery`] (no unicast payload ever surfaces twice at
+//!   a node).
+//! * **Post-run checkers** returning [`Violation`]-style
+//!   counterexamples — Theorem-2 path optimality, Theorem-4
+//!   infeasibility soundness (against the
+//!   [`hypersafe_topology::connectivity`] BFS oracle), GS convergence
+//!   to the centralized fixed point, and ARQ exactly-once accounting.
+//!
+//! The checked runners ([`run_gs_async_checked`],
+//! [`run_unicast_lossy_checked`]) wire both layers together and are
+//! what `repro dst` sweeps over seeds.
+
+use crate::gs::{collect_gs_async, AsyncGsNode, GsAsyncRun};
+use crate::properties::Violation;
+use crate::safety::{Level, SafetyMap};
+use crate::unicast::Decision;
+use crate::unicast_distributed::{collect_lossy, lossy_engine, LossyOutcome, LossyRun};
+use hypersafe_simkit::{
+    ChannelModel, EventEngine, HypercubeNet, Invariant, InvariantViolation, Reliable,
+    ReliableConfig, Scheduler, Time, Trace,
+};
+use hypersafe_topology::{connectivity, FaultConfig, NodeId};
+
+use crate::unicast_distributed::LossyUnicastNode;
+
+/// Engine invariant: every node's safety level descends monotonically
+/// from the top start and never undershoots the centralized fixed
+/// point. Checked at every quiescent point of an asynchronous GS run —
+/// this is the "safety-level monotonic convergence" leg of the DST
+/// suite, and the property whose violation under message reordering
+/// motivated the monotone merge in [`AsyncGsNode`].
+pub struct GsLevelsDescend {
+    fixed: SafetyMap,
+    prev: Vec<Level>,
+}
+
+impl GsLevelsDescend {
+    /// Invariant state for a run over `cfg` (computes the Theorem 1
+    /// fixed point once as the lower bound).
+    pub fn new(cfg: &FaultConfig) -> Self {
+        let n = cfg.cube().dim();
+        GsLevelsDescend {
+            fixed: SafetyMap::compute(cfg),
+            prev: vec![n; cfg.cube().num_nodes() as usize],
+        }
+    }
+}
+
+impl<'n> Invariant<HypercubeNet<'n>, AsyncGsNode> for GsLevelsDescend {
+    fn name(&self) -> &'static str {
+        "gs-levels-descend"
+    }
+
+    fn check(
+        &mut self,
+        eng: &EventEngine<'_, HypercubeNet<'n>, AsyncGsNode>,
+    ) -> Result<(), String> {
+        for (a, node) in eng.actors_iter() {
+            let lv = node.level();
+            let prev = self.prev[a.raw() as usize];
+            if lv > prev {
+                return Err(format!("{a} rose from level {prev} to {lv}"));
+            }
+            if lv < self.fixed.level(a) {
+                return Err(format!(
+                    "{a} undershot the fixed point: {lv} < {}",
+                    self.fixed.level(a)
+                ));
+            }
+            if !node.monotone() {
+                return Err(format!("{a} recorded a non-monotone internal update"));
+            }
+            self.prev[a.raw() as usize] = lv;
+        }
+        Ok(())
+    }
+}
+
+/// Engine invariant: the reliable layer never surfaces a unicast
+/// payload twice at any node — the "ARQ exactly-once" leg, checked at
+/// every quiescent point (not just at the end, so a transient
+/// duplicate that a later event would mask still fails the run).
+pub struct ArqSingleDelivery;
+
+impl<'n> Invariant<HypercubeNet<'n>, Reliable<LossyUnicastNode>> for ArqSingleDelivery {
+    fn name(&self) -> &'static str {
+        "arq-single-delivery"
+    }
+
+    fn check(
+        &mut self,
+        eng: &EventEngine<'_, HypercubeNet<'n>, Reliable<LossyUnicastNode>>,
+    ) -> Result<(), String> {
+        for (a, r) in eng.actors_iter() {
+            if r.inner.receives > 1 {
+                return Err(format!(
+                    "{a} had {} payload deliveries surface",
+                    r.inner.receives
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Runs asynchronous GS under `sched` with [`GsLevelsDescend`] checked
+/// at every quiescent point. Reorder/stretch adversaries only
+/// ([`hypersafe_simkit::AdversarialScheduler::permute`]): the plain
+/// protocol assumes reliable links.
+pub fn run_gs_async_checked(
+    cfg: &FaultConfig,
+    latency: u64,
+    sched: Box<dyn Scheduler>,
+) -> Result<GsAsyncRun, InvariantViolation> {
+    run_gs_async_checked_traced(cfg, latency, sched, false).0
+}
+
+/// [`run_gs_async_checked`] with an optional per-delivery [`Trace`]
+/// (enabled when `traced`) — the replay artifact `repro dst` writes for
+/// a violating seed. The trace is returned even when the run fails,
+/// which is the whole point: it shows the schedule that broke things.
+pub fn run_gs_async_checked_traced(
+    cfg: &FaultConfig,
+    latency: u64,
+    sched: Box<dyn Scheduler>,
+    traced: bool,
+) -> (Result<GsAsyncRun, InvariantViolation>, Trace) {
+    let net = HypercubeNet::new(cfg);
+    let mut eng = EventEngine::with_parts(&net, None, sched, |a| {
+        AsyncGsNode::new(cfg, a, latency.max(1))
+    });
+    if traced {
+        eng.set_trace(Box::new(Trace::enabled()));
+    }
+    let mut descend = GsLevelsDescend::new(cfg);
+    let res = eng.run_checked(u64::MAX, &mut [&mut descend]);
+    let run = collect_gs_async(cfg, &eng);
+    let trace = eng
+        .take_trace()
+        .and_then(|t| t.into_trace())
+        .unwrap_or_default();
+    (res.map(|_| run), trace)
+}
+
+/// Runs one reliable unicast under `sched` with [`ArqSingleDelivery`]
+/// checked at every quiescent point, after injecting each `(node,
+/// delay)` kill from `kills` (the DST adversary's fault plan — the
+/// list the shrinker minimizes on violation).
+#[allow(clippy::too_many_arguments)]
+pub fn run_unicast_lossy_checked(
+    cfg: &FaultConfig,
+    map: &SafetyMap,
+    s: NodeId,
+    d: NodeId,
+    latency: Time,
+    channel: Option<ChannelModel>,
+    sched: Box<dyn Scheduler>,
+    rcfg: ReliableConfig,
+    max_events: u64,
+    kills: &[(NodeId, Time)],
+) -> Result<LossyRun, InvariantViolation> {
+    run_unicast_lossy_checked_traced(
+        cfg, map, s, d, latency, channel, sched, rcfg, max_events, kills, false,
+    )
+    .0
+}
+
+/// [`run_unicast_lossy_checked`] with an optional per-delivery
+/// [`Trace`] (enabled when `traced`), returned alongside the result so
+/// a violating run's exact schedule can be written as an artifact.
+#[allow(clippy::too_many_arguments)]
+pub fn run_unicast_lossy_checked_traced(
+    cfg: &FaultConfig,
+    map: &SafetyMap,
+    s: NodeId,
+    d: NodeId,
+    latency: Time,
+    channel: Option<ChannelModel>,
+    sched: Box<dyn Scheduler>,
+    rcfg: ReliableConfig,
+    max_events: u64,
+    kills: &[(NodeId, Time)],
+    traced: bool,
+) -> (Result<LossyRun, InvariantViolation>, Trace) {
+    let net = HypercubeNet::new(cfg);
+    let mut eng = lossy_engine(&net, cfg, map, s, d, latency, channel, sched, rcfg);
+    if traced {
+        eng.set_trace(Box::new(Trace::enabled()));
+    }
+    for &(node, delay) in kills {
+        eng.inject_kill(node, delay);
+    }
+    let mut once = ArqSingleDelivery;
+    let res = eng.run_checked(max_events, &mut [&mut once]);
+    let trace = eng
+        .take_trace()
+        .and_then(|t| t.into_trace())
+        .unwrap_or_default();
+    match res {
+        Ok(processed) => (
+            Ok(collect_lossy(cfg, map, s, d, &eng, processed, max_events)),
+            trace,
+        ),
+        Err(v) => (Err(v), trace),
+    }
+}
+
+/// **GS convergence.** A quiescent asynchronous GS run must sit exactly
+/// on Theorem 1's unique fixed point, having descended monotonically.
+pub fn check_gs_convergence(cfg: &FaultConfig, run: &GsAsyncRun) -> Result<(), Violation> {
+    if !run.monotone {
+        return Err(Violation {
+            claim: "gs-monotone-convergence",
+            witness: vec![],
+            detail: "some node's level increased during the run".into(),
+        });
+    }
+    let fixed = SafetyMap::compute(cfg);
+    for a in cfg.cube().nodes() {
+        if run.map.level(a) != fixed.level(a) {
+            return Err(Violation {
+                claim: "gs-monotone-convergence",
+                witness: vec![a],
+                detail: format!(
+                    "converged to level {} but the fixed point is {}",
+                    run.map.level(a),
+                    fixed.level(a)
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Structural validity of a delivered trail: starts at `s`, ends at
+/// `d`, hops are cube neighbors over usable links, and no intermediate
+/// node is faulty (footnote 3: a faulty *destination* still counts as
+/// delivered).
+fn check_trail(cfg: &FaultConfig, s: NodeId, d: NodeId, trail: &[NodeId]) -> Result<(), Violation> {
+    let bad = |detail: String| {
+        Err(Violation {
+            claim: "unicast-trail-valid",
+            witness: trail.to_vec(),
+            detail,
+        })
+    };
+    if trail.first() != Some(&s) || trail.last() != Some(&d) {
+        return bad(format!("trail does not run {s} → {d}"));
+    }
+    for w in trail.windows(2) {
+        if w[0].distance(w[1]) != 1 {
+            return bad(format!("{} → {} is not a cube edge", w[0], w[1]));
+        }
+        if !cfg.link_usable(w[0], w[1]) {
+            return bad(format!("{} → {} crosses a faulty link", w[0], w[1]));
+        }
+    }
+    for &v in &trail[1..trail.len().saturating_sub(1)] {
+        if cfg.node_faulty(v) {
+            return bad(format!("intermediate {v} is faulty"));
+        }
+    }
+    Ok(())
+}
+
+/// **Theorem 2 / Theorem 3 optimality.** Given the source's decision
+/// and the trail the destination recorded (if any): an `Optimal`
+/// verdict must realize exactly `H` hops, `Suboptimal` exactly
+/// `H + 2`, `Failure` must deliver nothing, and every delivered trail
+/// must be structurally valid. `delivery_guaranteed` is false when the
+/// run was perturbed outside the theorems' model (mid-run kills, an
+/// exhausted event budget) — then a missing delivery is excused but a
+/// *wrong* delivery still fails.
+pub fn check_unicast_optimality(
+    cfg: &FaultConfig,
+    s: NodeId,
+    d: NodeId,
+    decision: Decision,
+    trail: Option<&[NodeId]>,
+    delivery_guaranteed: bool,
+) -> Result<(), Violation> {
+    let h = s.distance(d) as usize;
+    let expect_hops = |trail: Option<&[NodeId]>, hops: usize| -> Result<(), Violation> {
+        match trail {
+            None if !delivery_guaranteed => Ok(()),
+            None => Err(Violation {
+                claim: "theorem2-optimal-delivery",
+                witness: vec![s, d],
+                detail: format!("{decision:?} accepted but nothing was delivered"),
+            }),
+            Some(t) => {
+                check_trail(cfg, s, d, t)?;
+                if t.len() != hops + 1 {
+                    return Err(Violation {
+                        claim: "theorem2-optimal-delivery",
+                        witness: t.to_vec(),
+                        detail: format!(
+                            "{decision:?} promised {hops} hops, trail has {}",
+                            t.len() - 1
+                        ),
+                    });
+                }
+                Ok(())
+            }
+        }
+    };
+    match decision {
+        Decision::AlreadyThere => Ok(()),
+        Decision::Optimal { .. } => expect_hops(trail, h),
+        Decision::Suboptimal { .. } => expect_hops(trail, h + 2),
+        Decision::Failure => match trail {
+            None => Ok(()),
+            Some(t) => Err(Violation {
+                claim: "theorem4-failure-is-final",
+                witness: t.to_vec(),
+                detail: "source aborted yet something was delivered".into(),
+            }),
+        },
+    }
+}
+
+/// **Theorem 4 soundness.** The infeasibility verdict, checked against
+/// the BFS connectivity oracle:
+///
+/// * a disconnected healthy pair **must** be refused (an accept would
+///   promise a delivery that cannot happen — Theorems 2/3 make accepts
+///   unconditional guarantees);
+/// * a `Failure` verdict is only legitimate when the pair is truly
+///   disconnected **or** the fault count reaches `n` (below that,
+///   Theorem 3 guarantees feasibility, so refusing a connected pair
+///   would be a false negative).
+pub fn check_theorem4_soundness(
+    cfg: &FaultConfig,
+    s: NodeId,
+    d: NodeId,
+    decision: Decision,
+) -> Result<(), Violation> {
+    let n = cfg.cube().dim() as usize;
+    let reachable = connectivity::connected(cfg, s, d);
+    let faults = cfg.node_faults().len() + cfg.link_faults().len();
+    match decision {
+        Decision::Failure => {
+            if reachable && faults < n {
+                return Err(Violation {
+                    claim: "theorem4-soundness",
+                    witness: vec![s, d],
+                    detail: format!(
+                        "refused a connected pair with only {faults} fault(s) < n = {n}"
+                    ),
+                });
+            }
+        }
+        Decision::AlreadyThere => {}
+        _ => {
+            if !reachable {
+                return Err(Violation {
+                    claim: "theorem4-soundness",
+                    witness: vec![s, d],
+                    detail: "accepted a pair the BFS oracle says is disconnected".into(),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// **ARQ exactly-once, end of run.** No duplicate ever surfaced, and a
+/// clean run (no kills, accept verdict, quiescent) must have delivered.
+pub fn check_lossy_outcome(
+    cfg: &FaultConfig,
+    s: NodeId,
+    d: NodeId,
+    run: &LossyRun,
+    kills: u64,
+) -> Result<(), Violation> {
+    if run.duplicate_deliveries > 0 {
+        return Err(Violation {
+            claim: "arq-exactly-once",
+            witness: vec![d],
+            detail: format!("{} duplicate deliveries surfaced", run.duplicate_deliveries),
+        });
+    }
+    let delivery_guaranteed = kills == 0 && !matches!(run.outcome, LossyOutcome::TimedOut);
+    check_unicast_optimality(
+        cfg,
+        s,
+        d,
+        run.decision,
+        run.trail.as_deref(),
+        delivery_guaranteed,
+    )?;
+    check_theorem4_soundness(cfg, s, d, run.decision)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::unicast::route;
+    use hypersafe_simkit::{AdversarialScheduler, FifoScheduler};
+    use hypersafe_topology::{FaultSet, Hypercube};
+
+    fn fig1() -> (FaultConfig, SafetyMap) {
+        let cube = Hypercube::new(4);
+        let cfg = FaultConfig::with_node_faults(
+            cube,
+            FaultSet::from_binary_strs(cube, &["0011", "0100", "0110", "1001"]),
+        );
+        let map = SafetyMap::compute(&cfg);
+        (cfg, map)
+    }
+
+    fn n(s: &str) -> NodeId {
+        NodeId::from_binary(s).unwrap()
+    }
+
+    #[test]
+    fn checked_gs_passes_under_fifo_and_adversary() {
+        let (cfg, _) = fig1();
+        for sched in [
+            Box::new(FifoScheduler) as Box<dyn Scheduler>,
+            Box::new(AdversarialScheduler::permute(3)),
+            Box::new(AdversarialScheduler::permute(0xBEEF)),
+        ] {
+            let run = run_gs_async_checked(&cfg, 2, sched).expect("no violation");
+            check_gs_convergence(&cfg, &run).expect("fixed point reached");
+        }
+    }
+
+    #[test]
+    fn reordering_adversary_preserves_descent_and_convergence() {
+        // Exercises the monotone-merge guard: a latency-stretching
+        // adversary reorders announcements on these seeds, and descent
+        // plus fixed-point convergence must survive every schedule.
+        let (cfg, _) = fig1();
+        for seed in 0..32 {
+            let run = run_gs_async_checked(
+                &cfg,
+                1,
+                Box::new(AdversarialScheduler::permute(seed).with_stretch(5)),
+            )
+            .unwrap_or_else(|v| panic!("seed {seed}: {v}"));
+            check_gs_convergence(&cfg, &run).unwrap();
+        }
+    }
+
+    #[test]
+    fn checked_unicast_delivers_under_full_adversary() {
+        let (cfg, map) = fig1();
+        for seed in 0..16 {
+            let run = run_unicast_lossy_checked(
+                &cfg,
+                &map,
+                n("1110"),
+                n("0001"),
+                1,
+                None,
+                Box::new(AdversarialScheduler::from_seed(seed)),
+                ReliableConfig::default(),
+                5_000_000,
+                &[],
+            )
+            .unwrap_or_else(|v| panic!("seed {seed}: {v}"));
+            check_lossy_outcome(&cfg, n("1110"), n("0001"), &run, 0)
+                .unwrap_or_else(|v| panic!("seed {seed}: {v:?}"));
+            assert!(
+                matches!(run.outcome, LossyOutcome::Delivered { .. }),
+                "seed {seed}: {:?}",
+                run.outcome
+            );
+        }
+    }
+
+    #[test]
+    fn kill_on_path_is_excused_but_checked() {
+        let (cfg, map) = fig1();
+        // Kill the first-hop holder the moment the run starts.
+        let victim = n("1111");
+        let run = run_unicast_lossy_checked(
+            &cfg,
+            &map,
+            n("1110"),
+            n("0001"),
+            1,
+            None,
+            Box::new(FifoScheduler),
+            ReliableConfig::default(),
+            5_000_000,
+            &[(victim, 0)],
+        )
+        .expect("exactly-once still holds");
+        check_lossy_outcome(&cfg, n("1110"), n("0001"), &run, 1).expect("kill excuses delivery");
+    }
+
+    #[test]
+    fn theorem4_rejects_accepting_disconnected_pairs() {
+        // Isolate 0001 in a 3-cube: its three neighbors are faulty.
+        let cube = Hypercube::new(3);
+        let cfg = FaultConfig::with_node_faults(
+            cube,
+            FaultSet::from_binary_strs(cube, &["000", "011", "101"]),
+        );
+        let map = SafetyMap::compute(&cfg);
+        let s = n("111");
+        let d = n("001");
+        assert!(!connectivity::connected(&cfg, s, d));
+        let res = route(&cfg, &map, s, d);
+        // The real algorithm refuses; soundness accepts the refusal.
+        check_theorem4_soundness(&cfg, s, d, res.decision).unwrap();
+        // A hypothetical accept on the same pair must be flagged.
+        let bogus = Decision::Optimal {
+            condition: crate::unicast::Condition::C1,
+            first_dim: 0,
+        };
+        assert!(check_theorem4_soundness(&cfg, s, d, bogus).is_err());
+    }
+
+    #[test]
+    fn theorem4_rejects_refusing_easy_pairs() {
+        let cube = Hypercube::new(4);
+        let cfg = FaultConfig::with_node_faults(cube, FaultSet::from_binary_strs(cube, &["0011"]));
+        let err = check_theorem4_soundness(&cfg, n("0000"), n("1111"), Decision::Failure)
+            .expect_err("one fault cannot justify a refusal");
+        assert_eq!(err.claim, "theorem4-soundness");
+    }
+
+    #[test]
+    fn optimality_checker_flags_wrong_lengths() {
+        let (cfg, map) = fig1();
+        let s = n("1110");
+        let d = n("0001");
+        let res = route(&cfg, &map, s, d);
+        let path: Vec<NodeId> = res.path.unwrap().nodes().to_vec();
+        check_unicast_optimality(&cfg, s, d, res.decision, Some(&path), true).unwrap();
+        // Truncating the trail must be caught.
+        assert!(check_unicast_optimality(
+            &cfg,
+            s,
+            d,
+            res.decision,
+            Some(&path[..path.len() - 1]),
+            true
+        )
+        .is_err());
+        // Dropping the delivery entirely must be caught when guaranteed.
+        assert!(check_unicast_optimality(&cfg, s, d, res.decision, None, true).is_err());
+        assert!(check_unicast_optimality(&cfg, s, d, res.decision, None, false).is_ok());
+    }
+
+    #[test]
+    fn trail_through_faulty_node_is_invalid() {
+        let (cfg, _) = fig1();
+        // 1110 → 0110 → 0100: both intermediates faulty in fig. 1.
+        let trail = [n("1110"), n("0110"), n("0100")];
+        let err = check_trail(&cfg, n("1110"), n("0100"), &trail).unwrap_err();
+        assert_eq!(err.claim, "unicast-trail-valid");
+    }
+}

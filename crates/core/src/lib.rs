@@ -55,6 +55,7 @@ pub mod gh_safety;
 pub mod gh_unicast;
 pub mod gh_unicast_distributed;
 pub mod gs;
+pub mod invariants;
 pub mod maintenance;
 pub mod multicast;
 pub mod navigation;
@@ -74,7 +75,15 @@ pub use gh_broadcast::{gh_broadcast, GhBroadcastResult};
 pub use gh_safety::{run_gh_gs, GhGsNode, GhSafetyMap};
 pub use gh_unicast::{gh_route, gh_source_decision, GhDecision, GhRouteResult};
 pub use gh_unicast_distributed::{run_gh_unicast, GhDistributedRun, GhMsg, GhUnicastNode};
-pub use gs::{run_gs, run_gs_async, run_gs_bounded, run_gs_reliable, GsLossyRun, GsRun};
+pub use gs::{
+    run_gs, run_gs_async, run_gs_async_sched, run_gs_bounded, run_gs_reliable, GsAsyncRun,
+    GsLossyRun, GsRun,
+};
+pub use invariants::{
+    check_gs_convergence, check_lossy_outcome, check_theorem4_soundness, check_unicast_optimality,
+    run_gs_async_checked, run_gs_async_checked_traced, run_unicast_lossy_checked,
+    run_unicast_lossy_checked_traced, ArqSingleDelivery, GsLevelsDescend,
+};
 pub use maintenance::{replay, MaintenanceReport, Strategy, Timeline, TimelineEvent};
 pub use multicast::{multicast, MulticastResult};
 pub use navigation::NavVector;
@@ -90,5 +99,6 @@ pub use unicast::{
     source_decision, source_decision_tb, Condition, Decision, RouteResult, TieBreak,
 };
 pub use unicast_distributed::{
-    run_unicast, run_unicast_lossy, DistributedRun, LossyOutcome, LossyRun, UnicastMsg, UnicastNode,
+    run_unicast, run_unicast_lossy, run_unicast_lossy_sched, run_unicast_sched, DistributedRun,
+    LossyOutcome, LossyRun, UnicastMsg, UnicastNode,
 };

@@ -14,8 +14,8 @@ use crate::navigation::NavVector;
 use crate::safety::{Level, SafetyMap};
 use crate::unicast::{source_decision, Decision};
 use hypersafe_simkit::{
-    Actor, ChannelModel, Ctx, EventEngine, EventStats, HypercubeNet, RelCtx, Reliable,
-    ReliableActor, ReliableConfig, Time,
+    Actor, ChannelModel, Ctx, EventEngine, EventStats, FifoScheduler, HypercubeNet, RelCtx,
+    Reliable, ReliableActor, ReliableConfig, Scheduler, Time,
 };
 use hypersafe_topology::{FaultConfig, NodeId};
 
@@ -117,7 +117,7 @@ impl UnicastNode {
 }
 
 /// Timer tag used to kick off a unicast at the source.
-const START_TAG: u64 = 0xCAFE;
+pub(crate) const START_TAG: u64 = 0xCAFE;
 
 impl Actor for UnicastNode {
     type Msg = UnicastMsg;
@@ -185,9 +185,24 @@ pub fn run_unicast(
     d: NodeId,
     latency: Time,
 ) -> DistributedRun {
+    run_unicast_sched(cfg, map, s, d, latency, Box::new(FifoScheduler))
+}
+
+/// [`run_unicast`] under an arbitrary [`Scheduler`] — the DST entry
+/// point for the lossless protocol (reorder/stretch adversaries only;
+/// the plain actor assumes reliable links, so loss bursts belong with
+/// [`run_unicast_lossy_sched`]).
+pub fn run_unicast_sched(
+    cfg: &FaultConfig,
+    map: &SafetyMap,
+    s: NodeId,
+    d: NodeId,
+    latency: Time,
+    sched: Box<dyn Scheduler>,
+) -> DistributedRun {
     let latency = latency.max(1);
     let net = HypercubeNet::new(cfg);
-    let mut eng = EventEngine::new(&net, |a| {
+    let mut eng = EventEngine::with_parts(&net, None, sched, |a| {
         let mut node = UnicastNode::new(map, cfg, a, latency);
         if a == s {
             node.start = Some(d);
@@ -251,23 +266,24 @@ pub struct LossyRun {
 }
 
 /// [`UnicastNode`]'s logic behind the reliable layer, with the
-/// bookkeeping the widened outcome taxonomy needs.
-struct LossyUnicastNode {
+/// bookkeeping the widened outcome taxonomy needs. Crate-visible so
+/// [`crate::invariants`] can inspect it mid-run.
+pub(crate) struct LossyUnicastNode {
     n: u8,
     own_level: Level,
     neighbor_levels: Vec<Level>,
-    received: Option<UnicastMsg>,
-    received_at: Option<Time>,
+    pub(crate) received: Option<UnicastMsg>,
+    pub(crate) received_at: Option<Time>,
     /// Unicast payloads surfaced to this node (≥ 2 would mean the
     /// reliable layer leaked a duplicate).
-    receives: u64,
+    pub(crate) receives: u64,
     /// Set when this node found no feasible next hop.
-    aborted: bool,
-    start: Option<NodeId>,
+    pub(crate) aborted: bool,
+    pub(crate) start: Option<NodeId>,
 }
 
 impl LossyUnicastNode {
-    fn new(map: &SafetyMap, cfg: &FaultConfig, me: NodeId) -> Self {
+    pub(crate) fn new(map: &SafetyMap, cfg: &FaultConfig, me: NodeId) -> Self {
         let cube = cfg.cube();
         LossyUnicastNode {
             n: cube.dim(),
@@ -364,10 +380,59 @@ pub fn run_unicast_lossy(
     rcfg: ReliableConfig,
     max_events: u64,
 ) -> LossyRun {
+    run_unicast_lossy_sched(
+        cfg,
+        map,
+        s,
+        d,
+        latency,
+        Some(channel),
+        Box::new(FifoScheduler),
+        rcfg,
+        max_events,
+    )
+}
+
+/// [`run_unicast_lossy`] under an arbitrary [`Scheduler`] and an
+/// optional channel — the DST entry point for the ARQ-protected
+/// protocol, which must survive even loss/duplication-bursting
+/// adversaries ([`hypersafe_simkit::AdversarialScheduler::from_seed`]).
+#[allow(clippy::too_many_arguments)]
+pub fn run_unicast_lossy_sched(
+    cfg: &FaultConfig,
+    map: &SafetyMap,
+    s: NodeId,
+    d: NodeId,
+    latency: Time,
+    channel: Option<ChannelModel>,
+    sched: Box<dyn Scheduler>,
+    rcfg: ReliableConfig,
+    max_events: u64,
+) -> LossyRun {
+    let net = HypercubeNet::new(cfg);
+    let mut eng = lossy_engine(&net, cfg, map, s, d, latency, channel, sched, rcfg);
+    let processed = eng.run(max_events);
+    collect_lossy(cfg, map, s, d, &eng, processed, max_events)
+}
+
+/// Builds (but does not run) the reliable unicast engine: actors
+/// installed, start event injected. Split out so [`crate::invariants`]
+/// can interleave invariant checks and kill injections with the run.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn lossy_engine<'e>(
+    net: &'e HypercubeNet<'e>,
+    cfg: &FaultConfig,
+    map: &SafetyMap,
+    s: NodeId,
+    d: NodeId,
+    latency: Time,
+    channel: Option<ChannelModel>,
+    sched: Box<dyn Scheduler>,
+    rcfg: ReliableConfig,
+) -> EventEngine<'e, HypercubeNet<'e>, Reliable<LossyUnicastNode>> {
     let latency = latency.max(1);
     let n = cfg.cube().dim();
-    let net = HypercubeNet::new(cfg);
-    let mut eng = EventEngine::with_channel(&net, channel, |a| {
+    let mut eng = EventEngine::with_parts(net, channel, sched, |a| {
         let mut inner = LossyUnicastNode::new(map, cfg, a);
         if a == s {
             inner.start = Some(d);
@@ -375,9 +440,21 @@ pub fn run_unicast_lossy(
         Reliable::new(inner, a, n, latency, rcfg)
     });
     eng.inject(s, START_TAG, 0);
-    let processed = eng.run(max_events);
-    let stats = eng.stats().clone();
+    eng
+}
 
+/// Resolves a finished (or budget-exhausted) reliable unicast engine
+/// into the [`LossyRun`] taxonomy.
+pub(crate) fn collect_lossy(
+    cfg: &FaultConfig,
+    map: &SafetyMap,
+    s: NodeId,
+    d: NodeId,
+    eng: &EventEngine<'_, HypercubeNet<'_>, Reliable<LossyUnicastNode>>,
+    processed: u64,
+    max_events: u64,
+) -> LossyRun {
+    let stats = eng.stats().clone();
     let received = eng.actor(d).and_then(|r| r.inner.received.clone());
     let received_at = eng.actor(d).and_then(|r| r.inner.received_at);
     let mut aborted_at = None;
@@ -392,6 +469,13 @@ pub fn run_unicast_lossy(
             if let Some(&dim) = r.endpoint.gave_up_dims().first() {
                 holder_failed = Some(a.neighbor(dim));
             }
+        }
+        // A node killed mid-run *after* it accepted the message (its
+        // handoff completed, so no sender ever gives up on it) took the
+        // message to its grave — its frozen post-mortem state is the
+        // only witness.
+        if holder_failed.is_none() && eng.is_dead(a) && r.inner.receives > 0 {
+            holder_failed = Some(a);
         }
         duplicate_deliveries += r.inner.receives.saturating_sub(1);
     }

@@ -7,11 +7,17 @@
 //!   fig1 fig2 fig3 fig4 fig5 safesets property2 thm4
 //!   compare rounds maintenance broadcast dynamic distribution
 //!   linkfaults tightness traffic multicast patterns vectors
-//!   congestion loss all
+//!   congestion loss dst all
+//!
+//! `dst` (deterministic simulation testing) is not part of `all`: it
+//! sweeps seeded adversarial schedules against the invariant suite,
+//! writes `results/dst.csv` plus a shrunk replay artifact per
+//! violating point, and exits nonzero on any violation.
 //!
 //! options:
 //!   --n <dim>        cube dimension (where applicable)
 //!   --trials <k>     Monte-Carlo trials per point
+//!   --seeds <k>      DST scenarios per sweep point (dst only)
 //!   --max-faults <m> largest fault count in sweeps
 //!   --seed <s>       master RNG seed
 //!   --csv <dir>      also write <dir>/<name>.csv per report
@@ -21,8 +27,8 @@
 
 use hypersafe_experiments::table::Report;
 use hypersafe_experiments::{
-    broadcast_exp, congestion_exp, distribution_exp, dynamic_exp, fig1, fig2, fig3, fig4, fig5,
-    linkfaults_exp, loss_exp, maintenance_exp, multicast_exp, patterns_exp, property2,
+    broadcast_exp, congestion_exp, distribution_exp, dst, dynamic_exp, fig1, fig2, fig3, fig4,
+    fig5, linkfaults_exp, loss_exp, maintenance_exp, multicast_exp, patterns_exp, property2,
     rounds_compare, routing_compare, safesets, thm4, tightness_exp, traffic_exp, vectors_exp,
 };
 use std::path::PathBuf;
@@ -33,6 +39,7 @@ struct Opts {
     experiment: String,
     n: Option<u8>,
     trials: Option<u32>,
+    seeds: Option<u32>,
     max_faults: Option<usize>,
     seed: Option<u64>,
     csv: Option<PathBuf>,
@@ -42,8 +49,8 @@ struct Opts {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <fig1|fig2|fig3|fig4|fig5|safesets|property2|thm4|compare|rounds|maintenance|broadcast|dynamic|distribution|linkfaults|tightness|traffic|multicast|patterns|vectors|congestion|loss|all> \
-         [--n N] [--trials K] [--max-faults M] [--seed S] [--csv DIR] [--md] [--quick]"
+        "usage: repro <fig1|fig2|fig3|fig4|fig5|safesets|property2|thm4|compare|rounds|maintenance|broadcast|dynamic|distribution|linkfaults|tightness|traffic|multicast|patterns|vectors|congestion|loss|dst|all> \
+         [--n N] [--trials K] [--seeds K] [--max-faults M] [--seed S] [--csv DIR] [--md] [--quick]"
     );
     std::process::exit(2);
 }
@@ -57,6 +64,7 @@ fn parse_args() -> Opts {
         experiment,
         n: None,
         trials: None,
+        seeds: None,
         max_faults: None,
         seed: None,
         csv: None,
@@ -80,6 +88,7 @@ fn parse_args() -> Opts {
                 opts.n = Some(n);
             }
             "--trials" => opts.trials = Some(val("--trials").parse().unwrap_or_else(|_| usage())),
+            "--seeds" => opts.seeds = Some(val("--seeds").parse().unwrap_or_else(|_| usage())),
             "--max-faults" => {
                 opts.max_faults = Some(val("--max-faults").parse().unwrap_or_else(|_| usage()))
             }
@@ -416,8 +425,49 @@ fn run_one(name: &str, o: &Opts) -> Vec<Report> {
     }
 }
 
+/// DST is special-cased: its parameters differ (`--seeds`, a fixed
+/// dimension sweep) and a violation must fail the process so CI can
+/// gate on it.
+fn run_dst(o: &Opts) -> ExitCode {
+    let mut p = dst::DstParams::default();
+    if let Some(k) = o.seeds {
+        p.seeds = k;
+    } else if o.quick {
+        p.seeds = 32;
+    }
+    if let Some(n) = o.n {
+        p.dims = vec![n];
+    } else if o.quick {
+        // CI-sized: drop the two largest cubes, keep the spread.
+        p.dims = vec![3, 4, 5, 6];
+    }
+    if let Some(s) = o.seed {
+        p.seed = s;
+    }
+    if let Some(dir) = &o.csv {
+        p.out_dir = dir.clone();
+    }
+    let run = dst::run(&p);
+    if o.markdown {
+        println!("{}", run.report.to_markdown());
+    } else {
+        println!("{}", run.report.render());
+    }
+    if run.violations > 0 {
+        eprintln!(
+            "dst: {} invariant violation(s) — see artifacts above",
+            run.violations
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let opts = parse_args();
+    if opts.experiment == "dst" {
+        return run_dst(&opts);
+    }
     let names: Vec<&str> = if opts.experiment == "all" {
         vec![
             "fig1",

@@ -1,0 +1,405 @@
+//! E23 — deterministic simulation testing (`repro dst`): sweep seeded
+//! adversarial schedules over cube sizes, fault densities and loss
+//! profiles, checking the full invariant suite
+//! ([`hypersafe_core::invariants`]) on every run. Each seed fully
+//! determines its scenario — fault placement, source/destination pair,
+//! channel noise, scheduler permutation and kill plan — so any
+//! violation replays exactly from the coordinates printed in the
+//! artifact, and the kill plan is delta-debugged
+//! ([`hypersafe_simkit::shrink_injections`]) down to a 1-minimal
+//! reproducer before it is written out.
+
+use crate::table::{pct, Report};
+use hypersafe_core::invariants::{
+    check_gs_convergence, check_lossy_outcome, run_gs_async_checked, run_gs_async_checked_traced,
+    run_unicast_lossy_checked, run_unicast_lossy_checked_traced,
+};
+use hypersafe_core::{Decision, LossyOutcome, SafetyMap};
+use hypersafe_simkit::{shrink_injections, AdversarialScheduler, ReliableConfig, Scheduler, Time};
+use hypersafe_topology::{FaultConfig, Hypercube, NodeId};
+use hypersafe_workloads::{random_pair, uniform_faults, Sweep, STANDARD_PROFILES};
+use rand::Rng;
+use std::path::PathBuf;
+
+/// Parameters for the DST sweep.
+#[derive(Clone, Debug)]
+pub struct DstParams {
+    /// Cube dimensions to sweep.
+    pub dims: Vec<u8>,
+    /// Seeds (= independent scenarios) per (dimension, fault count).
+    pub seeds: u32,
+    /// Event budget per unicast run.
+    pub event_budget: u64,
+    /// Master seed; every scenario derives from it deterministically.
+    pub seed: u64,
+    /// Where `dst.csv` and violation artifacts land.
+    pub out_dir: PathBuf,
+}
+
+impl Default for DstParams {
+    fn default() -> Self {
+        DstParams {
+            dims: vec![3, 4, 5, 6, 7, 8],
+            seeds: 256,
+            event_budget: 2_000_000,
+            seed: 0xD57,
+            out_dir: PathBuf::from("results"),
+        }
+    }
+}
+
+/// Fault counts swept per dimension: fault-free, half-loaded, the
+/// Theorem-3 boundary (`n - 1` faults still guarantees feasibility),
+/// and past it (`n + 1`, where `Failure` verdicts become legitimate
+/// and only their *soundness* is checked).
+fn densities(n: u8) -> Vec<usize> {
+    let n = n as usize;
+    let mut ms = vec![0, n / 2, n - 1, n + 1];
+    ms.dedup();
+    ms
+}
+
+/// Everything one seed does, reconstructible from `(params, n, m, i)`
+/// alone — the sweep runs it blind, and a violation re-runs it traced.
+struct Scenario {
+    cfg: FaultConfig,
+    map: SafetyMap,
+    gs_seed: u64,
+    gs_stretch: Time,
+    s: NodeId,
+    d: NodeId,
+    profile: usize,
+    uni_seed: u64,
+    kills: Vec<(NodeId, Time)>,
+}
+
+impl Scenario {
+    fn build(sweep: &Sweep, n: u8, m: usize, i: u32) -> Scenario {
+        let mut rng = sweep.trial_rng(i);
+        let cube = Hypercube::new(n);
+        let cfg = FaultConfig::with_node_faults(cube, uniform_faults(cube, m, &mut rng));
+        let map = SafetyMap::compute(&cfg);
+        let gs_seed: u64 = rng.gen();
+        let gs_stretch = 1 + gs_seed % 7;
+        let (mut s, mut d) = random_pair(&cfg, &mut rng);
+        while s == d {
+            let (s2, d2) = random_pair(&cfg, &mut rng);
+            s = s2;
+            d = d2;
+        }
+        let profile = (i as usize) % STANDARD_PROFILES.len();
+        let uni_seed: u64 = rng.gen();
+        let mut kills = Vec::new();
+        if rng.gen_bool(0.25) {
+            for _ in 0..rng.gen_range(1..=2) {
+                let victim = NodeId::new(rng.gen_range(0..cube.num_nodes()));
+                if victim != s && !cfg.node_faulty(victim) {
+                    kills.push((victim, rng.gen_range(0..30)));
+                }
+            }
+        }
+        Scenario {
+            cfg,
+            map,
+            gs_seed,
+            gs_stretch,
+            s,
+            d,
+            profile,
+            uni_seed,
+            kills,
+        }
+    }
+
+    /// Reorder/stretch adversary for the GS leg (the plain protocol
+    /// assumes reliable links, so no loss/duplication here).
+    fn gs_sched(&self) -> Box<dyn Scheduler> {
+        Box::new(AdversarialScheduler::permute(self.gs_seed).with_stretch(self.gs_stretch))
+    }
+
+    /// Full adversary for the unicast leg: channel loss from the
+    /// workload profile plus seeded reorder/loss/duplication bursts —
+    /// the ARQ layer is expected to absorb all of it.
+    fn uni_sched(&self) -> Box<dyn Scheduler> {
+        Box::new(AdversarialScheduler::from_seed(self.uni_seed))
+    }
+
+    fn channel(&self) -> Option<hypersafe_simkit::ChannelModel> {
+        let prof = &STANDARD_PROFILES[self.profile];
+        if prof.loss == 0.0 && prof.jitter == 0 && prof.duplicate == 0.0 {
+            None
+        } else {
+            Some(prof.channel(self.uni_seed))
+        }
+    }
+
+    /// The unicast leg as a pass/fail predicate over an arbitrary kill
+    /// plan — exactly the shape [`shrink_injections`] minimizes.
+    fn unicast_violation(&self, budget: u64, kills: &[(NodeId, Time)]) -> Option<String> {
+        match run_unicast_lossy_checked(
+            &self.cfg,
+            &self.map,
+            self.s,
+            self.d,
+            1,
+            self.channel(),
+            self.uni_sched(),
+            ReliableConfig::default(),
+            budget,
+            kills,
+        ) {
+            Err(v) => Some(v.to_string()),
+            Ok(run) => check_lossy_outcome(&self.cfg, self.s, self.d, &run, kills.len() as u64)
+                .err()
+                .map(|v| format!("{v:?}")),
+        }
+    }
+}
+
+/// One seed's verdicts.
+struct SeedOutcome {
+    gs_violation: Option<String>,
+    uni_violation: Option<String>,
+    delivered: bool,
+    refused: bool,
+    kills: usize,
+}
+
+fn run_seed(sweep: &Sweep, n: u8, m: usize, i: u32, budget: u64) -> SeedOutcome {
+    let sc = Scenario::build(sweep, n, m, i);
+    let gs_violation = match run_gs_async_checked(&sc.cfg, 1, sc.gs_sched()) {
+        Err(v) => Some(v.to_string()),
+        Ok(run) => check_gs_convergence(&sc.cfg, &run)
+            .err()
+            .map(|v| format!("{v:?}")),
+    };
+    let mut delivered = false;
+    let mut refused = false;
+    let uni_violation = match run_unicast_lossy_checked(
+        &sc.cfg,
+        &sc.map,
+        sc.s,
+        sc.d,
+        1,
+        sc.channel(),
+        sc.uni_sched(),
+        ReliableConfig::default(),
+        budget,
+        &sc.kills,
+    ) {
+        Err(v) => Some(v.to_string()),
+        Ok(run) => {
+            delivered = matches!(run.outcome, LossyOutcome::Delivered { .. });
+            refused = matches!(run.decision, Decision::Failure);
+            check_lossy_outcome(&sc.cfg, sc.s, sc.d, &run, sc.kills.len() as u64)
+                .err()
+                .map(|v| format!("{v:?}"))
+        }
+    };
+    SeedOutcome {
+        gs_violation,
+        uni_violation,
+        delivered,
+        refused,
+        kills: sc.kills.len(),
+    }
+}
+
+/// Replays a violating seed with tracing on, shrinks its kill plan to
+/// a 1-minimal reproducer, and renders the replay artifact.
+fn artifact(p: &DstParams, sweep: &Sweep, n: u8, m: usize, i: u32, out: &SeedOutcome) -> String {
+    let sc = Scenario::build(sweep, n, m, i);
+    let faults: Vec<String> = sc.cfg.node_faults().iter().map(|a| a.to_string()).collect();
+    let mut art = String::new();
+    art.push_str("== DST violation ==\n");
+    art.push_str(&format!(
+        "replay: repro dst --seed {} (n={n} faults={m} seed-index={i})\n",
+        p.seed
+    ));
+    art.push_str(&format!("fault set: [{}]\n", faults.join(", ")));
+    art.push_str(&format!(
+        "pair: {} -> {}  profile: {}  gs_seed: {:#x}  uni_seed: {:#x}\n",
+        sc.s, sc.d, STANDARD_PROFILES[sc.profile].name, sc.gs_seed, sc.uni_seed
+    ));
+    if let Some(v) = &out.gs_violation {
+        art.push_str(&format!("gs violation: {v}\n"));
+        let (_, trace) = run_gs_async_checked_traced(&sc.cfg, 1, sc.gs_sched(), true);
+        art.push_str("-- gs replay trace --\n");
+        art.push_str(&trace.render());
+    }
+    if let Some(v) = &out.uni_violation {
+        art.push_str(&format!("unicast violation: {v}\n"));
+        let shrunk = shrink_injections(&sc.kills, |ks| {
+            sc.unicast_violation(p.event_budget, ks).is_some()
+        });
+        art.push_str(&format!(
+            "kill plan: {:?} shrunk to {:?}\n",
+            sc.kills, shrunk
+        ));
+        let (_, trace) = run_unicast_lossy_checked_traced(
+            &sc.cfg,
+            &sc.map,
+            sc.s,
+            sc.d,
+            1,
+            sc.channel(),
+            sc.uni_sched(),
+            ReliableConfig::default(),
+            p.event_budget,
+            &shrunk,
+            true,
+        );
+        art.push_str("-- unicast replay trace --\n");
+        art.push_str(&trace.render());
+    }
+    art
+}
+
+/// The sweep's outcome: the report plus the violation count the
+/// `repro` binary turns into its exit code.
+pub struct DstRun {
+    /// Renderable summary table (one row per dimension × fault count).
+    pub report: Report,
+    /// Total invariant violations across all seeds.
+    pub violations: u64,
+}
+
+/// Runs the sweep; writes `dst.csv` and any violation artifacts into
+/// `p.out_dir`.
+pub fn run(p: &DstParams) -> DstRun {
+    let mut rep = Report::new(
+        "dst",
+        format!(
+            "deterministic simulation testing: {} seeds per point, full invariant suite",
+            p.seeds
+        ),
+        &[
+            "n",
+            "faults",
+            "seeds",
+            "gs_viol",
+            "uni_viol",
+            "delivered",
+            "refused",
+            "killed_runs",
+        ],
+    );
+    let mut violations = 0u64;
+    let mut artifacts: Vec<PathBuf> = Vec::new();
+    for &n in &p.dims {
+        for m in densities(n) {
+            let sweep = Sweep::new(p.seeds, p.seed ^ ((n as u64) << 32) ^ ((m as u64) << 16));
+            let outcomes = sweep.run(|i, _| run_seed(&sweep, n, m, i, p.event_budget));
+            let gs_viol = outcomes.iter().filter(|o| o.gs_violation.is_some()).count();
+            let uni_viol = outcomes
+                .iter()
+                .filter(|o| o.uni_violation.is_some())
+                .count();
+            let delivered = outcomes.iter().filter(|o| o.delivered).count();
+            let refused = outcomes.iter().filter(|o| o.refused).count();
+            let killed = outcomes.iter().filter(|o| o.kills > 0).count();
+            violations += (gs_viol + uni_viol) as u64;
+            // Shrink and dump the first violating seed of this point;
+            // one minimal reproducer per point keeps artifacts readable.
+            if let Some((i, out)) = outcomes
+                .iter()
+                .enumerate()
+                .find(|(_, o)| o.gs_violation.is_some() || o.uni_violation.is_some())
+            {
+                let text = artifact(p, &sweep, n, m, i as u32, out);
+                let path = p.out_dir.join(format!("dst_violation_n{n}_m{m}.txt"));
+                if std::fs::create_dir_all(&p.out_dir).is_ok()
+                    && std::fs::write(&path, &text).is_ok()
+                {
+                    artifacts.push(path);
+                }
+            }
+            rep.row(vec![
+                n.to_string(),
+                m.to_string(),
+                p.seeds.to_string(),
+                gs_viol.to_string(),
+                uni_viol.to_string(),
+                pct(delivered as u64, p.seeds as u64),
+                refused.to_string(),
+                killed.to_string(),
+            ]);
+        }
+    }
+    rep.note(
+        "every seed runs async GS under a reorder/stretch adversary (levels must descend \
+         monotonically to the Theorem 1 fixed point) and one reliable unicast under channel \
+         loss + seeded loss/dup bursts + mid-run kills (exactly-once, trail validity, \
+         Theorem 2/3 hop counts, Theorem 4 soundness)"
+            .to_string(),
+    );
+    rep.note(
+        "refused counts source-side Failure verdicts (legal only when disconnected or \
+         faults >= n — the soundness checker verifies each one); killed_runs had mid-run \
+         fault injections, which excuse missing deliveries but nothing else"
+            .to_string(),
+    );
+    for path in &artifacts {
+        rep.note(format!("violation artifact: {}", path.display()));
+    }
+    match rep.write_csv(&p.out_dir) {
+        Ok(path) => {
+            rep.note(format!("csv: {}", path.display()));
+        }
+        Err(e) => {
+            rep.note(format!("csv write failed: {e}"));
+        }
+    }
+    DstRun {
+        report: rep,
+        violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> DstParams {
+        DstParams {
+            dims: vec![3, 4],
+            seeds: 8,
+            event_budget: 500_000,
+            seed: 11,
+            out_dir: std::env::temp_dir().join("hypersafe_dst_test"),
+        }
+    }
+
+    #[test]
+    fn tiny_sweep_is_clean() {
+        let run = run(&tiny());
+        assert_eq!(run.violations, 0, "{}", run.report.render());
+        // Four densities per dimension (0, n/2, n-1, n+1).
+        assert_eq!(
+            run.report.rows.len(),
+            densities(3).len() + densities(4).len()
+        );
+        let _ = std::fs::remove_dir_all(tiny().out_dir);
+    }
+
+    #[test]
+    fn scenarios_are_reproducible() {
+        let sweep = Sweep::new(8, 42);
+        let a = Scenario::build(&sweep, 4, 2, 3);
+        let b = Scenario::build(&sweep, 4, 2, 3);
+        assert_eq!(a.gs_seed, b.gs_seed);
+        assert_eq!(a.uni_seed, b.uni_seed);
+        assert_eq!((a.s, a.d), (b.s, b.d));
+        assert_eq!(a.kills, b.kills);
+        assert_eq!(
+            a.cfg.node_faults().iter().collect::<Vec<_>>(),
+            b.cfg.node_faults().iter().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn densities_cover_the_theorem3_boundary() {
+        assert_eq!(densities(3), vec![0, 1, 2, 4]);
+        assert_eq!(densities(8), vec![0, 4, 7, 9]);
+    }
+}

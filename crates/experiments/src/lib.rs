@@ -28,11 +28,13 @@
 //! | E20 | [`vectors_exp`] | safety vectors vs scalar levels vs oracle |
 //! | E21 | [`congestion_exp`] | queueing latency under burst load |
 //! | E22 | [`loss_exp`] | loss robustness — reliable GS/unicast over noisy links |
+//! | E23 | [`dst`] | deterministic simulation testing — seeded adversaries + invariants |
 #![warn(missing_docs)]
 
 pub mod broadcast_exp;
 pub mod congestion_exp;
 pub mod distribution_exp;
+pub mod dst;
 pub mod dynamic_exp;
 pub mod fig1;
 pub mod fig2;

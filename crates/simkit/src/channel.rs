@@ -17,20 +17,22 @@
 
 use crate::event::Time;
 
-/// One 64-bit avalanche round (the SplitMix64 finalizer).
-fn mix(mut z: u64) -> u64 {
+/// One 64-bit avalanche round (the SplitMix64 finalizer). Shared with
+/// [`crate::sim::AdversarialScheduler`], whose decisions must be just
+/// as reproducible as the channel's.
+pub(crate) fn mix(mut z: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
 }
 
 /// Uniform `[0, 1)` from 53 high bits.
-fn unit(z: u64) -> f64 {
+pub(crate) fn unit(z: u64) -> f64 {
     (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
 }
 
 /// Uniform `0..=bound` via widening multiply.
-fn uniform_inclusive(z: u64, bound: u64) -> u64 {
+pub(crate) fn uniform_inclusive(z: u64, bound: u64) -> u64 {
     ((z as u128 * (bound as u128 + 1)) >> 64) as u64
 }
 

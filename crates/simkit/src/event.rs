@@ -11,14 +11,18 @@
 //! §4.2) alike, so one actor implementation serves every topology the
 //! workspace models.
 //!
-//! Determinism: events at equal virtual times are processed in
-//! scheduling order (a monotone sequence number breaks ties), so a run
-//! is a pure function of the initial state and the actors' logic.
-//! Channel noise ([`ChannelModel`]) is itself seeded, keeping lossy
-//! runs reproducible.
+//! Determinism: events at equal virtual times are processed in the
+//! order decided by the installed [`Scheduler`] (the default
+//! [`crate::sim::FifoScheduler`] uses the monotone sequence number, so
+//! equal-time events run in scheduling order), and ties on the
+//! scheduler's key fall back to the sequence number — a run is a pure
+//! function of the initial state, the actors' logic, and the
+//! scheduler/channel seeds. Channel noise ([`ChannelModel`]) is itself
+//! seeded, keeping lossy runs reproducible.
 
 use crate::channel::ChannelModel;
 use crate::network::Network;
+use crate::sim::{FifoScheduler, Invariant, InvariantViolation, Scheduler};
 use crate::stats::EventStats;
 use crate::trace::{TraceEvent, TraceSink};
 use hypersafe_topology::NodeId;
@@ -140,21 +144,34 @@ pub trait Actor: Sized {
 }
 
 enum Payload<M> {
-    Message { from: NodeId, msg: M },
-    Timer { tag: TimerTag },
+    Message {
+        from: NodeId,
+        msg: M,
+    },
+    Timer {
+        tag: TimerTag,
+    },
+    /// An externally injected fault: the destination node fault-stops
+    /// the moment this event is processed (see
+    /// [`EventEngine::inject_kill`]).
+    Kill,
 }
 
 struct Pending<M> {
     time: Time,
+    /// Same-tick tiebreak assigned by the [`Scheduler`]; the FIFO
+    /// scheduler returns `seq` so `(time, key, seq)` ordering
+    /// degenerates to the historical `(time, seq)`.
+    key: u64,
     seq: u64,
     dst: NodeId,
     payload: Payload<M>,
 }
 
-/// Min-heap ordering by (time, seq).
+/// Min-heap ordering by (time, key, seq).
 impl<M> PartialEq for Pending<M> {
     fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+        self.time == other.time && self.key == other.key && self.seq == other.seq
     }
 }
 impl<M> Eq for Pending<M> {}
@@ -165,7 +182,7 @@ impl<M> PartialOrd for Pending<M> {
 }
 impl<M> Ord for Pending<M> {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.seq).cmp(&(other.time, other.seq))
+        (self.time, self.key, self.seq).cmp(&(other.time, other.key, other.seq))
     }
 }
 
@@ -173,11 +190,18 @@ impl<M> Ord for Pending<M> {
 pub struct EventEngine<'a, N: Network, A: Actor> {
     net: &'a N,
     actors: Vec<Option<A>>,
+    /// `dead[i]` marks a node fault-stopped *mid-run* via
+    /// [`EventEngine::inject_kill`]: it processes no further events, but
+    /// its final state stays inspectable (post-mortem) through
+    /// [`EventEngine::actor`] — unlike pre-run faults, which never had
+    /// an actor at all.
+    dead: Vec<bool>,
     queue: BinaryHeap<Reverse<Pending<A::Msg>>>,
     seq: u64,
     now: Time,
     stats: EventStats,
     channel: Option<ChannelModel>,
+    sched: Box<dyn Scheduler>,
     halted: bool,
     trace: Option<Box<dyn TraceSink>>,
 }
@@ -187,27 +211,39 @@ impl<'a, N: Network, A: Actor> EventEngine<'a, N, A> {
     /// every actor's `on_start`. Links are perfect (the paper's model);
     /// use [`EventEngine::with_channel`] for lossy links.
     pub fn new(net: &'a N, init: impl FnMut(NodeId) -> A) -> Self {
-        Self::build(net, None, init)
+        Self::with_parts(net, None, Box::new(FifoScheduler), init)
     }
 
     /// Like [`EventEngine::new`], but every send across a usable link
     /// passes through `channel` (loss / jitter / duplication).
     pub fn with_channel(net: &'a N, channel: ChannelModel, init: impl FnMut(NodeId) -> A) -> Self {
-        Self::build(net, Some(channel), init)
+        Self::with_parts(net, Some(channel), Box::new(FifoScheduler), init)
     }
 
-    fn build(net: &'a N, channel: Option<ChannelModel>, mut init: impl FnMut(NodeId) -> A) -> Self {
+    /// The fully general constructor: optional lossy channel plus an
+    /// explicit [`Scheduler`]. The scheduler must be installed at
+    /// construction time because `on_start` — which already enqueues
+    /// events — runs here.
+    pub fn with_parts(
+        net: &'a N,
+        channel: Option<ChannelModel>,
+        sched: Box<dyn Scheduler>,
+        mut init: impl FnMut(NodeId) -> A,
+    ) -> Self {
         let actors: Vec<Option<A>> = (0..net.num_nodes())
             .map(|a| (!net.node_faulty(a)).then(|| init(NodeId::new(a))))
             .collect();
+        let dead = vec![false; net.num_nodes() as usize];
         let mut eng = EventEngine {
             net,
             actors,
+            dead,
             queue: BinaryHeap::new(),
             seq: 0,
             now: 0,
             stats: EventStats::default(),
             channel,
+            sched,
             halted: false,
             trace: None,
         };
@@ -249,13 +285,15 @@ impl<'a, N: Network, A: Actor> EventEngine<'a, N, A> {
         }
     }
 
-    fn enqueue_message(&mut self, time: Time, dst: NodeId, from: NodeId, msg: A::Msg) {
+    fn enqueue(&mut self, time: Time, dst: NodeId, payload: Payload<A::Msg>) {
         self.seq += 1;
+        let key = self.sched.order_key(self.seq, dst.raw());
         self.queue.push(Reverse(Pending {
             time,
+            key,
             seq: self.seq,
             dst,
-            payload: Payload::Message { from, msg },
+            payload,
         }));
     }
 
@@ -272,31 +310,42 @@ impl<'a, N: Network, A: Actor> EventEngine<'a, N, A> {
                 continue;
             }
             // A usable link may still be noisy: the channel model
-            // decides loss, extra delay, and duplication per message.
-            let fate = match &mut self.channel {
+            // decides loss, extra delay, and duplication per message,
+            // and the scheduler may pile its own adversarial fate on
+            // top (extra stretch, burst loss/duplication).
+            let mut fate = match &mut self.channel {
                 Some(ch) => ch.fate(src.raw(), dst.raw()),
                 None => crate::channel::LinkFate::CLEAN,
             };
+            if !fate.lost {
+                let adv = self.sched.perturb(self.now, src.raw(), dst.raw());
+                fate.lost |= adv.lost;
+                fate.jitter += adv.jitter;
+                if fate.duplicate.is_none() {
+                    fate.duplicate = adv.duplicate;
+                }
+            }
             if fate.lost {
                 self.stats.lost += 1;
                 continue;
             }
             if let Some(dup_jitter) = fate.duplicate {
                 self.stats.duplicated += 1;
-                self.enqueue_message(time + dup_jitter, dst, src, msg.clone());
+                self.enqueue(
+                    time + dup_jitter,
+                    dst,
+                    Payload::Message {
+                        from: src,
+                        msg: msg.clone(),
+                    },
+                );
             }
-            self.enqueue_message(time + fate.jitter, dst, src, msg);
+            self.enqueue(time + fate.jitter, dst, Payload::Message { from: src, msg });
         }
         self.stats.retransmitted += ctx.retransmits;
         self.stats.acked += ctx.acks;
         for (time, tag) in ctx.timers {
-            self.seq += 1;
-            self.queue.push(Reverse(Pending {
-                time,
-                seq: self.seq,
-                dst: src,
-                payload: Payload::Timer { tag },
-            }));
+            self.enqueue(time, src, Payload::Timer { tag });
         }
         if ctx.halt {
             self.halted = true;
@@ -318,9 +367,17 @@ impl<'a, N: Network, A: Actor> EventEngine<'a, N, A> {
         self.now
     }
 
-    /// Read access to a node's actor (`None` for faulty nodes).
+    /// Read access to a node's actor (`None` for pre-run faulty
+    /// nodes). A node killed mid-run still returns its frozen
+    /// post-mortem state — pair with [`EventEngine::is_dead`] to tell
+    /// the two apart.
     pub fn actor(&self, a: NodeId) -> Option<&A> {
         self.actors[a.raw() as usize].as_ref()
+    }
+
+    /// Whether `a` was fault-stopped mid-run by [`EventEngine::inject_kill`].
+    pub fn is_dead(&self, a: NodeId) -> bool {
+        self.dead[a.raw() as usize]
     }
 
     /// Processes a single event. Returns `false` when the queue is
@@ -337,9 +394,26 @@ impl<'a, N: Network, A: Actor> EventEngine<'a, N, A> {
         self.stats.end_time = self.now;
         let idx = ev.dst.raw() as usize;
         // Destination may have become faulty after the send.
-        if self.actors[idx].is_none() {
+        if self.actors[idx].is_none() || self.dead[idx] {
             self.stats.dropped += 1;
             return true;
+        }
+        if let Payload::Kill = ev.payload {
+            // The node fault-stops: it processes no further events, and
+            // everything already queued toward it drops on delivery. Its
+            // state is frozen rather than discarded so the run's outcome
+            // collectors and invariant checkers can still read what it
+            // knew at the instant of death (e.g. a destination killed
+            // *after* delivery still shows `received_at`).
+            self.dead[idx] = true;
+            self.stats.killed += 1;
+            if let Some(sink) = &mut self.trace {
+                sink.record(TraceEvent::Note(format!(
+                    "t={}: node {} killed",
+                    self.now, ev.dst
+                )));
+            }
+            return !self.halted;
         }
         let mut ctx = self.ctx_for(ev.dst);
         match ev.payload {
@@ -369,6 +443,7 @@ impl<'a, N: Network, A: Actor> EventEngine<'a, N, A> {
                     .expect("present")
                     .on_timer_tag(&mut ctx, tag);
             }
+            Payload::Kill => unreachable!("handled above"),
         }
         self.absorb_ctx(ev.dst, ctx);
         !self.halted
@@ -385,19 +460,86 @@ impl<'a, N: Network, A: Actor> EventEngine<'a, N, A> {
         n
     }
 
+    /// Virtual time of the earliest queued event, if any.
+    pub fn next_event_time(&self) -> Option<Time> {
+        self.queue.peek().map(|Reverse(p)| p.time)
+    }
+
+    /// Whether the engine is at a quiescent point: no event remains at
+    /// the current virtual time, so every node's state is a consistent
+    /// cut (nothing is "mid-tick").
+    pub fn is_quiescent(&self) -> bool {
+        self.next_event_time().is_none_or(|t| t > self.now)
+    }
+
+    /// Like [`EventEngine::run`], but evaluates every [`Invariant`] at
+    /// each quiescent point — once before the first event, after the
+    /// last event of every virtual tick, and when the run ends. Stops
+    /// at the first violation and reports when and why.
+    pub fn run_checked(
+        &mut self,
+        max_events: u64,
+        invariants: &mut [&mut dyn Invariant<N, A>],
+    ) -> Result<u64, InvariantViolation> {
+        let mut n = 0;
+        let mut check = |eng: &Self, n: u64| -> Result<(), InvariantViolation> {
+            for inv in invariants.iter_mut() {
+                if let Err(detail) = inv.check(eng) {
+                    return Err(InvariantViolation {
+                        invariant: inv.name().to_string(),
+                        time: eng.now,
+                        events_processed: n,
+                        detail,
+                    });
+                }
+            }
+            Ok(())
+        };
+        if self.is_quiescent() {
+            check(self, n)?;
+        }
+        while n < max_events && self.step() {
+            n += 1;
+            if self.is_quiescent() {
+                check(self, n)?;
+            }
+        }
+        Ok(n)
+    }
+
+    /// Iterates the actors as `(node, actor)` pairs — the view an
+    /// [`Invariant`] inspects at a quiescent point. Nodes killed
+    /// mid-run are included with their frozen post-mortem state (an
+    /// invariant over them keeps holding trivially, since the state no
+    /// longer changes); pre-run faulty nodes are not.
+    pub fn actors_iter(&self) -> impl Iterator<Item = (NodeId, &A)> {
+        self.actors
+            .iter()
+            .enumerate()
+            .filter_map(|(i, a)| a.as_ref().map(|a| (NodeId::new(i as u64), a)))
+    }
+
     /// Injects an external message to `dst` from outside the network
     /// (e.g. the "host" handing a unicast request to the source node),
     /// delivered as an actor timer with `tag` after `delay` ticks.
     pub fn inject(&mut self, dst: NodeId, tag: u64, delay: Time) {
-        self.seq += 1;
-        self.queue.push(Reverse(Pending {
-            time: self.now + delay,
-            seq: self.seq,
+        self.enqueue(
+            self.now + delay,
             dst,
-            payload: Payload::Timer {
+            Payload::Timer {
                 tag: TimerTag::Actor(tag),
             },
-        }));
+        );
+    }
+
+    /// Injects a fault: after `delay` ticks node `dst` fault-stops —
+    /// it processes no further events and all its queued and future
+    /// traffic is silently dropped, exactly like a node that was faulty
+    /// from the start (its last state stays readable post-mortem). This
+    /// is the DST adversary's "fault burst" primitive; killing an
+    /// already-dead node is a no-op.
+    pub fn inject_kill(&mut self, dst: NodeId, delay: Time) {
+        self.enqueue(self.now + delay, dst, Payload::Kill);
     }
 
     /// Extracts all actors as `(node, actor)` pairs.
@@ -639,6 +781,140 @@ mod tests {
             .events()
             .iter()
             .all(|e| matches!(e, TraceEvent::Hop { .. })));
+    }
+
+    #[test]
+    fn adversarial_permutation_preserves_flood_reachability() {
+        use crate::sim::AdversarialScheduler;
+        let cube = Hypercube::new(4);
+        let cfg = FaultConfig::fault_free(cube);
+        let net = HypercubeNet::new(&cfg);
+        for seed in 0..8 {
+            let mut eng = EventEngine::with_parts(
+                &net,
+                None,
+                Box::new(AdversarialScheduler::permute(seed)),
+                |a| Flood::new(&net, a, NodeId::ZERO),
+            );
+            eng.run(u64::MAX);
+            for a in cube.nodes() {
+                let seen = eng.actor(a).unwrap().seen_at;
+                assert!(seen.is_some(), "seed {seed}: node {a} never flooded");
+                // Stretch only delays; BFS distance is a lower bound.
+                assert!(seen.unwrap() >= a.weight() as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn same_seed_same_adversarial_run() {
+        use crate::sim::AdversarialScheduler;
+        let cube = Hypercube::new(4);
+        let cfg = FaultConfig::fault_free(cube);
+        let net = HypercubeNet::new(&cfg);
+        let run = |seed| {
+            let mut eng = EventEngine::with_parts(
+                &net,
+                None,
+                Box::new(AdversarialScheduler::from_seed(seed)),
+                |a| Flood::new(&net, a, NodeId::ZERO),
+            );
+            eng.set_trace(Box::new(Trace::enabled()));
+            eng.run(u64::MAX);
+            let trace = eng.take_trace().unwrap().into_trace().unwrap().render();
+            (trace, eng.stats().clone())
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(
+            run(7).0,
+            run(8).0,
+            "different seeds should schedule differently"
+        );
+    }
+
+    #[test]
+    fn inject_kill_fault_stops_a_node() {
+        let cube = Hypercube::new(3);
+        let cfg = FaultConfig::fault_free(cube);
+        let net = HypercubeNet::new(&cfg);
+        let mut eng = EventEngine::new(&net, |a| Flood::new(&net, a, NodeId::ZERO));
+        // Kill node 001 before the tick-1 deliveries reach it.
+        eng.inject_kill(NodeId::new(0b001), 0);
+        eng.run(u64::MAX);
+        // The corpse is dead but its last state stays inspectable: it
+        // died before any delivery, so it never saw the flood.
+        assert!(eng.is_dead(NodeId::new(0b001)));
+        assert!(eng.actor(NodeId::new(0b001)).unwrap().seen_at.is_none());
+        assert_eq!(eng.stats().killed, 1);
+        // Everyone else still hears the flood via other dimensions.
+        for a in cube.nodes().filter(|a| a.raw() != 0b001) {
+            assert!(eng.actor(a).unwrap().seen_at.is_some(), "node {a}");
+        }
+        assert!(eng.stats().dropped > 0, "traffic into the corpse dropped");
+    }
+
+    #[test]
+    fn run_checked_reports_violations_at_quiescence() {
+        use crate::sim::Invariant;
+        struct NobodyAtDistanceThree;
+        impl Invariant<HypercubeNet<'_>, Flood> for NobodyAtDistanceThree {
+            fn name(&self) -> &'static str {
+                "nobody-at-distance-3"
+            }
+            fn check(
+                &mut self,
+                eng: &EventEngine<'_, HypercubeNet<'_>, Flood>,
+            ) -> Result<(), String> {
+                for (a, f) in eng.actors_iter() {
+                    if a.weight() == 3 && f.seen_at.is_some() {
+                        return Err(format!("{a} saw the flood"));
+                    }
+                }
+                Ok(())
+            }
+        }
+        let cube = Hypercube::new(3);
+        let cfg = FaultConfig::fault_free(cube);
+        let net = HypercubeNet::new(&cfg);
+        let mut eng = EventEngine::new(&net, |a| Flood::new(&net, a, NodeId::ZERO));
+        let mut inv = NobodyAtDistanceThree;
+        let err = eng
+            .run_checked(u64::MAX, &mut [&mut inv])
+            .expect_err("the flood must reach 111 and trip the invariant");
+        assert_eq!(err.invariant, "nobody-at-distance-3");
+        assert_eq!(err.time, 3, "violation surfaces at the tick it happens");
+    }
+
+    #[test]
+    fn run_checked_passes_clean_invariants() {
+        use crate::sim::Invariant;
+        struct SeenAtMostOnce;
+        impl Invariant<HypercubeNet<'_>, Flood> for SeenAtMostOnce {
+            fn name(&self) -> &'static str {
+                "seen-at-most-once"
+            }
+            fn check(
+                &mut self,
+                eng: &EventEngine<'_, HypercubeNet<'_>, Flood>,
+            ) -> Result<(), String> {
+                // seen_at is monotone: once set it never changes.
+                for (a, f) in eng.actors_iter() {
+                    if let Some(t) = f.seen_at {
+                        if t > eng.now() {
+                            return Err(format!("{a} saw the future"));
+                        }
+                    }
+                }
+                Ok(())
+            }
+        }
+        let cube = Hypercube::new(4);
+        let cfg = FaultConfig::fault_free(cube);
+        let net = HypercubeNet::new(&cfg);
+        let mut eng = EventEngine::new(&net, |a| Flood::new(&net, a, NodeId::ZERO));
+        let mut inv = SeenAtMostOnce;
+        let n = eng.run_checked(u64::MAX, &mut [&mut inv]).unwrap();
+        assert!(n > 0);
     }
 
     #[test]

@@ -19,6 +19,12 @@
 //! [`reliable`] recovers exactly-once in-order delivery on top of them
 //! (sequence numbers, cumulative ACKs, exponential-backoff
 //! retransmission) — the substrate for the loss-robustness experiments.
+//!
+//! [`sim`] adds deterministic simulation testing on top: a pluggable
+//! [`sim::Scheduler`] (seeded adversarial reordering, latency
+//! stretching, loss/duplication bursts), an [`sim::Invariant`] hook
+//! checked at every quiescent point, and a delta-debugging shrinker
+//! that reduces failing injection lists to minimal reproducers.
 
 #![warn(missing_docs)]
 
@@ -26,6 +32,7 @@ pub mod channel;
 pub mod event;
 pub mod network;
 pub mod reliable;
+pub mod sim;
 pub mod stats;
 pub mod sync_engine;
 pub mod trace;
@@ -35,6 +42,10 @@ pub use event::{Actor, Ctx, EventEngine, Time, TimerTag};
 pub use network::{gh_port_dim, GenericSyncEngine, GhNet, HypercubeNet, Network, PortNode};
 pub use reliable::{
     RelCtx, Reliable, ReliableActor, ReliableConfig, ReliableEndpoint, ReliableMsg,
+};
+pub use sim::{
+    shrink_injections, AdversarialScheduler, FifoScheduler, Invariant, InvariantViolation,
+    Scheduler,
 };
 pub use stats::{EventStats, Histogram, SyncStats};
 pub use sync_engine::{SyncEngine, SyncNode};

@@ -35,6 +35,9 @@ pub struct EventStats {
     pub acked: u64,
     /// Timer events fired.
     pub timers: u64,
+    /// Nodes fault-stopped mid-run by an injected kill
+    /// ([`crate::event::EventEngine::inject_kill`]).
+    pub killed: u64,
     /// Virtual time of the last processed event.
     pub end_time: u64,
 }

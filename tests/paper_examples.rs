@@ -2,8 +2,13 @@
 //! through the public API exactly as a downstream user would.
 
 use hypersafe::experiments::{fig1, fig2, fig3, fig4, fig5, safesets};
-use hypersafe::safety::{route, Condition, Decision, SafetyMap};
-use hypersafe::topology::{connectivity, FaultConfig, FaultSet, Hypercube, NodeId};
+use hypersafe::safety::{
+    gh_route, route, route_egs, run_egs, run_gh_gs, Condition, Decision, ExtendedSafetyMap,
+    GhDecision, GhSafetyMap, SafetyMap,
+};
+use hypersafe::topology::{
+    connectivity, FaultConfig, FaultSet, GeneralizedHypercube, Hypercube, LinkFaultSet, NodeId,
+};
 
 fn n(s: &str) -> NodeId {
     NodeId::from_binary(s).unwrap()
@@ -105,6 +110,117 @@ fn paper_narrated_paths_via_public_api() {
         }
     ));
     assert_eq!(r2.path.unwrap().render(4), "0001 → 0000 → 1000 → 1100");
+}
+
+/// §4.1 worked example: Fig. 1's cube with one *faulty link* added
+/// (0101–0111). Both endpoints join `N2`: to everyone else they
+/// advertise level 0 (they "are" faulty), while each keeps a healthier
+/// self view. The narrated 1110 → 0001 walk, which used to pass
+/// through 0101, reroutes around the link — still optimal — and a
+/// message destined *to* an `N2` node is nevertheless delivered
+/// (footnote 3's special-fault semantics).
+#[test]
+fn section41_egs_faulty_link_worked_example() {
+    let cube = Hypercube::new(4);
+    let nodes = FaultSet::from_binary_strs(cube, &["0011", "0100", "0110", "1001"]);
+    let mut links = LinkFaultSet::new();
+    links.insert(n("0101"), n("0111"));
+    let cfg = FaultConfig::with_faults(cube, nodes, links);
+
+    let emap = ExtendedSafetyMap::compute(&cfg);
+    for a in [n("0101"), n("0111")] {
+        assert!(emap.is_n2(a), "{a} touches the faulty link");
+        assert_eq!(emap.advertised_level(a), 0, "N2 advertises 0 to N1");
+        assert_eq!(emap.own_level(a), 1, "its self view stays healthier");
+    }
+    // The fully safe corner of Fig. 1 is untouched by the link fault.
+    for a in ["1000", "1010", "1100", "1110"].map(n) {
+        assert!(!emap.is_n2(a));
+        assert_eq!(emap.advertised_level(a), 4);
+    }
+
+    // The §3.2 walk detours around 0101 yet keeps its optimality class.
+    let r = route_egs(&cfg, &emap, n("1110"), n("0001"));
+    assert!(matches!(
+        r.decision,
+        Decision::Optimal {
+            condition: Condition::C1,
+            ..
+        }
+    ));
+    let path = r.path.expect("delivered");
+    assert_eq!(path.render(4), "1110 → 1100 → 1000 → 0000 → 0001");
+    assert!(
+        !path.nodes().iter().any(|&a| emap.is_n2(a)),
+        "N2 nodes are never intermediates"
+    );
+
+    // Footnote 3: 0101 is unusable as an intermediate but reachable as
+    // a destination.
+    let to_n2 = route_egs(&cfg, &emap, n("1101"), n("0101"));
+    assert!(to_n2.delivered);
+    assert_eq!(to_n2.path.unwrap().render(4), "1101 → 0101");
+
+    // The distributed EGS protocol reaches the same two-view fixed
+    // point as the centralized construction.
+    let (dmap, stats) = run_egs(&cfg);
+    for a in cube.nodes() {
+        assert_eq!(dmap.advertised_level(a), emap.advertised_level(a), "{a}");
+        assert_eq!(dmap.own_level(a), emap.own_level(a), "{a}");
+    }
+    assert_eq!(stats.rounds_run, 3, "n - 1 rounds, as for plain GS");
+}
+
+/// §4.2 worked example on GH(3,3,3) — Def. 4 run on a generalized
+/// hypercube none of whose radices is 2. Three faults placed at the
+/// mutual-distance-2 triple {011, 101, 110} dent the safety levels of
+/// exactly the five nodes adjacent to ≥ 2 of them; everything else
+/// stays fully safe, routing from a safe source is optimal, and the
+/// distributed protocol agrees with the centralized fixed point.
+#[test]
+fn section42_gh333_worked_example() {
+    let gh = GeneralizedHypercube::from_product(&[3, 3, 3]);
+    assert_eq!(gh.num_nodes(), 27);
+    assert_eq!(gh.degree(), 6, "each node has (3-1)·3 neighbors");
+
+    let faults = gh.fault_set_from_strs(&["011", "101", "110"]);
+    let map = GhSafetyMap::compute(&gh, &faults);
+
+    // The dented nodes, by Def. 4's digit counting: 000 sees two
+    // faulty neighbors in *every* pair of dimensions (level 2), while
+    // 001/010/100/111 each lose one level.
+    let expect = [("000", 2), ("001", 1), ("010", 1), ("100", 1), ("111", 1)];
+    for (s, lvl) in expect {
+        assert_eq!(map.level(gh.parse(s).unwrap()), lvl, "{s}");
+    }
+    // Everyone else (27 − 3 faulty − 5 dented = 19) is fully safe.
+    assert_eq!(map.safe_nodes().len(), 19);
+    for a in gh.nodes() {
+        let s = gh.format(a);
+        if !faults.contains(NodeId::new(a.raw())) && !expect.iter().any(|(e, _)| *e == s) {
+            assert_eq!(map.level(a), 3, "{s}");
+        }
+    }
+
+    // A safe source routes optimally straight through the dent.
+    let r = gh_route(
+        &gh,
+        &map,
+        &faults,
+        gh.parse("222").unwrap(),
+        gh.parse("000").unwrap(),
+    );
+    assert_eq!(r.decision, GhDecision::Optimal);
+    assert!(r.delivered);
+    let walk: Vec<String> = r.nodes.unwrap().iter().map(|&a| gh.format(a)).collect();
+    assert_eq!(walk, ["222", "220", "200", "000"], "H = 3 hops, no detour");
+
+    // Distributed GH-GS reaches the same fixed point.
+    let (dmap, stats) = run_gh_gs(&gh, &faults);
+    for a in gh.nodes() {
+        assert_eq!(dmap.level(a), map.level(a), "{}", gh.format(a));
+    }
+    assert_eq!(stats.rounds_run, 3);
 }
 
 #[test]

@@ -8,8 +8,27 @@
 //! means) and prints one line per benchmark. Good enough to compare
 //! hot paths locally and to keep `cargo bench --no-run` green in CI;
 //! not a replacement for criterion's confidence intervals.
+//!
+//! ## Machine-readable output
+//!
+//! When the `BENCH_JSON` environment variable names a file, every
+//! completed benchmark is additionally appended to a JSON summary at
+//! that path (the file is rewritten after each result, so it is
+//! complete even if the run is interrupted):
+//!
+//! ```sh
+//! BENCH_JSON=$PWD/results/BENCH_gs_rounds.json cargo bench --bench gs_rounds
+//! ```
+//!
+//! Prefer an absolute path: cargo runs bench binaries with the owning
+//! package directory (not the workspace root) as the working directory.
+//!
+//! The format is one object with a `results` array of
+//! `{"id": "<group>/<bench>/<param>", "ns_per_iter": <f64>}` entries,
+//! in execution order.
 
 use std::fmt::Display;
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -84,6 +103,59 @@ impl Bencher {
     }
 }
 
+/// Results accumulated so far in this process, in execution order.
+fn results() -> &'static Mutex<Vec<(String, f64)>> {
+    static RESULTS: OnceLock<Mutex<Vec<(String, f64)>>> = OnceLock::new();
+    RESULTS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Minimal JSON string escaping — bench ids are plain identifiers, but
+/// stay correct for anything.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the accumulated results as the `BENCH_JSON` document.
+fn render_json(results: &[(String, f64)]) -> String {
+    let mut out = String::from("{\n  \"results\": [\n");
+    for (i, (id, ns)) in results.iter().enumerate() {
+        let sep = if i + 1 < results.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"id\": \"{}\", \"ns_per_iter\": {ns:.1}}}{sep}\n",
+            json_escape(id)
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Rewrites the `BENCH_JSON` file (if requested) with everything
+/// measured so far. Rewriting per result keeps the file complete even
+/// when the bench binary is interrupted, with no exit hook needed.
+fn flush_json() {
+    let Some(path) = std::env::var_os("BENCH_JSON") else {
+        return;
+    };
+    let path = std::path::PathBuf::from(path);
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    let doc = render_json(&results().lock().expect("bench results lock"));
+    if let Err(e) = std::fs::write(&path, doc) {
+        eprintln!("BENCH_JSON: cannot write {}: {e}", path.display());
+    }
+}
+
 fn run_one(full_id: &str, f: &mut dyn FnMut(&mut Bencher)) {
     let mut b = Bencher {
         elapsed_per_iter: 0.0,
@@ -97,6 +169,11 @@ fn run_one(full_id: &str, f: &mut dyn FnMut(&mut Bencher)) {
     } else {
         println!("{full_id:<60} {:>12.1} ns/iter", ns);
     }
+    results()
+        .lock()
+        .expect("bench results lock")
+        .push((full_id.to_string(), ns));
+    flush_json();
 }
 
 /// A named set of related benchmarks.
@@ -208,5 +285,18 @@ mod tests {
     fn ids_render() {
         assert_eq!(BenchmarkId::new("f", 8).id, "f/8");
         assert_eq!(BenchmarkId::from_parameter(3).id, "3");
+    }
+
+    #[test]
+    fn json_document_is_well_formed() {
+        let doc = render_json(&[
+            ("gs/n7/0".to_string(), 1234.56),
+            ("quote\"d".to_string(), 7.0),
+        ]);
+        assert!(doc.contains("\"id\": \"gs/n7/0\", \"ns_per_iter\": 1234.6"));
+        assert!(doc.contains("quote\\\"d"));
+        assert!(doc.trim_end().ends_with('}'));
+        // First entry comma-separated, last not.
+        assert_eq!(doc.matches("},\n").count(), 1);
     }
 }
