@@ -15,7 +15,7 @@
 //! Theorem 1 both converge to the same unique fixed point, which the
 //! test suite cross-checks against the centralized computation.
 
-use crate::safety::{level_from_neighbors, Level, SafetyMap};
+use crate::safety::{level_from_neighbors, level_from_unsorted, Level, SafetyMap};
 use hypersafe_simkit::{
     Actor, ChannelModel, Ctx, EventEngine, EventStats, HypercubeNet, RelCtx, Reliable,
     ReliableActor, ReliableConfig, Scheduler, SyncEngine, SyncNode, SyncStats,
@@ -175,8 +175,9 @@ impl AsyncGsNode {
     }
 
     fn reevaluate(&mut self) -> bool {
-        let mut scratch = self.heard.clone();
-        let new = level_from_neighbors(self.n, &mut scratch);
+        // Histogram evaluation: no clone, no sort (hot path — runs on
+        // every received announcement).
+        let new = level_from_unsorted(self.n, self.heard.iter().copied());
         if new != self.level {
             self.monotone &= new < self.level;
             self.level = new;

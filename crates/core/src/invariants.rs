@@ -24,6 +24,7 @@
 use crate::gs::{collect_gs_async, AsyncGsNode, GsAsyncRun};
 use crate::properties::Violation;
 use crate::safety::{Level, SafetyMap};
+use crate::safety_delta::{ChurnEvent, DeltaGsNode, DeltaGsRun};
 use crate::unicast::Decision;
 use crate::unicast_distributed::{collect_lossy, lossy_engine, LossyOutcome, LossyRun};
 use hypersafe_simkit::{
@@ -80,6 +81,81 @@ impl<'n> Invariant<HypercubeNet<'n>, AsyncGsNode> for GsLevelsDescend {
             }
             if !node.monotone() {
                 return Err(format!("{a} recorded a non-monotone internal update"));
+            }
+            self.prev[a.raw() as usize] = lv;
+        }
+        Ok(())
+    }
+}
+
+/// Engine invariant for delta-GS runs: every node's level moves
+/// monotonically in the event's direction (down after a fault, up
+/// after a recovery), pinned between its pre-event start and the
+/// post-event Theorem 1 fixed point. Checked at every quiescent point
+/// — the incremental-maintenance leg of the DST suite: if the delta
+/// protocol ever leaves the corridor between the old and new fixed
+/// points, incremental maintenance is not exact and the run fails.
+pub struct DeltaGsDirected {
+    target: SafetyMap,
+    prev: Vec<Level>,
+    descending: bool,
+}
+
+impl DeltaGsDirected {
+    /// Invariant state for a delta-GS run: `cfg` is the post-event
+    /// configuration, `prev_map` the pre-event fixed point. Computes
+    /// the post-event fixed point once as the far bound.
+    pub fn new(cfg: &FaultConfig, prev_map: &SafetyMap, event: ChurnEvent) -> Self {
+        let mut prev = prev_map.as_slice().to_vec();
+        let descending = matches!(event, ChurnEvent::Fault(_));
+        if let ChurnEvent::Recover(a) = event {
+            // The revived node starts from zero knowledge, which
+            // Definition 1 evaluates to level 1 (a healthy node's
+            // minimum) — not its pre-event level 0.
+            prev[a.raw() as usize] = 1;
+        }
+        DeltaGsDirected {
+            target: SafetyMap::compute(cfg),
+            prev,
+            descending,
+        }
+    }
+}
+
+impl<'n> Invariant<HypercubeNet<'n>, DeltaGsNode> for DeltaGsDirected {
+    fn name(&self) -> &'static str {
+        "delta-gs-directed"
+    }
+
+    fn check(
+        &mut self,
+        eng: &EventEngine<'_, HypercubeNet<'n>, DeltaGsNode>,
+    ) -> Result<(), String> {
+        for (a, node) in eng.actors_iter() {
+            let lv = node.level();
+            let prev = self.prev[a.raw() as usize];
+            let goal = self.target.level(a);
+            if self.descending {
+                if lv > prev {
+                    return Err(format!("{a} rose from level {prev} to {lv} after a fault"));
+                }
+                if lv < goal {
+                    return Err(format!("{a} undershot the new fixed point: {lv} < {goal}"));
+                }
+            } else {
+                if lv < prev {
+                    return Err(format!(
+                        "{a} fell from level {prev} to {lv} after a recovery"
+                    ));
+                }
+                if lv > goal {
+                    return Err(format!("{a} overshot the new fixed point: {lv} > {goal}"));
+                }
+            }
+            if !node.monotone() {
+                return Err(format!(
+                    "{a} recorded a direction-violating internal update"
+                ));
             }
             self.prev[a.raw() as usize] = lv;
         }
@@ -151,6 +227,61 @@ pub fn run_gs_async_checked_traced(
         .and_then(|t| t.into_trace())
         .unwrap_or_default();
     (res.map(|_| run), trace)
+}
+
+/// Runs one delta-GS update under `sched` with [`DeltaGsDirected`]
+/// checked at every quiescent point, then verifies the quiescent map
+/// equals `SafetyMap::compute` on the post-event configuration —
+/// incremental exactness as a machine-checked property of a running
+/// simulation. Reorder/stretch adversaries only (the protocol assumes
+/// reliable links).
+pub fn run_delta_gs_checked(
+    cfg: &FaultConfig,
+    prev_map: &SafetyMap,
+    event: ChurnEvent,
+    latency: u64,
+    sched: Box<dyn Scheduler>,
+) -> Result<DeltaGsRun, InvariantViolation> {
+    let net = HypercubeNet::new(cfg);
+    let latency = latency.max(1);
+    let mut eng = EventEngine::with_parts(&net, None, sched, |a| {
+        DeltaGsNode::new(cfg, prev_map, event, a, latency)
+    });
+    let mut directed = DeltaGsDirected::new(cfg, prev_map, event);
+    eng.run_checked(u64::MAX, &mut [&mut directed])?;
+    let levels: Vec<Level> = cfg
+        .cube()
+        .nodes()
+        .map(|a| eng.actor(a).map_or(0, DeltaGsNode::level))
+        .collect();
+    let fixed = SafetyMap::compute(cfg);
+    if levels != fixed.as_slice() {
+        let bad = cfg
+            .cube()
+            .nodes()
+            .find(|a| levels[a.raw() as usize] != fixed.level(*a))
+            .expect("some node differs");
+        return Err(InvariantViolation {
+            invariant: "delta-gs-exact".into(),
+            time: eng.stats().end_time,
+            events_processed: eng.stats().delivered,
+            detail: format!(
+                "{bad} quiesced at level {} but the post-event fixed point is {}",
+                levels[bad.raw() as usize],
+                fixed.level(bad)
+            ),
+        });
+    }
+    let monotone = cfg
+        .cube()
+        .nodes()
+        .filter_map(|a| eng.actor(a))
+        .all(DeltaGsNode::monotone);
+    Ok(DeltaGsRun {
+        map: SafetyMap::from_levels(cfg.cube(), levels),
+        stats: eng.stats().clone(),
+        monotone,
+    })
 }
 
 /// Runs one reliable unicast under `sched` with [`ArqSingleDelivery`]
@@ -452,6 +583,61 @@ mod tests {
             .unwrap_or_else(|v| panic!("seed {seed}: {v}"));
             check_gs_convergence(&cfg, &run).unwrap();
         }
+    }
+
+    #[test]
+    fn checked_delta_gs_passes_under_fifo_and_adversary() {
+        let (cfg0, _) = fig1();
+        let prev = SafetyMap::compute(&cfg0);
+        let a = n("0101");
+        let mut cfg = cfg0.clone();
+        cfg.node_faults_mut().insert(a);
+        for seed in 0..16 {
+            let run = run_delta_gs_checked(
+                &cfg,
+                &prev,
+                crate::safety_delta::ChurnEvent::Fault(a),
+                1,
+                Box::new(AdversarialScheduler::permute(seed).with_stretch(5)),
+            )
+            .unwrap_or_else(|v| panic!("fault seed {seed}: {v}"));
+            assert_eq!(run.map.as_slice(), SafetyMap::compute(&cfg).as_slice());
+
+            // And the reverse event, from the post-fault fixed point.
+            let mut back = cfg.clone();
+            back.node_faults_mut().remove(a);
+            let run2 = run_delta_gs_checked(
+                &back,
+                &run.map,
+                crate::safety_delta::ChurnEvent::Recover(a),
+                1,
+                Box::new(AdversarialScheduler::permute(seed ^ 0xA5).with_stretch(5)),
+            )
+            .unwrap_or_else(|v| panic!("recover seed {seed}: {v}"));
+            assert_eq!(run2.map.as_slice(), prev.as_slice());
+        }
+    }
+
+    #[test]
+    fn delta_invariant_flags_a_corrupted_start() {
+        // Feed the checker a *wrong* pre-event map: the run quiesces
+        // off the fixed point and must be reported, not absorbed.
+        let (cfg0, _) = fig1();
+        let mut wrong = SafetyMap::compute(&cfg0).as_slice().to_vec();
+        let victim = n("1000");
+        wrong[victim.raw() as usize] = 1; // truly 4-safe in fig. 1
+        let wrong_map = SafetyMap::from_levels(cfg0.cube(), wrong);
+        let a = n("0101");
+        let mut cfg = cfg0.clone();
+        cfg.node_faults_mut().insert(a);
+        let res = run_delta_gs_checked(
+            &cfg,
+            &wrong_map,
+            crate::safety_delta::ChurnEvent::Fault(a),
+            1,
+            Box::new(FifoScheduler),
+        );
+        assert!(res.is_err(), "corrupted prior must be detected");
     }
 
     #[test]

@@ -61,7 +61,9 @@ pub mod multicast;
 pub mod navigation;
 pub mod properties;
 pub mod reroute;
+pub mod route_batch;
 pub mod safety;
+pub mod safety_delta;
 pub mod safety_vector;
 pub mod unicast;
 pub mod unicast_distributed;
@@ -81,8 +83,9 @@ pub use gs::{
 };
 pub use invariants::{
     check_gs_convergence, check_lossy_outcome, check_theorem4_soundness, check_unicast_optimality,
-    run_gs_async_checked, run_gs_async_checked_traced, run_unicast_lossy_checked,
-    run_unicast_lossy_checked_traced, ArqSingleDelivery, GsLevelsDescend,
+    run_delta_gs_checked, run_gs_async_checked, run_gs_async_checked_traced,
+    run_unicast_lossy_checked, run_unicast_lossy_checked_traced, ArqSingleDelivery,
+    DeltaGsDirected, GsLevelsDescend,
 };
 pub use maintenance::{replay, MaintenanceReport, Strategy, Timeline, TimelineEvent};
 pub use multicast::{multicast, MulticastResult};
@@ -92,7 +95,11 @@ pub use properties::{
     check_theorem2_at, check_theorem3, Violation,
 };
 pub use reroute::{route_dynamic, DynamicOutcome, DynamicRun, FaultEvent};
-pub use safety::{level_from_neighbors, level_from_sorted, Level, SafetyMap};
+pub use route_batch::{route_light, route_many, route_many_seq, route_many_tb, BatchOutcome};
+pub use safety::{level_from_neighbors, level_from_sorted, level_from_unsorted, Level, SafetyMap};
+pub use safety_delta::{
+    run_delta_gs, run_delta_gs_sched, ChurnEvent, DeltaGsNode, DeltaGsRun, DeltaStats,
+};
 pub use safety_vector::{vector_dominates_level, SafetyVectorMap};
 pub use unicast::{
     intermediate_dim, intermediate_dim_tb, route, route_tb, route_traced, route_traced_tb,

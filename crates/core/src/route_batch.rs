@@ -1,0 +1,244 @@
+//! Batched unicast routing — the query-side throughput path.
+//!
+//! [`crate::route`] materializes a [`hypersafe_topology::Path`] per
+//! call, which is the right interface for inspecting one route but
+//! wasteful when a workload asks for millions of routing *decisions*
+//! against one safety map. [`route_light`] runs the identical §3
+//! algorithm hop-by-hop without building the path, and [`route_many`]
+//! fans a batch of source/destination pairs over the vendored rayon's
+//! `par_chunks` — order-preserving and deterministic, so the result
+//! vector is bitwise-identical at any `RAYON_NUM_THREADS` (CI diffs 1
+//! vs 4 threads on every push).
+
+use crate::navigation::NavVector;
+use crate::safety::SafetyMap;
+use crate::unicast::{intermediate_dim_tb, source_decision_tb, Decision, TieBreak};
+use hypersafe_topology::{FaultConfig, NodeId};
+use rayon::prelude::*;
+
+/// Compact outcome of one batched unicast: the source decision, the
+/// hop count actually walked, and delivery — everything the
+/// experiments aggregate, with no allocation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BatchOutcome {
+    /// The source decision taken.
+    pub decision: Decision,
+    /// Hops walked before the route ended (0 for `AlreadyThere` and
+    /// source-side `Failure`).
+    pub hops: u32,
+    /// Same delivery semantics as [`crate::RouteResult::delivered`].
+    pub delivered: bool,
+}
+
+/// Routes one unicast exactly like [`crate::route_tb`] but returns the
+/// compact [`BatchOutcome`] instead of materializing the path. The two
+/// agree decision-for-decision, hop-for-hop (enforced by tests).
+pub fn route_light(
+    cfg: &FaultConfig,
+    map: &SafetyMap,
+    s: NodeId,
+    d: NodeId,
+    tb: TieBreak,
+) -> BatchOutcome {
+    let decision = source_decision_tb(map, s, d, tb);
+    let first_dim = match decision {
+        Decision::AlreadyThere => {
+            return BatchOutcome {
+                decision,
+                hops: 0,
+                delivered: !cfg.node_faulty(s),
+            }
+        }
+        Decision::Failure => {
+            return BatchOutcome {
+                decision,
+                hops: 0,
+                delivered: false,
+            }
+        }
+        Decision::Optimal { first_dim, .. } | Decision::Suboptimal { first_dim } => first_dim,
+    };
+
+    let mut nv = NavVector::new(s, d);
+    let mut at = s;
+    let mut hops = 0u32;
+    let mut dim = first_dim;
+    loop {
+        let next = at.neighbor(dim);
+        if cfg.link_faults().contains(at, next) {
+            return BatchOutcome {
+                decision,
+                hops,
+                delivered: false,
+            };
+        }
+        nv = nv.after_hop(dim);
+        hops += 1;
+        at = next;
+        if cfg.node_faulty(at) {
+            // Footnote 3: entering a faulty *destination* still counts
+            // as delivered; a faulty intermediate eats the message.
+            return BatchOutcome {
+                decision,
+                hops,
+                delivered: nv.is_done(),
+            };
+        }
+        if nv.is_done() {
+            return BatchOutcome {
+                decision,
+                hops,
+                delivered: true,
+            };
+        }
+        match intermediate_dim_tb(map, at, nv, tb) {
+            Some(i) => dim = i,
+            None => {
+                return BatchOutcome {
+                    decision,
+                    hops,
+                    delivered: false,
+                }
+            }
+        }
+    }
+}
+
+/// Routes every `(source, destination)` pair against one safety map,
+/// in parallel, preserving input order. Deterministic at any thread
+/// count: chunks are contiguous and results are concatenated in chunk
+/// order, and each route is a pure function of `(cfg, map, pair)`.
+///
+/// # Examples
+///
+/// ```
+/// use hypersafe_topology::{Hypercube, FaultSet, FaultConfig, NodeId};
+/// use hypersafe_core::{route_many, route_many_seq, SafetyMap};
+///
+/// let cube = Hypercube::new(4);
+/// let faults = FaultSet::from_binary_strs(cube, &["0011", "0100"]);
+/// let cfg = FaultConfig::with_node_faults(cube, faults);
+/// let map = SafetyMap::compute(&cfg);
+/// let pairs: Vec<_> = cfg
+///     .healthy_nodes()
+///     .flat_map(|s| cfg.healthy_nodes().map(move |d| (s, d)))
+///     .collect();
+/// let out = route_many(&cfg, &map, &pairs);
+/// assert_eq!(out.len(), pairs.len());
+/// assert_eq!(out, route_many_seq(&cfg, &map, &pairs));
+/// assert!(out.iter().all(|o| o.delivered));
+/// ```
+pub fn route_many(
+    cfg: &FaultConfig,
+    map: &SafetyMap,
+    pairs: &[(NodeId, NodeId)],
+) -> Vec<BatchOutcome> {
+    route_many_tb(cfg, map, pairs, TieBreak::LowestDim)
+}
+
+/// [`route_many`] with an explicit tie-break policy.
+pub fn route_many_tb(
+    cfg: &FaultConfig,
+    map: &SafetyMap,
+    pairs: &[(NodeId, NodeId)],
+    tb: TieBreak,
+) -> Vec<BatchOutcome> {
+    if pairs.is_empty() {
+        return Vec::new();
+    }
+    // One contiguous chunk per worker keeps the fork/join overhead at
+    // a handful of spawns per call.
+    let chunk = pairs.len().div_ceil(rayon::num_threads()).max(1);
+    let per_chunk: Vec<Vec<BatchOutcome>> = pairs
+        .par_chunks(chunk)
+        .map(|c| {
+            c.iter()
+                .map(|&(s, d)| route_light(cfg, map, s, d, tb))
+                .collect()
+        })
+        .collect();
+    let mut out = Vec::with_capacity(pairs.len());
+    for v in per_chunk {
+        out.extend(v);
+    }
+    out
+}
+
+/// The sequential loop [`route_many`] is benchmarked against (also the
+/// honest baseline for the ≥2× batched-throughput acceptance bar).
+pub fn route_many_seq(
+    cfg: &FaultConfig,
+    map: &SafetyMap,
+    pairs: &[(NodeId, NodeId)],
+) -> Vec<BatchOutcome> {
+    pairs
+        .iter()
+        .map(|&(s, d)| route_light(cfg, map, s, d, TieBreak::LowestDim))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::unicast::route_tb;
+    use hypersafe_topology::{FaultSet, Hypercube};
+
+    fn fig1() -> (FaultConfig, SafetyMap) {
+        let cube = Hypercube::new(4);
+        let cfg = FaultConfig::with_node_faults(
+            cube,
+            FaultSet::from_binary_strs(cube, &["0011", "0100", "0110", "1001"]),
+        );
+        let map = SafetyMap::compute(&cfg);
+        (cfg, map)
+    }
+
+    #[test]
+    fn light_route_matches_full_route_all_pairs_all_policies() {
+        let (cfg, map) = fig1();
+        let policies = [
+            TieBreak::LowestDim,
+            TieBreak::HighestDim,
+            TieBreak::Hashed { salt: 7 },
+        ];
+        for s in cfg.cube().nodes() {
+            for d in cfg.cube().nodes() {
+                for tb in policies {
+                    let full = route_tb(&cfg, &map, s, d, tb);
+                    let light = route_light(&cfg, &map, s, d, tb);
+                    assert_eq!(light.decision, full.decision, "{s} → {d} {tb:?}");
+                    assert_eq!(light.delivered, full.delivered, "{s} → {d} {tb:?}");
+                    let full_hops = full.path.as_ref().map_or(0, |p| p.len());
+                    assert_eq!(light.hops, full_hops, "{s} → {d} {tb:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn route_many_preserves_order_and_matches_seq() {
+        let (cfg, map) = fig1();
+        let pairs: Vec<_> = cfg
+            .cube()
+            .nodes()
+            .flat_map(|s| cfg.cube().nodes().map(move |d| (s, d)))
+            .collect();
+        let par = route_many(&cfg, &map, &pairs);
+        let seq = route_many_seq(&cfg, &map, &pairs);
+        assert_eq!(par, seq);
+        assert_eq!(par.len(), pairs.len());
+        // Spot-check positional alignment against the scalar router.
+        for (i, &(s, d)) in pairs.iter().enumerate().step_by(17) {
+            assert_eq!(par[i], route_light(&cfg, &map, s, d, TieBreak::LowestDim));
+        }
+    }
+
+    #[test]
+    fn route_many_handles_degenerate_batches() {
+        let (cfg, map) = fig1();
+        assert!(route_many(&cfg, &map, &[]).is_empty());
+        let one = route_many(&cfg, &map, &[(NodeId::new(0), NodeId::new(0))]);
+        assert_eq!(one.len(), 1);
+        assert_eq!(one[0].decision, Decision::AlreadyThere);
+    }
+}

@@ -58,6 +58,38 @@ pub fn level_from_neighbors(n: u8, levels: &mut [Level]) -> Level {
     level_from_sorted(n, levels)
 }
 
+/// Applies Definition 1 to an unsorted neighbor level stream without
+/// sorting or allocating: builds a level histogram on the stack and
+/// returns the least `k` with more than `k` neighbors of level `< k`
+/// (else `n`). Equivalent to [`level_from_neighbors`] because, with the
+/// sequence sorted nondecreasingly, `S_k < k` holds iff at least
+/// `k + 1` entries are below `k`.
+///
+/// # Examples
+///
+/// ```
+/// use hypersafe_core::{level_from_sorted, level_from_unsorted};
+/// assert_eq!(level_from_unsorted(4, [4, 0, 4, 0]), 1);
+/// assert_eq!(level_from_unsorted(4, [3, 1, 0, 2]), 4);
+/// assert_eq!(level_from_unsorted(4, [4, 4, 0, 4]), 4);
+/// ```
+#[inline]
+pub fn level_from_unsorted<I: IntoIterator<Item = Level>>(n: u8, levels: I) -> Level {
+    // Levels are 0..=n ≤ MAX_DIM, so a small fixed histogram suffices.
+    let mut counts = [0u32; hypersafe_topology::MAX_DIM as usize + 1];
+    for l in levels {
+        counts[l as usize] += 1;
+    }
+    let mut below = 0u32; // #neighbors with level < k
+    for k in 0..n as u32 {
+        if below > k {
+            return k as Level;
+        }
+        below += counts[k as usize];
+    }
+    n
+}
+
 /// The safety level of every node of one faulty hypercube instance,
 /// indexed by raw address.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -113,7 +145,6 @@ impl SafetyMap {
             .collect();
 
         let mut rounds = 0u32;
-        let mut scratch = vec![0 as Level; n as usize];
         let mut next = levels.clone();
         loop {
             let mut changed = false;
@@ -122,10 +153,8 @@ impl SafetyMap {
                 if cfg.node_faulty(a) {
                     continue;
                 }
-                for (i, b) in cube.neighbors(a).enumerate() {
-                    scratch[i] = levels[b.raw() as usize];
-                }
-                let lv = level_from_neighbors(n, &mut scratch);
+                let lv =
+                    level_from_unsorted(n, cube.neighbors(a).map(|b| levels[b.raw() as usize]));
                 next[idx] = lv;
                 changed |= lv != levels[idx];
             }
@@ -168,9 +197,7 @@ impl SafetyMap {
                     if cfg.node_faulty(a) {
                         return 0;
                     }
-                    let mut scratch: Vec<Level> =
-                        cube.neighbors(a).map(|b| prev[b.raw() as usize]).collect();
-                    level_from_neighbors(n, &mut scratch)
+                    level_from_unsorted(n, cube.neighbors(a).map(|b| prev[b.raw() as usize]))
                 })
                 .collect();
             if next == levels {
@@ -262,12 +289,23 @@ impl SafetyMap {
 
     /// All safe nodes, ascending.
     pub fn safe_nodes(&self) -> Vec<NodeId> {
+        self.safe_nodes_iter().collect()
+    }
+
+    /// Iterator over the safe nodes, ascending — the allocation-free
+    /// form of [`SafetyMap::safe_nodes`] for hot paths that only scan
+    /// or count.
+    pub fn safe_nodes_iter(&self) -> impl Iterator<Item = NodeId> + '_ {
         self.levels
             .iter()
             .enumerate()
             .filter(|&(_, &l)| l == self.n)
             .map(|(i, _)| NodeId::new(i as u64))
-            .collect()
+    }
+
+    /// Number of safe nodes (no allocation).
+    pub fn safe_count(&self) -> usize {
+        self.levels.iter().filter(|&&l| l == self.n).count()
     }
 
     /// The raw level array, indexed by address.
@@ -275,20 +313,29 @@ impl SafetyMap {
         &self.levels
     }
 
+    /// Overwrites one level (incremental maintenance only — see
+    /// `safety_delta`).
+    #[inline]
+    pub(crate) fn set_level(&mut self, a: NodeId, l: Level) {
+        self.levels[a.raw() as usize] = l;
+    }
+
+    /// Overwrites the recorded round count in place.
+    #[inline]
+    pub(crate) fn set_rounds(&mut self, rounds: u32) {
+        self.rounds = rounds;
+    }
+
     /// Verifies that this map satisfies Definition 1 for `cfg` — i.e.
     /// that it is *the* fixed point promised by Theorem 1. Returns the
     /// first violating node, if any.
     pub fn check_fixed_point(&self, cfg: &FaultConfig) -> Option<NodeId> {
         let cube = cfg.cube();
-        let mut scratch = vec![0 as Level; self.n as usize];
         for a in cube.nodes() {
             let want = if cfg.node_faulty(a) {
                 0
             } else {
-                for (i, b) in cube.neighbors(a).enumerate() {
-                    scratch[i] = self.level(b);
-                }
-                level_from_neighbors(self.n, &mut scratch)
+                level_from_unsorted(self.n, cube.neighbors(a).map(|b| self.level(b)))
             };
             if self.level(a) != want {
                 return Some(a);
@@ -355,6 +402,37 @@ mod tests {
         // "The safety level of each node remains stable after two rounds."
         assert_eq!(m.rounds(), 2);
         assert_eq!(m.check_fixed_point(&cfg), None);
+    }
+
+    #[test]
+    fn histogram_rule_matches_sorted_rule_exhaustively() {
+        // Every neighbor-level sequence of Q_4 (5^4 of them): the
+        // sort-free histogram evaluation agrees with Definition 1's
+        // sorted form.
+        let n = 4u8;
+        for code in 0u32..5u32.pow(4) {
+            let mut seq = [0 as Level; 4];
+            let mut c = code;
+            for s in seq.iter_mut() {
+                *s = (c % 5) as Level;
+                c /= 5;
+            }
+            let mut sorted = seq;
+            sorted.sort_unstable();
+            assert_eq!(
+                level_from_unsorted(n, seq.iter().copied()),
+                level_from_sorted(n, &sorted),
+                "seq {seq:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn safe_nodes_iter_matches_vec_form() {
+        let cfg = cfg4(&["0000", "0110", "1111"]);
+        let m = SafetyMap::compute(&cfg);
+        assert_eq!(m.safe_nodes_iter().collect::<Vec<_>>(), m.safe_nodes());
+        assert_eq!(m.safe_count(), m.safe_nodes().len());
     }
 
     #[test]

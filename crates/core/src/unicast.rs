@@ -100,37 +100,43 @@ pub enum TieBreak {
 /// Picks the neighbor of `at` along the dimension set `dims` with the
 /// highest safety level, breaking ties per `tb`. Returns
 /// `(dim, level)`.
-fn argmax_level_tb(
+pub(crate) fn argmax_level_tb(
     map: &SafetyMap,
     at: NodeId,
     dims: impl Iterator<Item = u8>,
     tb: TieBreak,
 ) -> Option<(u8, Level)> {
-    let mut ties: Vec<u8> = Vec::new();
+    // Tied dimensions live on the stack (≤ MAX_DIM of them) — this
+    // runs once per hop on the batched routing path, so no heap.
+    let mut ties = [0u8; hypersafe_topology::MAX_DIM as usize];
+    let mut num_ties = 0usize;
     let mut best_level: Option<Level> = None;
     for i in dims {
         let lv = map.level(at.neighbor(i));
         match best_level {
             Some(b) if b > lv => {}
-            Some(b) if b == lv => ties.push(i),
+            Some(b) if b == lv => {
+                ties[num_ties] = i;
+                num_ties += 1;
+            }
             _ => {
                 best_level = Some(lv);
-                ties.clear();
-                ties.push(i);
+                ties[0] = i;
+                num_ties = 1;
             }
         }
     }
     let lv = best_level?;
     let dim = match tb {
         TieBreak::LowestDim => ties[0],
-        TieBreak::HighestDim => *ties.last().expect("non-empty"),
+        TieBreak::HighestDim => ties[num_ties - 1],
         TieBreak::Hashed { salt } => {
             // SplitMix64 over (node, salt): cheap, stateless, uniform.
             let mut z = at.raw() ^ salt.wrapping_mul(0x9E3779B97F4A7C15);
             z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
             z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
             z ^= z >> 31;
-            ties[(z % ties.len() as u64) as usize]
+            ties[(z % num_ties as u64) as usize]
         }
     };
     Some((dim, lv))

@@ -7,12 +7,18 @@
 //!   fig1 fig2 fig3 fig4 fig5 safesets property2 thm4
 //!   compare rounds maintenance broadcast dynamic distribution
 //!   linkfaults tightness traffic multicast patterns vectors
-//!   congestion loss dst all
+//!   congestion loss dst churn all
 //!
 //! `dst` (deterministic simulation testing) is not part of `all`: it
 //! sweeps seeded adversarial schedules against the invariant suite,
 //! writes `results/dst.csv` plus a shrunk replay artifact per
 //! violating point, and exits nonzero on any violation.
+//!
+//! `churn` is likewise a gate, not a figure: it cross-checks the
+//! incremental safety-level engine against from-scratch recomputes and
+//! the batched router against its sequential path, writes the
+//! thread-count-independent `results/churn.csv`, and exits nonzero on
+//! any mismatch.
 //!
 //! options:
 //!   --n <dim>        cube dimension (where applicable)
@@ -27,8 +33,8 @@
 
 use hypersafe_experiments::table::Report;
 use hypersafe_experiments::{
-    broadcast_exp, congestion_exp, distribution_exp, dst, dynamic_exp, fig1, fig2, fig3, fig4,
-    fig5, linkfaults_exp, loss_exp, maintenance_exp, multicast_exp, patterns_exp, property2,
+    broadcast_exp, churn_exp, congestion_exp, distribution_exp, dst, dynamic_exp, fig1, fig2, fig3,
+    fig4, fig5, linkfaults_exp, loss_exp, maintenance_exp, multicast_exp, patterns_exp, property2,
     rounds_compare, routing_compare, safesets, thm4, tightness_exp, traffic_exp, vectors_exp,
 };
 use std::path::PathBuf;
@@ -49,7 +55,7 @@ struct Opts {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <fig1|fig2|fig3|fig4|fig5|safesets|property2|thm4|compare|rounds|maintenance|broadcast|dynamic|distribution|linkfaults|tightness|traffic|multicast|patterns|vectors|congestion|loss|dst|all> \
+        "usage: repro <fig1|fig2|fig3|fig4|fig5|safesets|property2|thm4|compare|rounds|maintenance|broadcast|dynamic|distribution|linkfaults|tightness|traffic|multicast|patterns|vectors|congestion|loss|dst|churn|all> \
          [--n N] [--trials K] [--seeds K] [--max-faults M] [--seed S] [--csv DIR] [--md] [--quick]"
     );
     std::process::exit(2);
@@ -463,10 +469,51 @@ fn run_dst(o: &Opts) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Churn is special-cased like DST: an incremental-vs-scratch or
+/// parallel-vs-sequential mismatch must fail the process so CI can
+/// gate on it.
+fn run_churn(o: &Opts) -> ExitCode {
+    let mut p = churn_exp::ChurnParams::default();
+    if let Some(n) = o.n {
+        p.dims = vec![n];
+    } else if o.quick {
+        // CI-sized: the small/large ends of the sweep only.
+        p.dims = vec![8, 10];
+        p.rates = vec![8, 32];
+        p.pairs = 4_000;
+    }
+    if let Some(t) = o.trials {
+        p.trials = t;
+    }
+    if let Some(s) = o.seed {
+        p.seed = s;
+    }
+    if let Some(dir) = &o.csv {
+        p.out_dir = dir.clone();
+    }
+    let run = churn_exp::run(&p);
+    if o.markdown {
+        println!("{}", run.report.to_markdown());
+    } else {
+        println!("{}", run.report.render());
+    }
+    if run.mismatches > 0 {
+        eprintln!(
+            "churn: {} incremental/batched mismatch(es) — see the mismatches column",
+            run.mismatches
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let opts = parse_args();
     if opts.experiment == "dst" {
         return run_dst(&opts);
+    }
+    if opts.experiment == "churn" {
+        return run_churn(&opts);
     }
     let names: Vec<&str> = if opts.experiment == "all" {
         vec![

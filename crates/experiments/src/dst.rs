@@ -11,10 +11,10 @@
 
 use crate::table::{pct, Report};
 use hypersafe_core::invariants::{
-    check_gs_convergence, check_lossy_outcome, run_gs_async_checked, run_gs_async_checked_traced,
-    run_unicast_lossy_checked, run_unicast_lossy_checked_traced,
+    check_gs_convergence, check_lossy_outcome, run_delta_gs_checked, run_gs_async_checked,
+    run_gs_async_checked_traced, run_unicast_lossy_checked, run_unicast_lossy_checked_traced,
 };
-use hypersafe_core::{Decision, LossyOutcome, SafetyMap};
+use hypersafe_core::{ChurnEvent, Decision, LossyOutcome, SafetyMap};
 use hypersafe_simkit::{shrink_injections, AdversarialScheduler, ReliableConfig, Scheduler, Time};
 use hypersafe_topology::{FaultConfig, Hypercube, NodeId};
 use hypersafe_workloads::{random_pair, uniform_faults, Sweep, STANDARD_PROFILES};
@@ -71,6 +71,8 @@ struct Scenario {
     profile: usize,
     uni_seed: u64,
     kills: Vec<(NodeId, Time)>,
+    delta_event: ChurnEvent,
+    delta_seed: u64,
 }
 
 impl Scenario {
@@ -98,6 +100,20 @@ impl Scenario {
                 }
             }
         }
+        // Delta-GS leg: one churn event from this configuration (drawn
+        // last so the earlier scenario coordinates stay stable).
+        let delta_seed: u64 = rng.gen();
+        let delta_event = if !cfg.node_faults().is_empty() && rng.gen_bool(0.5) {
+            let victims: Vec<NodeId> = cfg.node_faults().iter().collect();
+            ChurnEvent::Recover(victims[rng.gen_range(0..victims.len())])
+        } else {
+            loop {
+                let v = NodeId::new(rng.gen_range(0..cube.num_nodes()));
+                if !cfg.node_faulty(v) {
+                    break ChurnEvent::Fault(v);
+                }
+            }
+        };
         Scenario {
             cfg,
             map,
@@ -108,6 +124,43 @@ impl Scenario {
             profile,
             uni_seed,
             kills,
+            delta_event,
+            delta_seed,
+        }
+    }
+
+    /// The delta-GS leg: apply the scenario's churn event through the
+    /// distributed delta protocol under a reorder/stretch adversary
+    /// (checked runner: corridor invariant + final exactness) and
+    /// cross-check the centralized worklist engine against it.
+    fn delta_violation(&self) -> Option<String> {
+        let mut cfg2 = self.cfg.clone();
+        match self.delta_event {
+            ChurnEvent::Fault(a) => {
+                cfg2.node_faults_mut().insert(a);
+            }
+            ChurnEvent::Recover(a) => {
+                cfg2.node_faults_mut().remove(a);
+            }
+        }
+        let sched = Box::new(
+            AdversarialScheduler::permute(self.delta_seed).with_stretch(1 + self.delta_seed % 7),
+        );
+        match run_delta_gs_checked(&cfg2, &self.map, self.delta_event, 1, sched) {
+            Err(v) => Some(v.to_string()),
+            Ok(run) => {
+                let mut central = self.map.clone();
+                match self.delta_event {
+                    ChurnEvent::Fault(a) => central.apply_fault(&cfg2, a),
+                    ChurnEvent::Recover(a) => central.apply_recover(&cfg2, a),
+                };
+                (central.as_slice() != run.map.as_slice()).then(|| {
+                    format!(
+                        "centralized incremental update diverged from delta-GS for {:?}",
+                        self.delta_event
+                    )
+                })
+            }
         }
     }
 
@@ -159,10 +212,19 @@ impl Scenario {
 /// One seed's verdicts.
 struct SeedOutcome {
     gs_violation: Option<String>,
+    delta_violation: Option<String>,
     uni_violation: Option<String>,
     delivered: bool,
     refused: bool,
     kills: usize,
+}
+
+impl SeedOutcome {
+    fn violated(&self) -> bool {
+        self.gs_violation.is_some()
+            || self.delta_violation.is_some()
+            || self.uni_violation.is_some()
+    }
 }
 
 fn run_seed(sweep: &Sweep, n: u8, m: usize, i: u32, budget: u64) -> SeedOutcome {
@@ -173,6 +235,7 @@ fn run_seed(sweep: &Sweep, n: u8, m: usize, i: u32, budget: u64) -> SeedOutcome 
             .err()
             .map(|v| format!("{v:?}")),
     };
+    let delta_violation = sc.delta_violation();
     let mut delivered = false;
     let mut refused = false;
     let uni_violation = match run_unicast_lossy_checked(
@@ -198,6 +261,7 @@ fn run_seed(sweep: &Sweep, n: u8, m: usize, i: u32, budget: u64) -> SeedOutcome 
     };
     SeedOutcome {
         gs_violation,
+        delta_violation,
         uni_violation,
         delivered,
         refused,
@@ -226,6 +290,12 @@ fn artifact(p: &DstParams, sweep: &Sweep, n: u8, m: usize, i: u32, out: &SeedOut
         let (_, trace) = run_gs_async_checked_traced(&sc.cfg, 1, sc.gs_sched(), true);
         art.push_str("-- gs replay trace --\n");
         art.push_str(&trace.render());
+    }
+    if let Some(v) = &out.delta_violation {
+        art.push_str(&format!(
+            "delta-gs violation: {v}\n  event: {:?}  delta_seed: {:#x}\n",
+            sc.delta_event, sc.delta_seed
+        ));
     }
     if let Some(v) = &out.uni_violation {
         art.push_str(&format!("unicast violation: {v}\n"));
@@ -278,6 +348,7 @@ pub fn run(p: &DstParams) -> DstRun {
             "faults",
             "seeds",
             "gs_viol",
+            "delta_viol",
             "uni_viol",
             "delivered",
             "refused",
@@ -291,6 +362,10 @@ pub fn run(p: &DstParams) -> DstRun {
             let sweep = Sweep::new(p.seeds, p.seed ^ ((n as u64) << 32) ^ ((m as u64) << 16));
             let outcomes = sweep.run(|i, _| run_seed(&sweep, n, m, i, p.event_budget));
             let gs_viol = outcomes.iter().filter(|o| o.gs_violation.is_some()).count();
+            let delta_viol = outcomes
+                .iter()
+                .filter(|o| o.delta_violation.is_some())
+                .count();
             let uni_viol = outcomes
                 .iter()
                 .filter(|o| o.uni_violation.is_some())
@@ -298,14 +373,10 @@ pub fn run(p: &DstParams) -> DstRun {
             let delivered = outcomes.iter().filter(|o| o.delivered).count();
             let refused = outcomes.iter().filter(|o| o.refused).count();
             let killed = outcomes.iter().filter(|o| o.kills > 0).count();
-            violations += (gs_viol + uni_viol) as u64;
+            violations += (gs_viol + delta_viol + uni_viol) as u64;
             // Shrink and dump the first violating seed of this point;
             // one minimal reproducer per point keeps artifacts readable.
-            if let Some((i, out)) = outcomes
-                .iter()
-                .enumerate()
-                .find(|(_, o)| o.gs_violation.is_some() || o.uni_violation.is_some())
-            {
+            if let Some((i, out)) = outcomes.iter().enumerate().find(|(_, o)| o.violated()) {
                 let text = artifact(p, &sweep, n, m, i as u32, out);
                 let path = p.out_dir.join(format!("dst_violation_n{n}_m{m}.txt"));
                 if std::fs::create_dir_all(&p.out_dir).is_ok()
@@ -319,6 +390,7 @@ pub fn run(p: &DstParams) -> DstRun {
                 m.to_string(),
                 p.seeds.to_string(),
                 gs_viol.to_string(),
+                delta_viol.to_string(),
                 uni_viol.to_string(),
                 pct(delivered as u64, p.seeds as u64),
                 refused.to_string(),
@@ -337,6 +409,13 @@ pub fn run(p: &DstParams) -> DstRun {
         "refused counts source-side Failure verdicts (legal only when disconnected or \
          faults >= n — the soundness checker verifies each one); killed_runs had mid-run \
          fault injections, which excuse missing deliveries but nothing else"
+            .to_string(),
+    );
+    rep.note(
+        "delta_viol: each seed also replays one churn event (fault or recovery) through \
+         delta-GS under its own reorder/stretch adversary — levels must stay inside the \
+         [target, previous] corridor, land exactly on the recomputed fixed point, and \
+         match the centralized incremental worklist byte-for-byte"
             .to_string(),
     );
     for path in &artifacts {
@@ -391,6 +470,8 @@ mod tests {
         assert_eq!(a.uni_seed, b.uni_seed);
         assert_eq!((a.s, a.d), (b.s, b.d));
         assert_eq!(a.kills, b.kills);
+        assert_eq!(a.delta_event, b.delta_event);
+        assert_eq!(a.delta_seed, b.delta_seed);
         assert_eq!(
             a.cfg.node_faults().iter().collect::<Vec<_>>(),
             b.cfg.node_faults().iter().collect::<Vec<_>>()

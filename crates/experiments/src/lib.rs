@@ -29,9 +29,11 @@
 //! | E21 | [`congestion_exp`] | queueing latency under burst load |
 //! | E22 | [`loss_exp`] | loss robustness — reliable GS/unicast over noisy links |
 //! | E23 | [`dst`] | deterministic simulation testing — seeded adversaries + invariants |
+//! | E24 | [`churn_exp`] | incremental churn + batched routing throughput |
 #![warn(missing_docs)]
 
 pub mod broadcast_exp;
+pub mod churn_exp;
 pub mod congestion_exp;
 pub mod distribution_exp;
 pub mod dst;

@@ -90,6 +90,7 @@ pub fn run(p: &MaintenanceParams) -> Report {
             "strategy",
             "gs_runs",
             "gs_messages",
+            "cells_touched",
             "stale_unicasts",
             "delivery",
         ],
@@ -98,6 +99,7 @@ pub fn run(p: &MaintenanceParams) -> Report {
         ("demand-driven", Strategy::DemandDriven),
         ("periodic", Strategy::Periodic { period: p.period }),
         ("state-change", Strategy::StateChangeDriven),
+        ("incremental", Strategy::Incremental),
     ];
     for (name, strat) in strategies {
         let sweep = Sweep::new(p.trials, p.seed);
@@ -113,6 +115,7 @@ pub fn run(p: &MaintenanceParams) -> Report {
             name.into(),
             (sum(|r| r.gs_runs) / p.trials as u64).to_string(),
             (sum(|r| r.gs_messages) / p.trials as u64).to_string(),
+            (sum(|r| r.cells_touched) / p.trials as u64).to_string(),
             pct(sum(|r| r.stale_unicasts), unicasts),
             pct(sum(|r| r.delivered), unicasts),
         ]);
@@ -123,6 +126,12 @@ pub fn run(p: &MaintenanceParams) -> Report {
          'exchanges are wasted when status is stable' critique in numbers",
         p.period
     ));
+    rep.note(
+        "incremental is always-fresh like state-change but each event runs delta-GS: \
+         only the affected region re-broadcasts (gs_messages) and only touched cells \
+         re-evaluate (cells_touched)"
+            .to_string(),
+    );
     rep
 }
 
@@ -157,11 +166,27 @@ mod tests {
     fn lazy_strategies_never_stale_and_always_deliver() {
         let rep = run(&small());
         let row = |name: &str| rep.rows.iter().find(|r| r[0] == name).unwrap().clone();
-        assert_eq!(row("demand-driven")[3], "0.0%");
-        assert_eq!(row("state-change")[3], "0.0%");
+        assert_eq!(row("demand-driven")[4], "0.0%");
+        assert_eq!(row("state-change")[4], "0.0%");
+        assert_eq!(row("incremental")[4], "0.0%");
         // In the < n faults regime with fresh maps, delivery is total.
-        assert_eq!(row("demand-driven")[4], "100.0%");
-        assert_eq!(row("state-change")[4], "100.0%");
+        assert_eq!(row("demand-driven")[5], "100.0%");
+        assert_eq!(row("state-change")[5], "100.0%");
+        assert_eq!(row("incremental")[5], "100.0%");
+    }
+
+    #[test]
+    fn incremental_bills_fewer_messages_than_state_change() {
+        let rep = run(&small());
+        let col = |name: &str, i: usize| -> u64 {
+            rep.rows.iter().find(|r| r[0] == name).unwrap()[i]
+                .parse()
+                .unwrap()
+        };
+        assert_eq!(col("incremental", 1), col("state-change", 1));
+        assert!(col("incremental", 2) < col("state-change", 2));
+        assert!(col("incremental", 3) > 0, "cells_touched is reported");
+        assert_eq!(col("state-change", 3), 0);
     }
 
     #[test]

@@ -71,10 +71,10 @@ pub fn run_example() -> Report {
     rep.row(vec![
         "Safety level = n (Def. 1)".into(),
         fmt(&sl.safe_nodes()),
-        sl.safe_nodes().len().to_string(),
+        sl.safe_count().to_string(),
     ]);
     assert!(lh.fully_unsafe(), "paper: LH set is empty");
-    assert_eq!(sl.safe_nodes().len(), 9, "paper: SL set has 9 members");
+    assert_eq!(sl.safe_count(), 9, "paper: SL set has 9 members");
     rep.note("paper lists the WF set without node 1100; Definition 3 as stated keeps it (see EXPERIMENTS.md E3)".to_string());
     rep
 }
@@ -115,7 +115,7 @@ pub fn run_sweep(p: &SafeSetParams) -> Report {
             (
                 lh.safe_nodes().len() as f64,
                 wf.safe_nodes().len() as f64,
-                sl.safe_nodes().len() as f64,
+                sl.safe_count() as f64,
                 violations,
             )
         });

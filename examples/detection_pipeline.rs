@@ -45,7 +45,7 @@ fn main() {
         "stage 2 · GS: {} active rounds, {} messages; safe nodes: {}",
         gs.map.rounds(),
         gs.stats.messages,
-        gs.map.safe_nodes().len()
+        gs.map.safe_count()
     );
 
     // Stage 3 — traffic: distributed unicasts and one broadcast.

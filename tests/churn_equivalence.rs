@@ -1,0 +1,84 @@
+//! Property-based exactness tests for the incremental safety-level
+//! engine: after *any* random fault/recover churn sequence, the
+//! incrementally-maintained map must be byte-identical to a
+//! from-scratch [`SafetyMap::compute`] at every step — and the
+//! distributed delta-GS actor run must land on the same map.
+
+use hypersafe::safety::{run_delta_gs, ChurnEvent, SafetyMap};
+use hypersafe::topology::{FaultConfig, Hypercube, NodeId};
+use proptest::prelude::*;
+
+/// Decodes one raw word into the next churn event for the current
+/// fault state: even words (with any live fault) recover a faulty
+/// node, odd words fault a healthy one. Always yields a genuine
+/// transition, which is what `apply_fault`/`apply_recover` require.
+fn decode_event(cfg: &FaultConfig, word: u64) -> ChurnEvent {
+    let cube = cfg.cube();
+    let live: Vec<NodeId> = cfg.node_faults().iter().collect();
+    if !live.is_empty() && word.is_multiple_of(2) {
+        ChurnEvent::Recover(live[(word / 2 % live.len() as u64) as usize])
+    } else {
+        let healthy: Vec<NodeId> = cube.nodes().filter(|&a| !cfg.node_faulty(a)).collect();
+        ChurnEvent::Fault(healthy[(word / 2 % healthy.len() as u64) as usize])
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The tentpole exactness contract: every step of every churn
+    /// sequence, incremental == from-scratch, byte for byte.
+    #[test]
+    fn incremental_matches_scratch_at_every_step(
+        n in 4u8..=8,
+        words in proptest::collection::vec(any::<u64>(), 1..=16),
+    ) {
+        let cube = Hypercube::new(n);
+        let mut cfg = FaultConfig::fault_free(cube);
+        let mut map = SafetyMap::compute(&cfg);
+        for &word in words.iter().take(2 * n as usize) {
+            match decode_event(&cfg, word) {
+                ChurnEvent::Fault(a) => {
+                    cfg.node_faults_mut().insert(a);
+                    map.apply_fault(&cfg, a);
+                }
+                ChurnEvent::Recover(a) => {
+                    cfg.node_faults_mut().remove(a);
+                    map.apply_recover(&cfg, a);
+                }
+            }
+            let scratch = SafetyMap::compute(&cfg);
+            prop_assert_eq!(map.as_slice(), scratch.as_slice());
+            prop_assert_eq!(map.check_fixed_point(&cfg), None);
+        }
+    }
+
+    /// The distributed form of the same contract: the delta-GS actor
+    /// run converges to the centralized incremental map at every step.
+    #[test]
+    fn delta_gs_matches_centralized_at_every_step(
+        n in 4u8..=6,
+        words in proptest::collection::vec(any::<u64>(), 1..=8),
+    ) {
+        let cube = Hypercube::new(n);
+        let mut cfg = FaultConfig::fault_free(cube);
+        let mut map = SafetyMap::compute(&cfg);
+        for &word in &words {
+            let ev = decode_event(&cfg, word);
+            let prev = map.clone();
+            match ev {
+                ChurnEvent::Fault(a) => {
+                    cfg.node_faults_mut().insert(a);
+                    map.apply_fault(&cfg, a);
+                }
+                ChurnEvent::Recover(a) => {
+                    cfg.node_faults_mut().remove(a);
+                    map.apply_recover(&cfg, a);
+                }
+            }
+            let run = run_delta_gs(&cfg, &prev, ev, 1);
+            prop_assert_eq!(run.map.as_slice(), map.as_slice());
+            prop_assert!(run.monotone, "delta-GS levels moved against the event's direction");
+        }
+    }
+}

@@ -19,8 +19,8 @@ use hypersafe::experiments::congestion_exp::simulate_burst;
 use hypersafe::safety::gh_unicast_distributed::run_gh_unicast;
 use hypersafe::safety::unicast_distributed::{run_unicast, run_unicast_lossy, LossyOutcome};
 use hypersafe::safety::{
-    detect, run_broadcast, run_gh_gs, run_gs, run_gs_async, run_gs_reliable, DetectorParams,
-    GhSafetyMap, SafetyMap, TieBreak,
+    detect, run_broadcast, run_delta_gs, run_gh_gs, run_gs, run_gs_async, run_gs_reliable,
+    ChurnEvent, DetectorParams, GhSafetyMap, SafetyMap, TieBreak,
 };
 use hypersafe::simkit::{ChannelModel, EventStats, ReliableConfig, SyncStats};
 use hypersafe::topology::{FaultConfig, GeneralizedHypercube, GhNode, Hypercube, NodeId};
@@ -293,6 +293,62 @@ fn record_gh_scenario(
     }
 }
 
+/// Records the delta-GS actor protocol on one instance: one fresh
+/// fault and (when the instance has faults) one recovery, each applied
+/// incrementally from the instance's fixed point. The centralized
+/// worklist engine must land on the same map, and its cost accounting
+/// is part of the recording.
+fn record_delta_scenario(out: &mut Vec<String>, tag: &str, cfg: &FaultConfig) {
+    let map = SafetyMap::compute(cfg);
+    let mut state = 0xDE17A ^ ((cfg.cube().dim() as u64) << 8) ^ cfg.node_faults().len() as u64;
+
+    let healthy: Vec<NodeId> = cfg.healthy_nodes().collect();
+    let v = healthy[(splitmix64(&mut state) % healthy.len() as u64) as usize];
+    let mut cfg2 = cfg.clone();
+    cfg2.node_faults_mut().insert(v);
+    let run = run_delta_gs(&cfg2, &map, ChurnEvent::Fault(v), 2);
+    let mut central = map.clone();
+    let stats = central.apply_fault(&cfg2, v);
+    assert_eq!(
+        central.as_slice(),
+        run.map.as_slice(),
+        "{tag}: delta-GS must match the centralized incremental update"
+    );
+    out.push(format!(
+        "{tag} delta_fault v={} levels={} touched={} changed={} waves={} saved={} {}",
+        v.raw(),
+        fmt_levels(run.map.as_slice()),
+        stats.cells_touched,
+        stats.cells_changed,
+        stats.waves,
+        stats.rounds_saved,
+        fmt_event_stats(&run.stats)
+    ));
+
+    if let Some(r) = cfg.node_faults().iter().next() {
+        let mut cfg2 = cfg.clone();
+        cfg2.node_faults_mut().remove(r);
+        let run = run_delta_gs(&cfg2, &map, ChurnEvent::Recover(r), 2);
+        let mut central = map.clone();
+        let stats = central.apply_recover(&cfg2, r);
+        assert_eq!(
+            central.as_slice(),
+            run.map.as_slice(),
+            "{tag}: delta-GS recovery must match the centralized incremental update"
+        );
+        out.push(format!(
+            "{tag} delta_recover v={} levels={} touched={} changed={} waves={} saved={} {}",
+            r.raw(),
+            fmt_levels(run.map.as_slice()),
+            stats.cells_touched,
+            stats.cells_changed,
+            stats.waves,
+            stats.rounds_saved,
+            fmt_event_stats(&run.stats)
+        ));
+    }
+}
+
 fn collect_goldens() -> Vec<String> {
     let mut out = Vec::new();
     for n in [4u8, 6, 8] {
@@ -314,6 +370,15 @@ fn collect_goldens() -> Vec<String> {
     let gh2 = GeneralizedHypercube::from_product(&[3, 4]);
     let f2 = gh2.fault_set_from_strs(&["00", "12", "23"]);
     record_gh_scenario(&mut out, "gh34", &gh2, &f2);
+
+    // Delta-GS incremental updates (appended after the original
+    // matrix so the pre-existing golden lines keep their positions).
+    for n in [4u8, 6, 8] {
+        for m in [0usize, n as usize, 2 * n as usize] {
+            let cfg = node_fault_cfg(n, m);
+            record_delta_scenario(&mut out, &format!("delta/n{n}/m{m}"), &cfg);
+        }
+    }
     out
 }
 

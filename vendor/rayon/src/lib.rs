@@ -218,6 +218,21 @@ impl<'a, T: 'a + Sync> IntoParallelRefIterator<'a> for Vec<T> {
     }
 }
 
+/// Shared chunked views of a slice, mirroring `rayon`'s `par_chunks`
+/// — each chunk is handed to one worker; outputs come back in chunk
+/// order, so `flatten`-style collection preserves input order.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over non-overlapping chunks of `chunk_size`
+    /// elements (the last chunk may be shorter).
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<std::slice::Chunks<'_, T>>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<std::slice::Chunks<'_, T>> {
+        ParIter(self.chunks(chunk_size))
+    }
+}
+
 /// Mutable chunked views of a slice, mirroring `rayon`'s
 /// `par_chunks_mut` — each chunk is handed to one worker.
 pub trait ParallelSliceMut<T: Send> {
@@ -253,7 +268,9 @@ where
 
 /// The customary glob-import module.
 pub mod prelude {
-    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter, ParallelSliceMut};
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, ParIter, ParallelSlice, ParallelSliceMut,
+    };
 }
 
 #[cfg(test)]
@@ -319,6 +336,16 @@ mod tests {
         assert_eq!(counts.len(), 15);
         assert_eq!(counts.iter().map(|&(_, l)| l).sum::<usize>(), 100);
         assert!(counts.iter().enumerate().all(|(i, &(ci, _))| i == ci));
+    }
+
+    #[test]
+    fn par_chunks_preserves_order_and_coverage() {
+        let xs: Vec<u64> = (0..100).collect();
+        let sums: Vec<u64> = xs.par_chunks(9).map(|c| c.iter().sum()).collect();
+        let expect: Vec<u64> = xs.chunks(9).map(|c| c.iter().sum()).collect();
+        assert_eq!(sums, expect);
+        assert_eq!(sums.len(), 12);
+        assert_eq!(sums.iter().sum::<u64>(), xs.iter().sum::<u64>());
     }
 
     #[test]
