@@ -17,8 +17,8 @@
 
 use crate::safety::{level_from_neighbors, level_from_unsorted, Level, SafetyMap};
 use hypersafe_simkit::{
-    Actor, ChannelModel, Ctx, EventEngine, EventStats, HypercubeNet, RelCtx, Reliable,
-    ReliableActor, ReliableConfig, Scheduler, SyncEngine, SyncNode, SyncStats,
+    Actor, ChannelModel, Ctx, EventEngine, EventStats, FifoScheduler, HypercubeNet, Metrics,
+    RelCtx, Reliable, ReliableActor, ReliableConfig, Scheduler, SyncEngine, SyncNode, SyncStats,
 };
 use hypersafe_topology::{FaultConfig, NodeId};
 
@@ -352,10 +352,42 @@ pub fn run_gs_reliable(
     latency: u64,
     max_events: u64,
 ) -> GsLossyRun {
+    gs_reliable_impl(cfg, channel, rcfg, latency, max_events, false).0
+}
+
+/// [`run_gs_reliable`] with a [`Metrics`] registry installed from
+/// construction (so the initial announcements are attributed too):
+/// returns per-node / per-dimension counters and the transit-latency
+/// histogram alongside the run. The registry's `rounds` histogram gets
+/// one observation — the quiescence tick (`stats.end_time`).
+pub fn run_gs_reliable_observed(
+    cfg: &FaultConfig,
+    channel: ChannelModel,
+    rcfg: ReliableConfig,
+    latency: u64,
+    max_events: u64,
+) -> (GsLossyRun, Metrics) {
+    let (run, m) = gs_reliable_impl(cfg, channel, rcfg, latency, max_events, true);
+    (run, m.expect("metrics requested"))
+}
+
+fn gs_reliable_impl(
+    cfg: &FaultConfig,
+    channel: ChannelModel,
+    rcfg: ReliableConfig,
+    latency: u64,
+    max_events: u64,
+    observe: bool,
+) -> (GsLossyRun, Option<Metrics>) {
     let n = cfg.cube().dim();
     let latency = latency.max(1);
     let net = HypercubeNet::new(cfg);
-    let mut eng = EventEngine::with_channel(&net, channel, |a| {
+    let build = if observe {
+        EventEngine::with_parts_observed
+    } else {
+        EventEngine::with_parts
+    };
+    let mut eng = build(&net, Some(channel), Box::new(FifoScheduler), |a| {
         Reliable::new(AsyncGsNode::new(cfg, a, latency), a, n, latency, rcfg)
     });
     let processed = eng.run(max_events);
@@ -371,12 +403,18 @@ pub fn run_gs_reliable(
         .filter_map(|a| eng.actor(a))
         .map(|r| r.endpoint.gave_up_dims().len() as u64)
         .sum();
-    GsLossyRun {
+    let stats = eng.stats().clone();
+    let metrics = eng.take_metrics().map(|mut m| {
+        m.record_rounds(stats.end_time);
+        m
+    });
+    let run = GsLossyRun {
         map: SafetyMap::from_levels(cfg.cube(), levels),
-        stats: eng.stats().clone(),
+        stats,
         quiescent,
         links_abandoned,
-    }
+    };
+    (run, metrics)
 }
 
 #[cfg(test)]

@@ -78,8 +78,8 @@ pub use gh_safety::{run_gh_gs, GhGsNode, GhSafetyMap};
 pub use gh_unicast::{gh_route, gh_source_decision, GhDecision, GhRouteResult};
 pub use gh_unicast_distributed::{run_gh_unicast, GhDistributedRun, GhMsg, GhUnicastNode};
 pub use gs::{
-    run_gs, run_gs_async, run_gs_async_sched, run_gs_bounded, run_gs_reliable, GsAsyncRun,
-    GsLossyRun, GsRun,
+    run_gs, run_gs_async, run_gs_async_sched, run_gs_bounded, run_gs_reliable,
+    run_gs_reliable_observed, GsAsyncRun, GsLossyRun, GsRun,
 };
 pub use invariants::{
     check_gs_convergence, check_lossy_outcome, check_theorem4_soundness, check_unicast_optimality,
@@ -106,6 +106,6 @@ pub use unicast::{
     source_decision, source_decision_tb, Condition, Decision, RouteResult, TieBreak,
 };
 pub use unicast_distributed::{
-    run_unicast, run_unicast_lossy, run_unicast_lossy_sched, run_unicast_sched, DistributedRun,
-    LossyOutcome, LossyRun, UnicastMsg, UnicastNode,
+    run_unicast, run_unicast_lossy, run_unicast_lossy_observed, run_unicast_lossy_sched,
+    run_unicast_sched, DistributedRun, LossyOutcome, LossyRun, UnicastMsg, UnicastNode,
 };

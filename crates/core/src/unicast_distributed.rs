@@ -14,8 +14,8 @@ use crate::navigation::NavVector;
 use crate::safety::{Level, SafetyMap};
 use crate::unicast::{source_decision, Decision};
 use hypersafe_simkit::{
-    Actor, ChannelModel, Ctx, EventEngine, EventStats, FifoScheduler, HypercubeNet, RelCtx,
-    Reliable, ReliableActor, ReliableConfig, Scheduler, Time,
+    Actor, ChannelModel, Ctx, EventEngine, EventStats, FifoScheduler, HypercubeNet, Metrics,
+    RelCtx, Reliable, ReliableActor, ReliableConfig, Scheduler, Time,
 };
 use hypersafe_topology::{FaultConfig, NodeId};
 
@@ -393,6 +393,46 @@ pub fn run_unicast_lossy(
     )
 }
 
+/// [`run_unicast_lossy`] with a [`Metrics`] registry installed from
+/// engine construction: per-node / per-dimension counters and the
+/// transit-latency histogram come back alongside the run. On delivery
+/// the registry's `hops` histogram records the trail length and its
+/// `rounds` histogram the end-to-end delay in ticks.
+#[allow(clippy::too_many_arguments)]
+pub fn run_unicast_lossy_observed(
+    cfg: &FaultConfig,
+    map: &SafetyMap,
+    s: NodeId,
+    d: NodeId,
+    latency: Time,
+    channel: ChannelModel,
+    rcfg: ReliableConfig,
+    max_events: u64,
+) -> (LossyRun, Metrics) {
+    let net = HypercubeNet::new(cfg);
+    let mut eng = lossy_engine_observed(
+        &net,
+        cfg,
+        map,
+        s,
+        d,
+        latency,
+        Some(channel),
+        Box::new(FifoScheduler),
+        rcfg,
+    );
+    let processed = eng.run(max_events);
+    let run = collect_lossy(cfg, map, s, d, &eng, processed, max_events);
+    let mut m = eng.take_metrics().expect("metrics requested");
+    if let Some(trail) = &run.trail {
+        m.record_hops(trail.len().saturating_sub(1) as u64);
+    }
+    if let LossyOutcome::Delivered { delay, .. } = run.outcome {
+        m.record_rounds(delay);
+    }
+    (run, m)
+}
+
 /// [`run_unicast_lossy`] under an arbitrary [`Scheduler`] and an
 /// optional channel — the DST entry point for the ARQ-protected
 /// protocol, which must survive even loss/duplication-bursting
@@ -430,9 +470,47 @@ pub(crate) fn lossy_engine<'e>(
     sched: Box<dyn Scheduler>,
     rcfg: ReliableConfig,
 ) -> EventEngine<'e, HypercubeNet<'e>, Reliable<LossyUnicastNode>> {
+    build_lossy_engine(net, cfg, map, s, d, latency, channel, sched, rcfg, false)
+}
+
+/// [`lossy_engine`] with a metrics registry installed before
+/// `on_start`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn lossy_engine_observed<'e>(
+    net: &'e HypercubeNet<'e>,
+    cfg: &FaultConfig,
+    map: &SafetyMap,
+    s: NodeId,
+    d: NodeId,
+    latency: Time,
+    channel: Option<ChannelModel>,
+    sched: Box<dyn Scheduler>,
+    rcfg: ReliableConfig,
+) -> EventEngine<'e, HypercubeNet<'e>, Reliable<LossyUnicastNode>> {
+    build_lossy_engine(net, cfg, map, s, d, latency, channel, sched, rcfg, true)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_lossy_engine<'e>(
+    net: &'e HypercubeNet<'e>,
+    cfg: &FaultConfig,
+    map: &SafetyMap,
+    s: NodeId,
+    d: NodeId,
+    latency: Time,
+    channel: Option<ChannelModel>,
+    sched: Box<dyn Scheduler>,
+    rcfg: ReliableConfig,
+    observe: bool,
+) -> EventEngine<'e, HypercubeNet<'e>, Reliable<LossyUnicastNode>> {
     let latency = latency.max(1);
     let n = cfg.cube().dim();
-    let mut eng = EventEngine::with_parts(net, channel, sched, |a| {
+    let build = if observe {
+        EventEngine::with_parts_observed
+    } else {
+        EventEngine::with_parts
+    };
+    let mut eng = build(net, channel, sched, |a| {
         let mut inner = LossyUnicastNode::new(map, cfg, a);
         if a == s {
             inner.start = Some(d);

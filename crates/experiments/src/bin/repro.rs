@@ -7,7 +7,13 @@
 //!   fig1 fig2 fig3 fig4 fig5 safesets property2 thm4
 //!   compare rounds maintenance broadcast dynamic distribution
 //!   linkfaults tightness traffic multicast patterns vectors
-//!   congestion loss dst churn all
+//!   congestion loss obs dst churn all
+//!
+//! `obs` (E25) runs the reliable GS + unicast stack with the simkit
+//! metrics registry installed and writes the merged snapshot as
+//! `<dir>/obs_metrics.json` + `<dir>/obs_metrics.csv` (`--csv` names
+//! the directory, default `results`); CI validates the JSON against
+//! `tests/goldens/obs_schema.json`.
 //!
 //! `dst` (deterministic simulation testing) is not part of `all`: it
 //! sweeps seeded adversarial schedules against the invariant suite,
@@ -19,6 +25,12 @@
 //! the batched router against its sequential path, writes the
 //! thread-count-independent `results/churn.csv`, and exits nonzero on
 //! any mismatch.
+//!
+//! `validate-obs` is the export gate: it checks every metrics snapshot
+//! in the `--csv` directory (`obs_metrics.json`, `loss_obs.json`,
+//! `dst_obs.json`, `churn_obs.json`) against the compiled-in copy of
+//! `tests/goldens/obs_schema.json` and exits nonzero on any shape
+//! drift — or if no snapshot is found at all.
 //!
 //! options:
 //!   --n <dim>        cube dimension (where applicable)
@@ -34,8 +46,9 @@
 use hypersafe_experiments::table::Report;
 use hypersafe_experiments::{
     broadcast_exp, churn_exp, congestion_exp, distribution_exp, dst, dynamic_exp, fig1, fig2, fig3,
-    fig4, fig5, linkfaults_exp, loss_exp, maintenance_exp, multicast_exp, patterns_exp, property2,
-    rounds_compare, routing_compare, safesets, thm4, tightness_exp, traffic_exp, vectors_exp,
+    fig4, fig5, linkfaults_exp, loss_exp, maintenance_exp, multicast_exp, obs_exp, patterns_exp,
+    property2, rounds_compare, routing_compare, safesets, thm4, tightness_exp, traffic_exp,
+    vectors_exp,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -55,7 +68,7 @@ struct Opts {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <fig1|fig2|fig3|fig4|fig5|safesets|property2|thm4|compare|rounds|maintenance|broadcast|dynamic|distribution|linkfaults|tightness|traffic|multicast|patterns|vectors|congestion|loss|dst|churn|all> \
+        "usage: repro <fig1|fig2|fig3|fig4|fig5|safesets|property2|thm4|compare|rounds|maintenance|broadcast|dynamic|distribution|linkfaults|tightness|traffic|multicast|patterns|vectors|congestion|loss|obs|dst|churn|validate-obs|all> \
          [--n N] [--trials K] [--seeds K] [--max-faults M] [--seed S] [--csv DIR] [--md] [--quick]"
     );
     std::process::exit(2);
@@ -410,7 +423,37 @@ fn run_one(name: &str, o: &Opts) -> Vec<Report> {
                 // timer; shrink the cube too, not just the trials.
                 p.n = p.n.min(5);
             }
+            // Metrics snapshot lands next to loss.csv.
+            p.out_dir = o.csv.clone();
             vec![loss_exp::run(&p)]
+        }
+        "obs" => {
+            let mut p = obs_exp::ObsParams::default();
+            if let Some(n) = o.n {
+                p.n = n;
+            }
+            if let Some(t) = o.trials {
+                p.trials = t;
+            } else {
+                p.trials = (p.trials / quick_div).max(3);
+            }
+            if let Some(m) = o.max_faults {
+                p.faults = m;
+            }
+            if let Some(s) = o.seed {
+                p.seed = s;
+            }
+            if o.quick {
+                // Like `loss`: the reliable layer simulates every
+                // retransmission timer, so shrink the cube too.
+                p.n = p.n.min(5);
+                p.faults = p.faults.min(3);
+            }
+            // The snapshot lands next to the report CSVs.
+            if let Some(dir) = &o.csv {
+                p.out_dir = dir.clone();
+            }
+            vec![obs_exp::run(&p).report]
         }
         "maintenance" => {
             let mut p = maintenance_exp::MaintenanceParams::default();
@@ -507,8 +550,58 @@ fn run_churn(o: &Opts) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// The schema the exported snapshots are pinned to, compiled in from
+/// the checked-in golden so the binary always gates against the exact
+/// bytes under review.
+const OBS_SCHEMA: &str = include_str!("../../../../tests/goldens/obs_schema.json");
+
+/// Validates every metrics snapshot present in the `--csv` directory
+/// (default `results`) against [`OBS_SCHEMA`]. Missing files are
+/// skipped — each experiment only writes its own snapshot — but
+/// finding none at all is a failure (the gate would be vacuous).
+fn run_validate_obs(o: &Opts) -> ExitCode {
+    let dir = o.csv.clone().unwrap_or_else(|| PathBuf::from("results"));
+    let candidates = [
+        "obs_metrics.json",
+        "loss_obs.json",
+        "dst_obs.json",
+        "churn_obs.json",
+    ];
+    let mut checked = 0u32;
+    let mut bad = 0u32;
+    for name in candidates {
+        let path = dir.join(name);
+        let Ok(doc) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        checked += 1;
+        match hypersafe_simkit::validate_json(&doc, OBS_SCHEMA) {
+            Ok(()) => println!("validate-obs: {} ok", path.display()),
+            Err(e) => {
+                eprintln!("validate-obs: {} FAILED: {e}", path.display());
+                bad += 1;
+            }
+        }
+    }
+    if checked == 0 {
+        eprintln!(
+            "validate-obs: no snapshot found in {} (expected one of {:?})",
+            dir.display(),
+            candidates
+        );
+        return ExitCode::FAILURE;
+    }
+    if bad > 0 {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let opts = parse_args();
+    if opts.experiment == "validate-obs" {
+        return run_validate_obs(&opts);
+    }
     if opts.experiment == "dst" {
         return run_dst(&opts);
     }
@@ -539,6 +632,7 @@ fn main() -> ExitCode {
             "vectors",
             "congestion",
             "loss",
+            "obs",
         ]
     } else {
         vec![opts.experiment.as_str()]

@@ -11,6 +11,7 @@
 
 use crate::table::{f2, Report};
 use hypersafe_core::{route_many, route_many_seq, BatchOutcome, Decision, DeltaStats, SafetyMap};
+use hypersafe_simkit::Metrics;
 use hypersafe_topology::{FaultConfig, Hypercube, NodeId};
 use hypersafe_workloads::{random_pair, Sweep};
 use rand::Rng;
@@ -59,6 +60,10 @@ struct TrialOutcome {
     checksum: u64,
     /// Incremental-vs-scratch or par-vs-seq divergences (CI gate).
     mismatches: u64,
+    /// Histograms only (no engine here): per-event update waves in
+    /// `rounds`, per-delivery batch-route hops in `hops`. Counts, so
+    /// the merged export stays thread-count independent like the CSV.
+    obs: Metrics,
 }
 
 fn fnv1a(h: u64, v: u64) -> u64 {
@@ -87,6 +92,7 @@ fn run_trial<R: Rng + ?Sized>(n: u8, events: u32, pairs: usize, rng: &mut R) -> 
         delivered: 0,
         checksum: 0xcbf2_9ce4_8422_2325,
         mismatches: 0,
+        obs: Metrics::new(0, 0),
     };
     for _ in 0..events {
         // Stay below n live faults (the paper's guarantee regime) so
@@ -110,6 +116,7 @@ fn run_trial<R: Rng + ?Sized>(n: u8, events: u32, pairs: usize, rng: &mut R) -> 
         };
         out.stats.cells_touched += stats.cells_touched;
         out.stats.cells_changed += stats.cells_changed;
+        out.obs.record_rounds(stats.waves as u64);
         out.waves_max = out.waves_max.max(stats.waves);
         out.rounds_saved += stats.rounds_saved as u64;
         // Exactness gate — a real assert (not debug_assert) plus a
@@ -128,6 +135,9 @@ fn run_trial<R: Rng + ?Sized>(n: u8, events: u32, pairs: usize, rng: &mut R) -> 
     }
     for o in &par {
         out.delivered += o.delivered as u64;
+        if o.delivered {
+            out.obs.record_hops(o.hops as u64);
+        }
         out.checksum = fnv1a(out.checksum, outcome_word(o));
     }
     out
@@ -165,6 +175,7 @@ pub fn run(p: &ChurnParams) -> ChurnRun {
         ],
     );
     let mut mismatches = 0u64;
+    let mut obs = Metrics::new(0, 0);
     for &n in &p.dims {
         for &events in &p.rates {
             let sweep = Sweep::new(
@@ -179,6 +190,9 @@ pub fn run(p: &ChurnParams) -> ChurnRun {
             let bad: u64 = outcomes.iter().map(|o| o.mismatches).sum();
             let checksum = outcomes.iter().fold(0u64, |h, o| fnv1a(h, o.checksum));
             mismatches += bad;
+            for o in &outcomes {
+                obs.merge(&o.obs);
+            }
             rep.row(vec![
                 n.to_string(),
                 events.to_string(),
@@ -217,6 +231,25 @@ pub fn run(p: &ChurnParams) -> ChurnRun {
         }
         Err(e) => {
             rep.note(format!("csv write failed: {e}"));
+        }
+    }
+    let snap = obs.snapshot();
+    let json_path = p.out_dir.join("churn_obs.json");
+    let csv_path = p.out_dir.join("churn_obs.csv");
+    match std::fs::create_dir_all(&p.out_dir)
+        .and_then(|()| std::fs::write(&json_path, snap.to_json()))
+        .and_then(|()| std::fs::write(&csv_path, snap.to_csv()))
+    {
+        Ok(()) => {
+            rep.note(format!(
+                "metrics snapshot (update-wave + batch-route-hop histograms, \
+                 thread-count independent like the csv): {} and {}",
+                json_path.display(),
+                csv_path.display()
+            ));
+        }
+        Err(e) => {
+            rep.note(format!("metrics snapshot write failed: {e}"));
         }
     }
     ChurnRun {

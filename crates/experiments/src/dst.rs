@@ -14,8 +14,13 @@ use hypersafe_core::invariants::{
     check_gs_convergence, check_lossy_outcome, run_delta_gs_checked, run_gs_async_checked,
     run_gs_async_checked_traced, run_unicast_lossy_checked, run_unicast_lossy_checked_traced,
 };
-use hypersafe_core::{ChurnEvent, Decision, LossyOutcome, SafetyMap};
-use hypersafe_simkit::{shrink_injections, AdversarialScheduler, ReliableConfig, Scheduler, Time};
+use hypersafe_core::{
+    run_gs_reliable_observed, run_unicast_lossy_observed, ChurnEvent, Decision, LossyOutcome,
+    SafetyMap,
+};
+use hypersafe_simkit::{
+    shrink_injections, AdversarialScheduler, Metrics, ReliableConfig, Scheduler, Time,
+};
 use hypersafe_topology::{FaultConfig, Hypercube, NodeId};
 use hypersafe_workloads::{random_pair, uniform_faults, Sweep, STANDARD_PROFILES};
 use rand::Rng;
@@ -357,10 +362,38 @@ pub fn run(p: &DstParams) -> DstRun {
     );
     let mut violations = 0u64;
     let mut artifacts: Vec<PathBuf> = Vec::new();
+    let mut obs = Metrics::new(0, 0);
     for &n in &p.dims {
         for m in densities(n) {
             let sweep = Sweep::new(p.seeds, p.seed ^ ((n as u64) << 32) ^ ((m as u64) << 16));
             let outcomes = sweep.run(|i, _| run_seed(&sweep, n, m, i, p.event_budget));
+            // One representative observed replay per point (seed 0's
+            // scenario, FIFO order): the checked adversarial runs stay
+            // untouched, and the aggregated registry still samples
+            // every dimension × density of the sweep for dst_obs.json.
+            let sc = Scenario::build(&sweep, n, m, 0);
+            let prof = &STANDARD_PROFILES[sc.profile];
+            let (_, gsm) = run_gs_reliable_observed(
+                &sc.cfg,
+                prof.channel(sc.gs_seed),
+                ReliableConfig::default(),
+                1,
+                p.event_budget,
+            );
+            obs.merge(&gsm);
+            if sc.s != sc.d {
+                let (_, um) = run_unicast_lossy_observed(
+                    &sc.cfg,
+                    &sc.map,
+                    sc.s,
+                    sc.d,
+                    1,
+                    prof.channel(sc.uni_seed),
+                    ReliableConfig::default(),
+                    p.event_budget,
+                );
+                obs.merge(&um);
+            }
             let gs_viol = outcomes.iter().filter(|o| o.gs_violation.is_some()).count();
             let delta_viol = outcomes
                 .iter()
@@ -427,6 +460,24 @@ pub fn run(p: &DstParams) -> DstRun {
         }
         Err(e) => {
             rep.note(format!("csv write failed: {e}"));
+        }
+    }
+    let snap = obs.snapshot();
+    let json_path = p.out_dir.join("dst_obs.json");
+    let csv_path = p.out_dir.join("dst_obs.csv");
+    match std::fs::create_dir_all(&p.out_dir)
+        .and_then(|()| std::fs::write(&json_path, snap.to_json()))
+        .and_then(|()| std::fs::write(&csv_path, snap.to_csv()))
+    {
+        Ok(()) => {
+            rep.note(format!(
+                "metrics snapshot (one observed FIFO replay per point): {} and {}",
+                json_path.display(),
+                csv_path.display()
+            ));
+        }
+        Err(e) => {
+            rep.note(format!("metrics snapshot write failed: {e}"));
         }
     }
     DstRun {

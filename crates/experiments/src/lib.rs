@@ -30,6 +30,7 @@
 //! | E22 | [`loss_exp`] | loss robustness — reliable GS/unicast over noisy links |
 //! | E23 | [`dst`] | deterministic simulation testing — seeded adversaries + invariants |
 //! | E24 | [`churn_exp`] | incremental churn + batched routing throughput |
+//! | E25 | [`obs_exp`] | observability snapshot — metrics registry + flight recorder |
 #![warn(missing_docs)]
 
 pub mod broadcast_exp;
@@ -47,6 +48,7 @@ pub mod linkfaults_exp;
 pub mod loss_exp;
 pub mod maintenance_exp;
 pub mod multicast_exp;
+pub mod obs_exp;
 pub mod patterns_exp;
 pub mod property2;
 pub mod render;

@@ -7,16 +7,20 @@
 //! feasible unicasts still deliver.
 
 use crate::table::{f2, pct, Report};
-use hypersafe_core::{route, run_gs_reliable, run_unicast_lossy, LossyOutcome, SafetyMap};
-use hypersafe_simkit::ReliableConfig;
+use hypersafe_core::{
+    route, run_gs_reliable, run_gs_reliable_observed, run_unicast_lossy_observed, LossyOutcome,
+    SafetyMap,
+};
+use hypersafe_simkit::{Metrics, ReliableConfig};
 use hypersafe_topology::{FaultConfig, Hypercube};
 use hypersafe_workloads::{
     mean, random_pair, uniform_faults, LossProfile, Sweep, STANDARD_PROFILES,
 };
 use rand::Rng;
+use std::path::PathBuf;
 
 /// Parameters for the loss sweep.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct LossParams {
     /// Cube dimension.
     pub n: u8,
@@ -32,6 +36,9 @@ pub struct LossParams {
     pub event_budget: u64,
     /// Master seed.
     pub seed: u64,
+    /// When set, the merged metrics snapshot of every lossy run lands
+    /// here as `loss_obs.json` / `loss_obs.csv` (next to `loss.csv`).
+    pub out_dir: Option<PathBuf>,
 }
 
 impl Default for LossParams {
@@ -44,6 +51,7 @@ impl Default for LossParams {
             pairs_per_instance: 4,
             event_budget: 2_000_000,
             seed: 0x1055,
+            out_dir: None,
         }
     }
 }
@@ -57,6 +65,7 @@ struct Trial {
     delivered: u32,
     retransmits: u64,
     duplicates_surfaced: u64,
+    obs: Metrics,
 }
 
 fn run_point(p: &LossParams, prof: &LossProfile, m: usize, point: u64) -> Vec<Trial> {
@@ -68,8 +77,17 @@ fn run_point(p: &LossParams, prof: &LossProfile, m: usize, point: u64) -> Vec<Tr
         let central = SafetyMap::compute(&cfg);
         let chseed: u64 = rng.gen();
 
-        let run = run_gs_reliable(&cfg, prof.channel(chseed), rcfg, 1, p.event_budget);
-        let gs_sent = (run.stats.delivered + run.stats.lost + run.stats.dropped) as f64;
+        // The observed runner: same execution (metrics hooks are
+        // passive), plus the per-node/per-dimension registry that the
+        // `loss_obs.json` snapshot aggregates.
+        let (run, mut obs) =
+            run_gs_reliable_observed(&cfg, prof.channel(chseed), rcfg, 1, p.event_budget);
+        // The engine's corrected send counter: every injection attempt,
+        // counted once, regardless of its fate. (An earlier accounting
+        // reconstructed this from delivered + lost + dropped, which
+        // double-counted channel duplicates on the lossy side and so
+        // overstated the overhead of duplicating profiles.)
+        let gs_sent = run.stats.sends as f64;
         // Lossless baseline: the same protocol over a clean channel.
         // The overhead ratio then isolates what the *loss* costs
         // (retransmissions and the ACKs they provoke).
@@ -80,7 +98,7 @@ fn run_point(p: &LossParams, prof: &LossProfile, m: usize, point: u64) -> Vec<Tr
             duplicate: 0.0,
         };
         let base = run_gs_reliable(&cfg, clean.channel(chseed), rcfg, 1, p.event_budget);
-        let base_sent = (base.stats.delivered + base.stats.dropped) as f64;
+        let base_sent = base.stats.sends as f64;
         // GS is state-change-driven: fault placements that lower no
         // level exchange no messages at all, so both counts are 0 and
         // the overhead of reliability is exactly 1.
@@ -100,6 +118,7 @@ fn run_point(p: &LossParams, prof: &LossProfile, m: usize, point: u64) -> Vec<Tr
             delivered: 0,
             retransmits: 0,
             duplicates_surfaced: 0,
+            obs: Metrics::new(0, 0),
         };
         for _ in 0..p.pairs_per_instance {
             let (s, d) = random_pair(&cfg, rng);
@@ -107,7 +126,7 @@ fn run_point(p: &LossParams, prof: &LossProfile, m: usize, point: u64) -> Vec<Tr
                 continue;
             }
             t.feasible += 1;
-            let urun = run_unicast_lossy(
+            let (urun, uobs) = run_unicast_lossy_observed(
                 &cfg,
                 &central,
                 s,
@@ -117,12 +136,14 @@ fn run_point(p: &LossParams, prof: &LossProfile, m: usize, point: u64) -> Vec<Tr
                 rcfg,
                 p.event_budget,
             );
+            obs.merge(&uobs);
             if let LossyOutcome::Delivered { retransmits, .. } = urun.outcome {
                 t.delivered += 1;
                 t.retransmits += retransmits;
             }
             t.duplicates_surfaced += urun.duplicate_deliveries;
         }
+        t.obs = obs;
         t
     })
 }
@@ -147,11 +168,15 @@ pub fn run(p: &LossParams) -> Report {
         ],
     );
     let mut point = 0u64;
+    let mut agg = Metrics::new(0, 0);
     for prof in &STANDARD_PROFILES {
         let mut m = 0usize;
         loop {
             let trials = run_point(p, prof, m, point * 0x9E37);
             point += 1;
+            for t in &trials {
+                agg.merge(&t.obs);
+            }
             let converged = trials.iter().filter(|t| t.gs_ok).count() as u64;
             let times: Vec<f64> = trials.iter().map(|t| t.gs_time).collect();
             let overheads: Vec<f64> = trials.iter().map(|t| t.gs_overhead).collect();
@@ -196,6 +221,22 @@ pub fn run(p: &LossParams) -> Report {
          asserted to be zero"
             .to_string(),
     );
+    if let Some(dir) = &p.out_dir {
+        let snap = agg.snapshot();
+        let json_path = dir.join("loss_obs.json");
+        let csv_path = dir.join("loss_obs.csv");
+        match std::fs::create_dir_all(dir)
+            .and_then(|()| std::fs::write(&json_path, snap.to_json()))
+            .and_then(|()| std::fs::write(&csv_path, snap.to_csv()))
+        {
+            Ok(()) => rep.note(format!(
+                "metrics snapshot over every lossy run (all profiles × fault counts): {} and {}",
+                json_path.display(),
+                csv_path.display()
+            )),
+            Err(e) => rep.note(format!("metrics snapshot write failed: {e}")),
+        };
+    }
     rep
 }
 
@@ -212,6 +253,7 @@ mod tests {
             pairs_per_instance: 2,
             event_budget: 500_000,
             seed: 9,
+            out_dir: None,
         }
     }
 

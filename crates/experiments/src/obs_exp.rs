@@ -1,0 +1,296 @@
+//! E25 — observability snapshot (`repro obs`): run the reliable
+//! GS + unicast stack with the [`hypersafe_simkit::obs`] metrics
+//! registry installed, aggregate per-node / per-dimension counters and
+//! the latency/hop/quiescence histograms across a seeded sweep, and
+//! export the merged [`MetricsSnapshot`] as `obs_metrics.json` /
+//! `obs_metrics.csv` — the machine-readable companion to the other
+//! experiments' CSVs (CI validates the JSON against
+//! `tests/goldens/obs_schema.json`). Also demonstrates the
+//! [`FlightRecorder`]: a bounded ring that keeps the *last N* trace
+//! events of a run instead of an unbounded trace.
+
+use crate::table::{f2, Report};
+use hypersafe_core::{route, run_gs_reliable_observed, run_unicast_lossy_observed, SafetyMap};
+use hypersafe_simkit::{
+    Actor, Ctx, EventEngine, FlightRecorder, HypercubeNet, Metrics, MetricsSnapshot, Network,
+    Quantiles, ReliableConfig, Severity,
+};
+use hypersafe_topology::{FaultConfig, Hypercube, NodeId};
+use hypersafe_workloads::{random_pair, uniform_faults, Sweep, STANDARD_PROFILES};
+use rand::Rng;
+use std::path::PathBuf;
+
+/// Parameters for the observability sweep.
+#[derive(Clone, Debug)]
+pub struct ObsParams {
+    /// Cube dimension.
+    pub n: u8,
+    /// Faults per instance.
+    pub faults: usize,
+    /// Instances (one GS convergence each).
+    pub trials: u32,
+    /// Unicast pairs per instance.
+    pub pairs_per_instance: u32,
+    /// Event budget per protocol run.
+    pub event_budget: u64,
+    /// Master seed.
+    pub seed: u64,
+    /// Where `obs_metrics.json` / `obs_metrics.csv` land.
+    pub out_dir: PathBuf,
+}
+
+impl Default for ObsParams {
+    fn default() -> Self {
+        ObsParams {
+            n: 6,
+            faults: 4,
+            trials: 12,
+            pairs_per_instance: 4,
+            event_budget: 2_000_000,
+            seed: 0x0B5,
+            out_dir: PathBuf::from("results"),
+        }
+    }
+}
+
+/// The sweep's outcome: the renderable report plus the merged snapshot
+/// (already written to disk when `out_dir` was writable).
+pub struct ObsRun {
+    /// Summary table: one row per histogram, notes carrying totals,
+    /// per-dimension balance, and the flight-recorder demonstration.
+    pub report: Report,
+    /// The merged cross-trial snapshot.
+    pub snapshot: MetricsSnapshot,
+}
+
+/// Flood used for the flight-recorder demonstration: enough traffic to
+/// overflow a small ring, with kills mixed in so the severity filter
+/// has something to keep.
+struct Flood {
+    neighbors: Vec<NodeId>,
+    seen: bool,
+}
+
+impl Actor for Flood {
+    type Msg = ();
+
+    fn on_start(&mut self, ctx: &mut Ctx<()>) {
+        if ctx.self_id() == NodeId::ZERO {
+            self.seen = true;
+            for i in 0..self.neighbors.len() {
+                ctx.send(self.neighbors[i], (), 1);
+            }
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<()>, _from: NodeId, _msg: ()) {
+        if !self.seen {
+            self.seen = true;
+            for i in 0..self.neighbors.len() {
+                ctx.send(self.neighbors[i], (), 1);
+            }
+        }
+    }
+}
+
+/// Floods an `n`-cube with a [`FlightRecorder`] of capacity `cap`
+/// attached (Warn-and-above only, so the ring keeps kill notes rather
+/// than drowning in per-hop Debug noise), killing a couple of nodes
+/// mid-flood. Returns the recovered recorder.
+fn flight_recorder_demo(n: u8, cap: usize) -> FlightRecorder {
+    let cube = Hypercube::new(n);
+    let cfg = FaultConfig::fault_free(cube);
+    let net = HypercubeNet::new(&cfg);
+    let mut eng = EventEngine::new(&net, |a| Flood {
+        neighbors: (0..net.degree(a.raw()))
+            .map(|p| NodeId::new(net.neighbor(a.raw(), p)))
+            .collect(),
+        seen: false,
+    });
+    // Every hop is recorded as Debug; keep everything so the ring
+    // demonstrably overflows, then read back what survived.
+    eng.set_trace(Box::new(
+        FlightRecorder::new(cap).with_min_severity(Severity::Debug),
+    ));
+    eng.inject_kill(NodeId::new(1), 1);
+    eng.inject_kill(NodeId::new(2), 2);
+    eng.run(u64::MAX);
+    eng.take_trace()
+        .expect("recorder installed")
+        .into_flight_recorder()
+        .expect("FlightRecorder sink")
+}
+
+fn hist_row(rep: &mut Report, name: &str, q: &Quantiles) {
+    rep.row(vec![
+        name.to_string(),
+        q.count.to_string(),
+        f2(q.mean),
+        q.p50.to_string(),
+        q.p95.to_string(),
+        q.p99.to_string(),
+        q.max.to_string(),
+    ]);
+}
+
+/// Runs the sweep; writes `obs_metrics.json` and `obs_metrics.csv`
+/// into `p.out_dir`.
+pub fn run(p: &ObsParams) -> ObsRun {
+    let cube = Hypercube::new(p.n);
+    let rcfg = ReliableConfig::default();
+    // The "moderate" profile: loss + jitter + duplication all nonzero,
+    // so every counter and histogram gets exercised.
+    let prof = STANDARD_PROFILES
+        .iter()
+        .find(|pr| pr.name == "moderate")
+        .expect("standard profile");
+    let sweep = Sweep::new(p.trials, p.seed);
+    let per_trial: Vec<Metrics> = sweep.run(|_, rng| {
+        let cfg = FaultConfig::with_node_faults(cube, uniform_faults(cube, p.faults, rng));
+        let central = SafetyMap::compute(&cfg);
+        let (_, mut m) =
+            run_gs_reliable_observed(&cfg, prof.channel(rng.gen()), rcfg, 1, p.event_budget);
+        for _ in 0..p.pairs_per_instance {
+            let (s, d) = random_pair(&cfg, rng);
+            if s == d || !route(&cfg, &central, s, d).delivered {
+                continue;
+            }
+            let (_, um) = run_unicast_lossy_observed(
+                &cfg,
+                &central,
+                s,
+                d,
+                1,
+                prof.channel(rng.gen()),
+                rcfg,
+                p.event_budget,
+            );
+            m.merge(&um);
+        }
+        m
+    });
+    let mut agg = Metrics::new(cube.num_nodes() as usize, p.n as usize);
+    for m in &per_trial {
+        agg.merge(m);
+    }
+    let snapshot = agg.snapshot();
+
+    let mut rep = Report::new(
+        "obs",
+        format!(
+            "observability snapshot: reliable GS + unicast, {}-cube, {} faults, {} instances, \
+             '{}' channel profile",
+            p.n, p.faults, p.trials, prof.name
+        ),
+        &["histogram", "count", "mean", "p50", "p95", "p99", "max"],
+    );
+    hist_row(&mut rep, "transit_latency(ticks)", &snapshot.latency);
+    hist_row(&mut rep, "unicast_hops", &snapshot.hops);
+    hist_row(&mut rep, "time_to_done(ticks)", &snapshot.rounds);
+    let t = &snapshot.totals;
+    rep.note(format!(
+        "totals: sends={} delivered={} dropped={} lost={} duplicated={} retransmitted={} \
+         acked={} timers={} (channel drew {} fate decisions)",
+        t.sends,
+        t.delivered,
+        t.dropped,
+        t.lost,
+        t.duplicated,
+        t.retransmitted,
+        t.acked,
+        t.timers,
+        snapshot.channel_decisions
+    ));
+    let dim_sent: Vec<u64> = snapshot.per_dim.iter().map(|(_, d)| d.sent).collect();
+    if let (Some(&max), Some(&min)) = (dim_sent.iter().max(), dim_sent.iter().min()) {
+        rep.note(format!(
+            "per-dimension send balance: min {min}, max {max} across {} dimensions \
+             (GS announcements are symmetric; unicast load follows the fault geometry)",
+            dim_sent.len()
+        ));
+    }
+    rep.note(format!(
+        "conservation check: delivered + dropped + lost = {} vs sends + duplicated = {}",
+        t.delivered + t.dropped + t.lost,
+        t.sends + t.duplicated
+    ));
+    let fr = flight_recorder_demo(p.n.min(5), 48);
+    rep.note(format!(
+        "flight recorder (cap 48, {}-cube flood with 2 kills): admitted {} events, kept the \
+         last {}, evicted {}",
+        p.n.min(5),
+        fr.seen(),
+        fr.seen() - fr.evicted(),
+        fr.evicted()
+    ));
+    let json_path = p.out_dir.join("obs_metrics.json");
+    let csv_path = p.out_dir.join("obs_metrics.csv");
+    match std::fs::create_dir_all(&p.out_dir)
+        .and_then(|()| std::fs::write(&json_path, snapshot.to_json()))
+        .and_then(|()| std::fs::write(&csv_path, snapshot.to_csv()))
+    {
+        Ok(()) => rep.note(format!(
+            "snapshot: {} and {}",
+            json_path.display(),
+            csv_path.display()
+        )),
+        Err(e) => rep.note(format!("snapshot write failed: {e}")),
+    };
+    ObsRun {
+        report: rep,
+        snapshot,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ObsParams {
+        ObsParams {
+            n: 4,
+            faults: 2,
+            trials: 3,
+            pairs_per_instance: 2,
+            event_budget: 500_000,
+            seed: 5,
+            out_dir: std::env::temp_dir().join("hypersafe_obs_test"),
+        }
+    }
+
+    #[test]
+    fn snapshot_respects_conservation_and_is_deterministic() {
+        let a = run(&tiny());
+        let b = run(&tiny());
+        let t = &a.snapshot.totals;
+        assert_eq!(
+            t.delivered + t.dropped + t.lost,
+            t.sends + t.duplicated,
+            "conservation law over the merged sweep"
+        );
+        assert!(t.sends > 0);
+        assert!(a.snapshot.latency.count > 0);
+        assert_eq!(a.snapshot.to_json(), b.snapshot.to_json());
+        assert_eq!(a.report.rows, b.report.rows);
+        let _ = std::fs::remove_dir_all(tiny().out_dir);
+    }
+
+    #[test]
+    fn snapshot_files_are_written() {
+        let p = tiny();
+        let _ = run(&p);
+        let json = std::fs::read_to_string(p.out_dir.join("obs_metrics.json")).unwrap();
+        let csv = std::fs::read_to_string(p.out_dir.join("obs_metrics.csv")).unwrap();
+        assert!(json.starts_with("{\"schema\":\"hypersafe.obs.v1\""));
+        assert!(csv.starts_with("scope,index,field,value\n"));
+        hypersafe_simkit::parse_json(&json).expect("exported JSON parses");
+        let _ = std::fs::remove_dir_all(p.out_dir);
+    }
+
+    #[test]
+    fn flight_recorder_overflows_and_keeps_the_tail() {
+        let fr = flight_recorder_demo(4, 8);
+        assert!(fr.seen() > 8, "the flood must overflow the ring");
+        assert_eq!(fr.seen() - fr.evicted(), 8, "exactly cap events kept");
+    }
+}

@@ -131,6 +131,13 @@ impl ChannelModel {
         self.jitter
     }
 
+    /// Fate decisions drawn so far (the internal counter) — exported
+    /// into [`crate::obs::MetricsSnapshot`] so runs can report how much
+    /// traffic actually crossed the noisy channel.
+    pub fn decisions(&self) -> u64 {
+        self.counter
+    }
+
     /// Decides the fate of the next message on link `src → dst`.
     /// Advances the internal counter; deterministic in
     /// `(seed, src, dst, counter)`.

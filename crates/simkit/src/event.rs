@@ -22,6 +22,7 @@
 
 use crate::channel::ChannelModel;
 use crate::network::Network;
+use crate::obs::Metrics;
 use crate::sim::{FifoScheduler, Invariant, InvariantViolation, Scheduler};
 use crate::stats::EventStats;
 use crate::trace::{TraceEvent, TraceSink};
@@ -62,6 +63,11 @@ pub struct Ctx<M> {
     timers: Vec<(Time, TimerTag)>,
     retransmits: u64,
     acks: u64,
+    /// Ports of individual retransmissions, for per-dimension metrics
+    /// attribution. Only filled while a metrics registry is installed
+    /// (`obs_on`), so the disabled path never allocates.
+    retx_ports: Vec<usize>,
+    obs_on: bool,
     halt: bool,
 }
 
@@ -101,6 +107,16 @@ impl<M> Ctx<M> {
     /// engine's statistics reflect protocol-level recovery work.
     pub fn note_retransmits(&mut self, n: u64) {
         self.retransmits += n;
+    }
+
+    /// Records one retransmission attributed to outgoing `port` — like
+    /// [`Ctx::note_retransmits`], but additionally feeds the
+    /// per-dimension metrics row when a registry is installed.
+    pub fn note_retransmit_on(&mut self, port: usize) {
+        self.retransmits += 1;
+        if self.obs_on {
+            self.retx_ports.push(port);
+        }
     }
 
     /// Records `n` acknowledgements into [`EventStats::acked`].
@@ -147,6 +163,9 @@ enum Payload<M> {
     Message {
         from: NodeId,
         msg: M,
+        /// Virtual time of the send, kept so delivery can report the
+        /// transit time (latency + jitter) into the metrics registry.
+        sent: Time,
     },
     Timer {
         tag: TimerTag,
@@ -204,6 +223,9 @@ pub struct EventEngine<'a, N: Network, A: Actor> {
     sched: Box<dyn Scheduler>,
     halted: bool,
     trace: Option<Box<dyn TraceSink>>,
+    /// Metrics registry ([`crate::obs`]); `None` keeps every hook a
+    /// single branch with no allocation or arithmetic.
+    metrics: Option<Metrics>,
 }
 
 impl<'a, N: Network, A: Actor> EventEngine<'a, N, A> {
@@ -228,6 +250,30 @@ impl<'a, N: Network, A: Actor> EventEngine<'a, N, A> {
         net: &'a N,
         channel: Option<ChannelModel>,
         sched: Box<dyn Scheduler>,
+        init: impl FnMut(NodeId) -> A,
+    ) -> Self {
+        Self::build(net, channel, sched, false, init)
+    }
+
+    /// Like [`EventEngine::with_parts`], but with a metrics registry
+    /// ([`crate::obs::Metrics`]) installed *before* the actors'
+    /// `on_start` runs — the only way `on_start` sends are attributed.
+    /// ([`EventEngine::enable_metrics`] after construction misses
+    /// them, since `on_start` already ran.)
+    pub fn with_parts_observed(
+        net: &'a N,
+        channel: Option<ChannelModel>,
+        sched: Box<dyn Scheduler>,
+        init: impl FnMut(NodeId) -> A,
+    ) -> Self {
+        Self::build(net, channel, sched, true, init)
+    }
+
+    fn build(
+        net: &'a N,
+        channel: Option<ChannelModel>,
+        sched: Box<dyn Scheduler>,
+        observe: bool,
         mut init: impl FnMut(NodeId) -> A,
     ) -> Self {
         let actors: Vec<Option<A>> = (0..net.num_nodes())
@@ -246,7 +292,11 @@ impl<'a, N: Network, A: Actor> EventEngine<'a, N, A> {
             sched,
             halted: false,
             trace: None,
+            metrics: None,
         };
+        if observe {
+            eng.enable_metrics();
+        }
         for a in 0..eng.net.num_nodes() {
             if eng.actors[a as usize].is_some() {
                 let id = NodeId::new(a);
@@ -273,6 +323,41 @@ impl<'a, N: Network, A: Actor> EventEngine<'a, N, A> {
         self.trace.take()
     }
 
+    /// Installs a metrics registry sized for this engine's network:
+    /// engine, channel, and ARQ layers report per-node/per-dimension
+    /// counters and latency observations into it from now on. Without
+    /// this call every hook is a no-op branch (see [`crate::obs`]).
+    /// Note `on_start` already ran at construction — use
+    /// [`EventEngine::with_parts_observed`] to attribute its sends too.
+    pub fn enable_metrics(&mut self) {
+        let max_degree = (0..self.net.num_nodes())
+            .map(|a| self.net.degree(a))
+            .max()
+            .unwrap_or(0);
+        self.metrics = Some(Metrics::new(self.net.num_nodes() as usize, max_degree));
+    }
+
+    /// Installs a caller-built registry (e.g. one carried across
+    /// engine restarts to aggregate a multi-run sweep).
+    pub fn set_metrics(&mut self, m: Metrics) {
+        self.metrics = Some(m);
+    }
+
+    /// Read access to the installed registry, if any.
+    pub fn metrics(&self) -> Option<&Metrics> {
+        self.metrics.as_ref()
+    }
+
+    /// Detaches the metrics registry, folding in the channel's
+    /// decision counter so the snapshot reports channel traffic.
+    pub fn take_metrics(&mut self) -> Option<Metrics> {
+        let mut m = self.metrics.take()?;
+        if let Some(ch) = &self.channel {
+            m.channel_decisions += ch.decisions();
+        }
+        Some(m)
+    }
+
     fn ctx_for(&self, a: NodeId) -> Ctx<A::Msg> {
         Ctx {
             self_id: a,
@@ -281,6 +366,8 @@ impl<'a, N: Network, A: Actor> EventEngine<'a, N, A> {
             timers: Vec::new(),
             retransmits: 0,
             acks: 0,
+            retx_ports: Vec::new(),
+            obs_on: self.metrics.is_some(),
             halt: false,
         }
     }
@@ -299,14 +386,23 @@ impl<'a, N: Network, A: Actor> EventEngine<'a, N, A> {
 
     fn absorb_ctx(&mut self, src: NodeId, ctx: Ctx<A::Msg>) {
         for (time, dst, msg) in ctx.sends {
-            assert!(
-                self.net.port_of(src.raw(), dst.raw()).is_some(),
-                "{src} may only message neighbors, not {dst}"
-            );
+            let Some(port) = self.net.port_of(src.raw(), dst.raw()) else {
+                panic!("{src} may only message neighbors, not {dst}");
+            };
+            // Every send attempt is counted exactly once here, before
+            // any fate is decided — the anchor of the conservation law
+            // delivered + dropped + lost == sends + duplicated.
+            self.stats.sends += 1;
+            if let Some(m) = &mut self.metrics {
+                m.on_send(src.raw(), port);
+            }
             // Messages into faulty nodes or across faulty links vanish
             // (fault-stop model: no malicious behaviour, just silence).
             if self.net.node_faulty(dst.raw()) || self.net.link_faulty(src.raw(), dst.raw()) {
                 self.stats.dropped += 1;
+                if let Some(m) = &mut self.metrics {
+                    m.on_fault_drop(src.raw());
+                }
                 continue;
             }
             // A usable link may still be noisy: the channel model
@@ -327,23 +423,41 @@ impl<'a, N: Network, A: Actor> EventEngine<'a, N, A> {
             }
             if fate.lost {
                 self.stats.lost += 1;
+                if let Some(m) = &mut self.metrics {
+                    m.on_lost(src.raw(), port);
+                }
                 continue;
             }
             if let Some(dup_jitter) = fate.duplicate {
                 self.stats.duplicated += 1;
+                if let Some(m) = &mut self.metrics {
+                    m.on_duplicated(port);
+                }
                 self.enqueue(
                     time + dup_jitter,
                     dst,
                     Payload::Message {
                         from: src,
                         msg: msg.clone(),
+                        sent: self.now,
                     },
                 );
             }
-            self.enqueue(time + fate.jitter, dst, Payload::Message { from: src, msg });
+            self.enqueue(
+                time + fate.jitter,
+                dst,
+                Payload::Message {
+                    from: src,
+                    msg,
+                    sent: self.now,
+                },
+            );
         }
         self.stats.retransmitted += ctx.retransmits;
         self.stats.acked += ctx.acks;
+        if let Some(m) = &mut self.metrics {
+            m.on_arq(src.raw(), ctx.retransmits, ctx.acks, &ctx.retx_ports);
+        }
         for (time, tag) in ctx.timers {
             self.enqueue(time, src, Payload::Timer { tag });
         }
@@ -393,43 +507,70 @@ impl<'a, N: Network, A: Actor> EventEngine<'a, N, A> {
         self.now = ev.time;
         self.stats.end_time = self.now;
         let idx = ev.dst.raw() as usize;
-        // Destination may have become faulty after the send.
-        if self.actors[idx].is_none() || self.dead[idx] {
-            self.stats.dropped += 1;
-            return true;
-        }
+        // Kills are handled before the liveness check so they stay
+        // idempotent: re-killing a dead node — or one that was faulty
+        // from the start — is a no-op that touches no counter. (An
+        // earlier ordering ran the liveness check first, so double
+        // kills and kills racing initial faults inflated the
+        // message-drop counter.)
         if let Payload::Kill = ev.payload {
-            // The node fault-stops: it processes no further events, and
-            // everything already queued toward it drops on delivery. Its
-            // state is frozen rather than discarded so the run's outcome
-            // collectors and invariant checkers can still read what it
-            // knew at the instant of death (e.g. a destination killed
-            // *after* delivery still shows `received_at`).
-            self.dead[idx] = true;
-            self.stats.killed += 1;
-            if let Some(sink) = &mut self.trace {
-                sink.record(TraceEvent::Note(format!(
-                    "t={}: node {} killed",
-                    self.now, ev.dst
-                )));
+            if self.actors[idx].is_some() && !self.dead[idx] {
+                // The node fault-stops: it processes no further events,
+                // and everything already queued toward it drops on
+                // delivery. Its state is frozen rather than discarded
+                // so the run's outcome collectors and invariant
+                // checkers can still read what it knew at the instant
+                // of death (e.g. a destination killed *after* delivery
+                // still shows `received_at`).
+                self.dead[idx] = true;
+                self.stats.killed += 1;
+                if let Some(m) = &mut self.metrics {
+                    m.on_kill(ev.dst.raw());
+                }
+                if let Some(sink) = &mut self.trace {
+                    sink.record(TraceEvent::Note(format!(
+                        "t={}: node {} killed",
+                        self.now, ev.dst
+                    )));
+                }
             }
             return !self.halted;
         }
+        // Destination may have become faulty after the send: pending
+        // messages drop (they are in-flight traffic the fault ate);
+        // pending timers are quashed silently — a timer is node-local
+        // control state, not a message, and counting it as `dropped`
+        // would break the send/fate balance.
+        if self.actors[idx].is_none() || self.dead[idx] {
+            match ev.payload {
+                Payload::Message { .. } => {
+                    self.stats.dropped += 1;
+                    if let Some(m) = &mut self.metrics {
+                        m.on_dead_drop(ev.dst.raw());
+                    }
+                }
+                Payload::Timer { .. } => self.stats.timers_quashed += 1,
+                Payload::Kill => unreachable!("handled above"),
+            }
+            return true;
+        }
         let mut ctx = self.ctx_for(ev.dst);
         match ev.payload {
-            Payload::Message { from, msg } => {
+            Payload::Message { from, msg, sent } => {
                 self.stats.delivered += 1;
-                if let Some(sink) = &mut self.trace {
-                    let dim = self
-                        .net
-                        .port_of(from.raw(), ev.dst.raw())
-                        .unwrap_or(usize::MAX) as u8;
-                    sink.record(TraceEvent::Hop {
-                        from,
-                        to: ev.dst,
-                        dim,
-                        word: ev.seq,
-                    });
+                if self.trace.is_some() || self.metrics.is_some() {
+                    let port = self.net.port_of(from.raw(), ev.dst.raw());
+                    if let Some(m) = &mut self.metrics {
+                        m.on_delivered(ev.dst.raw(), port, self.now - sent);
+                    }
+                    if let Some(sink) = &mut self.trace {
+                        sink.record(TraceEvent::Hop {
+                            from,
+                            to: ev.dst,
+                            dim: port.and_then(|p| u8::try_from(p).ok()),
+                            word: ev.seq,
+                        });
+                    }
                 }
                 self.actors[idx]
                     .as_mut()
@@ -438,6 +579,9 @@ impl<'a, N: Network, A: Actor> EventEngine<'a, N, A> {
             }
             Payload::Timer { tag } => {
                 self.stats.timers += 1;
+                if let Some(m) = &mut self.metrics {
+                    m.on_timer(ev.dst.raw());
+                }
                 self.actors[idx]
                     .as_mut()
                     .expect("present")
@@ -851,6 +995,141 @@ mod tests {
             assert!(eng.actor(a).unwrap().seen_at.is_some(), "node {a}");
         }
         assert!(eng.stats().dropped > 0, "traffic into the corpse dropped");
+    }
+
+    #[test]
+    fn double_kill_counts_once_and_drops_nothing() {
+        // Regression: the liveness check used to run before the Kill
+        // branch, so the second kill of an already-dead node was
+        // counted as a dropped *message*.
+        let cube = Hypercube::new(2);
+        let cfg = FaultConfig::fault_free(cube);
+        let net = HypercubeNet::new(&cfg);
+        let mut eng = EventEngine::new(&net, |_| Idle);
+        eng.inject_kill(NodeId::new(0b01), 0);
+        eng.inject_kill(NodeId::new(0b01), 1);
+        eng.inject_kill(NodeId::new(0b01), 2);
+        eng.run(u64::MAX);
+        assert!(eng.is_dead(NodeId::new(0b01)));
+        assert_eq!(eng.stats().killed, 1, "kill is idempotent");
+        assert_eq!(eng.stats().dropped, 0, "no message was dropped");
+    }
+
+    #[test]
+    fn kill_of_pre_run_faulty_node_is_a_noop() {
+        // Regression: a kill racing an initial fault used to inflate
+        // the message-drop counter.
+        let cube = Hypercube::new(2);
+        let cfg = FaultConfig::with_node_faults(cube, FaultSet::from_binary_strs(cube, &["10"]));
+        let net = HypercubeNet::new(&cfg);
+        let mut eng = EventEngine::new(&net, |_| Idle);
+        eng.inject_kill(NodeId::new(0b10), 0);
+        eng.run(u64::MAX);
+        assert!(!eng.is_dead(NodeId::new(0b10)), "never ran, never killed");
+        assert_eq!(eng.stats().killed, 0);
+        assert_eq!(eng.stats().dropped, 0);
+    }
+
+    /// An actor that does nothing (kill/timer accounting fixtures).
+    struct Idle;
+    impl Actor for Idle {
+        type Msg = ();
+        fn on_message(&mut self, _: &mut Ctx<()>, _: NodeId, _: ()) {}
+    }
+
+    #[test]
+    fn timer_to_dead_node_is_quashed_not_dropped() {
+        struct Arm;
+        impl Actor for Arm {
+            type Msg = ();
+            fn on_start(&mut self, ctx: &mut Ctx<()>) {
+                ctx.set_timer(10, 0);
+            }
+            fn on_message(&mut self, _: &mut Ctx<()>, _: NodeId, _: ()) {}
+        }
+        let cube = Hypercube::new(1);
+        let cfg = FaultConfig::fault_free(cube);
+        let net = HypercubeNet::new(&cfg);
+        let mut eng = EventEngine::new(&net, |_| Arm);
+        // Both nodes arm a t=10 timer; node 1 dies at t=5.
+        eng.inject_kill(NodeId::new(1), 5);
+        eng.run(u64::MAX);
+        assert_eq!(eng.stats().timers, 1, "only the survivor's timer fires");
+        assert_eq!(eng.stats().timers_quashed, 1);
+        assert_eq!(eng.stats().dropped, 0, "a quashed timer is not a message");
+    }
+
+    #[test]
+    fn sends_counter_balances_fates() {
+        let cube = Hypercube::new(3);
+        let cfg = FaultConfig::fault_free(cube);
+        let net = HypercubeNet::new(&cfg);
+        let channel = crate::channel::ChannelModel::new(11)
+            .with_loss(0.2)
+            .with_jitter(3)
+            .with_duplication(0.1);
+        let mut eng =
+            EventEngine::with_channel(&net, channel, |a| Flood::new(&net, a, NodeId::ZERO));
+        eng.inject_kill(NodeId::new(0b101), 1);
+        eng.run(u64::MAX);
+        let s = eng.stats();
+        assert!(s.sends > 0);
+        assert_eq!(
+            s.delivered + s.dropped + s.lost,
+            s.sends + s.duplicated,
+            "every send attempt meets exactly one fate: {s:?}"
+        );
+    }
+
+    #[test]
+    fn metrics_do_not_perturb_the_run_and_agree_with_stats() {
+        let cube = Hypercube::new(4);
+        let cfg = FaultConfig::fault_free(cube);
+        let net = HypercubeNet::new(&cfg);
+        let channel = crate::channel::ChannelModel::new(9)
+            .with_loss(0.1)
+            .with_jitter(2)
+            .with_duplication(0.05);
+        let run = |observe: bool| {
+            let build = if observe {
+                EventEngine::with_parts_observed
+            } else {
+                EventEngine::with_parts
+            };
+            let mut eng = build(&net, Some(channel.clone()), Box::new(FifoScheduler), |a| {
+                Flood::new(&net, a, NodeId::ZERO)
+            });
+            eng.set_trace(Box::new(Trace::enabled()));
+            eng.inject_kill(NodeId::new(0b0110), 2);
+            eng.run(u64::MAX);
+            let trace = eng.take_trace().unwrap().into_trace().unwrap().render();
+            let metrics = eng.take_metrics();
+            (trace, eng.stats().clone(), metrics)
+        };
+        let (trace_off, stats_off, none) = run(false);
+        let (trace_on, stats_on, metrics) = run(true);
+        assert!(none.is_none());
+        assert_eq!(trace_off, trace_on, "observability must not perturb");
+        assert_eq!(stats_off, stats_on);
+        // The registry's totals are a refinement of the flat stats.
+        let snap = metrics.expect("installed").snapshot();
+        assert_eq!(snap.totals.sends, stats_on.sends);
+        assert_eq!(snap.totals.delivered, stats_on.delivered);
+        assert_eq!(snap.totals.dropped, stats_on.dropped);
+        assert_eq!(snap.totals.lost, stats_on.lost);
+        assert_eq!(snap.totals.duplicated, stats_on.duplicated);
+        assert_eq!(snap.totals.timers, stats_on.timers);
+        assert_eq!(snap.totals.killed, stats_on.killed);
+        assert_eq!(snap.latency.count, stats_on.delivered);
+        assert!(snap.channel_decisions > 0);
+        // Per-dimension sends on a fault-free flood are symmetric:
+        // every node sends once on every port.
+        let per_dim: u64 = metrics_dim_sent(&snap);
+        assert_eq!(per_dim, stats_on.sends);
+    }
+
+    fn metrics_dim_sent(snap: &crate::obs::MetricsSnapshot) -> u64 {
+        snap.per_dim.iter().map(|(_, d)| d.sent).sum()
     }
 
     #[test]

@@ -20,6 +20,12 @@
 //! (sequence numbers, cumulative ACKs, exponential-backoff
 //! retransmission) — the substrate for the loss-robustness experiments.
 //!
+//! [`obs`] layers structured observability over the event engine: a
+//! per-node / per-dimension metrics registry with fixed-memory
+//! quantile histograms, a bounded flight-recorder trace sink, and
+//! JSON/CSV snapshot export — all zero-allocation no-ops unless a
+//! registry is installed.
+//!
 //! [`sim`] adds deterministic simulation testing on top: a pluggable
 //! [`sim::Scheduler`] (seeded adversarial reordering, latency
 //! stretching, loss/duplication bursts), an [`sim::Invariant`] hook
@@ -31,6 +37,7 @@
 pub mod channel;
 pub mod event;
 pub mod network;
+pub mod obs;
 pub mod reliable;
 pub mod sim;
 pub mod stats;
@@ -40,6 +47,10 @@ pub mod trace;
 pub use channel::{ChannelModel, LinkFate};
 pub use event::{Actor, Ctx, EventEngine, Time, TimerTag};
 pub use network::{gh_port_dim, GenericSyncEngine, GhNet, HypercubeNet, Network, PortNode};
+pub use obs::{
+    parse_json, validate_json, DimStat, FlightRecorder, JsonValue, Metrics, MetricsSnapshot,
+    NodeStat, QuantileHist, Quantiles, SnapshotTotals,
+};
 pub use reliable::{
     RelCtx, Reliable, ReliableActor, ReliableConfig, ReliableEndpoint, ReliableMsg,
 };
@@ -49,4 +60,4 @@ pub use sim::{
 };
 pub use stats::{EventStats, Histogram, SyncStats};
 pub use sync_engine::{SyncEngine, SyncNode};
-pub use trace::{Trace, TraceEvent, TraceSink};
+pub use trace::{Severity, Trace, TraceEvent, TraceKind, TraceSink};

@@ -32,9 +32,11 @@
 //! Retransmission timers live in their own [`TimerTag::Arq`] tag
 //! space, so inner actors may use any `u64` tag without colliding with
 //! the transport. Retransmission and ACK counts are folded into the
-//! engine's [`crate::stats::EventStats`] via [`Ctx::note_retransmits`]
-//! / [`Ctx::note_acks`], so experiment code can read total overhead
-//! from one place.
+//! engine's [`crate::stats::EventStats`] via
+//! [`Ctx::note_retransmit_on`] / [`Ctx::note_acks`] (the former also
+//! attributes each retransmission to its outgoing port when a
+//! [`crate::obs::Metrics`] registry is installed), so experiment code
+//! can read total overhead from one place.
 
 use crate::event::{Actor, Ctx, Time, TimerTag};
 use hypersafe_topology::NodeId;
@@ -261,7 +263,7 @@ impl<M: Clone> ReliableEndpoint<M> {
         };
         raw.send(self.neighbors[port as usize], msg, self.latency);
         raw.set_arq_timer(delay, port, seq);
-        raw.note_retransmits(1);
+        raw.note_retransmit_on(port as usize);
         self.retransmits += 1;
     }
 }

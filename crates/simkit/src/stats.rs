@@ -16,8 +16,20 @@ pub struct SyncStats {
 }
 
 /// Counters accumulated by the discrete-event engine.
+///
+/// Message accounting is conservative: every send attempt is counted
+/// exactly once in [`EventStats::sends`], and every attempt meets
+/// exactly one fate, so
+/// `delivered + dropped + lost == sends + duplicated`
+/// holds at every quiescent point (duplicates are extra copies the
+/// channel injects; each is eventually delivered or dropped like a
+/// primary copy). Timer and kill events are control events, not
+/// messages, and never enter this balance.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct EventStats {
+    /// Message send attempts absorbed from actors (counted before any
+    /// fault/channel fate is decided; excludes channel duplicates).
+    pub sends: u64,
     /// Messages successfully delivered.
     pub delivered: u64,
     /// Messages dropped at a faulty destination or over a faulty link.
@@ -35,8 +47,15 @@ pub struct EventStats {
     pub acked: u64,
     /// Timer events fired.
     pub timers: u64,
+    /// Timer events silently discarded because their node had
+    /// fault-stopped before they fired. Kept out of `dropped` — a
+    /// quashed timer is not a lost message — so the send/fate balance
+    /// stays exact. (An earlier accounting folded these, and kills of
+    /// already-dead nodes, into `dropped`.)
+    pub timers_quashed: u64,
     /// Nodes fault-stopped mid-run by an injected kill
-    /// ([`crate::event::EventEngine::inject_kill`]).
+    /// ([`crate::event::EventEngine::inject_kill`]). Kills are
+    /// idempotent: re-killing a dead or absent node changes nothing.
     pub killed: u64,
     /// Virtual time of the last processed event.
     pub end_time: u64,

@@ -8,6 +8,31 @@
 use hypersafe_topology::NodeId;
 use std::fmt;
 
+/// Coarse importance of a [`TraceEvent`], used by filtering sinks
+/// (e.g. [`crate::obs::FlightRecorder`]) to keep long runs' windows
+/// focused. Ordered: `Debug < Info < Warn`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Per-message noise (every hop).
+    Debug,
+    /// Protocol-level progress (state changes).
+    Info,
+    /// Out-of-band happenings worth keeping (notes: kills, aborts).
+    Warn,
+}
+
+/// The variant of a [`TraceEvent`], for kind-based filtering. The
+/// discriminants are dense so sinks can index a small filter table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceKind {
+    /// [`TraceEvent::Hop`]
+    Hop = 0,
+    /// [`TraceEvent::StateChange`]
+    StateChange = 1,
+    /// [`TraceEvent::Note`]
+    Note = 2,
+}
+
 /// One recorded step of a protocol execution.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum TraceEvent {
@@ -17,8 +42,12 @@ pub enum TraceEvent {
         from: NodeId,
         /// Receiver.
         to: NodeId,
-        /// Dimension crossed.
-        dim: u8,
+        /// Dimension crossed — `None` when the recording layer could
+        /// not resolve a port for the pair (e.g. an externally
+        /// injected delivery), rendered as `dim ?`. An earlier
+        /// encoding truncated the unknown sentinel to a
+        /// legitimate-looking `255`.
+        dim: Option<u8>,
         /// Navigation vector (or other per-hop word) after the hop.
         word: u64,
     },
@@ -37,6 +66,27 @@ pub enum TraceEvent {
     Note(String),
 }
 
+impl TraceEvent {
+    /// This event's variant, for kind-based filtering.
+    pub fn kind(&self) -> TraceKind {
+        match self {
+            TraceEvent::Hop { .. } => TraceKind::Hop,
+            TraceEvent::StateChange { .. } => TraceKind::StateChange,
+            TraceEvent::Note(_) => TraceKind::Note,
+        }
+    }
+
+    /// This event's severity: hops are `Debug` noise, state changes
+    /// are `Info` progress, notes (kills, aborts) are `Warn`.
+    pub fn severity(&self) -> Severity {
+        match self {
+            TraceEvent::Hop { .. } => Severity::Debug,
+            TraceEvent::StateChange { .. } => Severity::Info,
+            TraceEvent::Note(_) => Severity::Warn,
+        }
+    }
+}
+
 impl fmt::Display for TraceEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -45,9 +95,10 @@ impl fmt::Display for TraceEvent {
                 to,
                 dim,
                 word,
-            } => {
-                write!(f, "hop {from} → {to} (dim {dim}, word {word:b})")
-            }
+            } => match dim {
+                Some(d) => write!(f, "hop {from} → {to} (dim {d}, word {word:b})"),
+                None => write!(f, "hop {from} → {to} (dim ?, word {word:b})"),
+            },
             TraceEvent::StateChange {
                 node,
                 old,
@@ -72,6 +123,12 @@ pub trait TraceSink {
     /// Recovers the concrete [`Trace`] when this sink is one (lets
     /// callers read back events without downcasting machinery).
     fn into_trace(self: Box<Self>) -> Option<Trace> {
+        None
+    }
+
+    /// Recovers the concrete [`crate::obs::FlightRecorder`] when this
+    /// sink is one (same recovery pattern as [`TraceSink::into_trace`]).
+    fn into_flight_recorder(self: Box<Self>) -> Option<crate::obs::FlightRecorder> {
         None
     }
 }
@@ -120,12 +177,13 @@ impl Trace {
         }
     }
 
-    /// Records a hop event.
+    /// Records a hop event (a known dimension — protocol code always
+    /// knows which dimension it crossed).
     pub fn hop(&mut self, from: NodeId, to: NodeId, dim: u8, word: u64) {
         self.push(TraceEvent::Hop {
             from,
             to,
-            dim,
+            dim: Some(dim),
             word,
         });
     }
@@ -181,5 +239,48 @@ mod tests {
         assert!(s.contains("hop 1110 → 1111"));
         assert!(s.contains("round 2: 101 level 4 → 2"));
         assert!(s.ends_with("done\n"));
+    }
+
+    #[test]
+    fn unknown_dim_renders_distinctly() {
+        // Regression: the old encoding collapsed "unknown" into a
+        // legitimate-looking `dim 255`.
+        let known = TraceEvent::Hop {
+            from: NodeId::new(0),
+            to: NodeId::new(1),
+            dim: Some(255),
+            word: 1,
+        };
+        let unknown = TraceEvent::Hop {
+            from: NodeId::new(0),
+            to: NodeId::new(1),
+            dim: None,
+            word: 1,
+        };
+        assert!(known.to_string().contains("dim 255"));
+        assert!(unknown.to_string().contains("dim ?"));
+        assert_ne!(known.to_string(), unknown.to_string());
+    }
+
+    #[test]
+    fn kinds_and_severities_classify_events() {
+        let hop = TraceEvent::Hop {
+            from: NodeId::ZERO,
+            to: NodeId::new(1),
+            dim: Some(0),
+            word: 0,
+        };
+        let change = TraceEvent::StateChange {
+            node: NodeId::ZERO,
+            old: 0,
+            new: 1,
+            round: 0,
+        };
+        let note = TraceEvent::Note("x".into());
+        assert_eq!(hop.kind(), TraceKind::Hop);
+        assert_eq!(change.kind(), TraceKind::StateChange);
+        assert_eq!(note.kind(), TraceKind::Note);
+        assert!(hop.severity() < change.severity());
+        assert!(change.severity() < note.severity());
     }
 }

@@ -1,0 +1,210 @@
+//! Property tests for the event engine's message-accounting
+//! conservation law (see `EventStats`): every send attempt meets
+//! exactly one fate, so at any quiescent point
+//!
+//! `delivered + dropped + lost == sends + duplicated`
+//!
+//! and control events stay out of the balance (`killed` never exceeds
+//! the kills injected; quashed timers are not `dropped`). The law is
+//! exercised three ways: a raw flood on faulty `Q_n` under channel
+//! noise, an adversarial scheduler and mid-run kills; the same flood on
+//! generalized hypercubes; and the full reliable GS + unicast protocol
+//! stack over the standard loss profiles.
+
+use hypersafe::safety::{run_gs_reliable, run_unicast_lossy, SafetyMap};
+use hypersafe::simkit::{
+    Actor, AdversarialScheduler, ChannelModel, Ctx, EventEngine, EventStats, GhNet, HypercubeNet,
+    Network, ReliableConfig,
+};
+use hypersafe::topology::{FaultConfig, FaultSet, GeneralizedHypercube, Hypercube, NodeId};
+use proptest::prelude::*;
+
+fn assert_conserved(stats: &EventStats, kills_injected: u64) -> Result<(), TestCaseError> {
+    prop_assert_eq!(
+        stats.delivered + stats.dropped + stats.lost,
+        stats.sends + stats.duplicated,
+        "conservation law violated: {:?}",
+        stats
+    );
+    prop_assert!(
+        stats.killed <= kills_injected,
+        "{} nodes killed but only {} kills injected: {:?}",
+        stats.killed,
+        kills_injected,
+        stats
+    );
+    Ok(())
+}
+
+/// Rebroadcast-once flood: enough traffic to exercise every link in
+/// both directions without ever quiescing early.
+struct Flood {
+    neighbors: Vec<NodeId>,
+    origin: bool,
+    seen: bool,
+}
+
+impl Flood {
+    fn new<N: Network>(net: &N, a: NodeId, origin: NodeId) -> Self {
+        Flood {
+            neighbors: (0..net.degree(a.raw()))
+                .map(|p| NodeId::new(net.neighbor(a.raw(), p)))
+                .collect(),
+            origin: a == origin,
+            seen: false,
+        }
+    }
+
+    fn burst(&mut self, ctx: &mut Ctx<()>) {
+        self.seen = true;
+        for i in 0..self.neighbors.len() {
+            ctx.send(self.neighbors[i], (), 1);
+        }
+    }
+}
+
+impl Actor for Flood {
+    type Msg = ();
+
+    fn on_start(&mut self, ctx: &mut Ctx<()>) {
+        if self.origin {
+            self.burst(ctx);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<()>, _from: NodeId, _msg: ()) {
+        if !self.seen {
+            self.burst(ctx);
+        }
+    }
+}
+
+/// Floods `net` from its lowest live node under the given channel,
+/// an adversarial (reorder + stretch) scheduler, and a kill plan;
+/// returns the final stats and the number of kills injected.
+fn flood_stats<N: Network>(
+    net: &N,
+    live: impl Fn(u64) -> bool,
+    channel: ChannelModel,
+    sched_seed: u64,
+    kills: &[(u64, u64)],
+) -> (EventStats, u64) {
+    let origin = NodeId::new(
+        (0..net.num_nodes())
+            .find(|&a| live(a))
+            .expect("at least one live node"),
+    );
+    let sched =
+        Box::new(AdversarialScheduler::permute(sched_seed).with_stretch(1 + sched_seed % 5));
+    let mut eng =
+        EventEngine::with_parts(net, Some(channel), sched, |a| Flood::new(net, a, origin));
+    for &(victim, delay) in kills {
+        eng.inject_kill(NodeId::new(victim % net.num_nodes()), delay);
+    }
+    eng.run(500_000);
+    (eng.stats().clone(), kills.len() as u64)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The raw engine on faulty `Q_n`: loss, duplication, jitter,
+    /// reordering and mid-run kills all at once.
+    #[test]
+    fn flood_on_faulty_cubes_conserves(
+        n in 3u8..=6,
+        fault_picks in proptest::collection::btree_set(0u64..64, 0..6),
+        (loss_pct, dup_pct, jitter) in (0u32..30, 0u32..20, 0u64..4),
+        seed in any::<u64>(),
+        kills in proptest::collection::vec((any::<u64>(), 0u64..20), 0..3),
+    ) {
+        let cube = Hypercube::new(n);
+        let total = cube.num_nodes();
+        // Keep node 0 alive as the flood origin.
+        let faults = FaultSet::from_nodes(
+            cube,
+            fault_picks.iter().map(|&a| NodeId::new(1 + a % (total - 1))),
+        );
+        let cfg = FaultConfig::with_node_faults(cube, faults);
+        let net = HypercubeNet::new(&cfg);
+        let channel = ChannelModel::new(seed)
+            .with_loss(loss_pct as f64 / 100.0)
+            .with_jitter(jitter)
+            .with_duplication(dup_pct as f64 / 100.0);
+        let (stats, injected) =
+            flood_stats(&net, |a| !cfg.node_faulty(NodeId::new(a)), channel, seed, &kills);
+        // Faults or kills can isolate the origin, so only the burst
+        // itself is guaranteed.
+        prop_assert!(stats.sends > 0, "origin never burst: {:?}", stats);
+        assert_conserved(&stats, injected)?;
+    }
+
+    /// The same flood on generalized hypercubes (mixed radices, higher
+    /// degree, same engine): the law is topology-independent.
+    #[test]
+    fn flood_on_generalized_hypercubes_conserves(
+        radices in proptest::collection::vec(2u16..=4, 2..=3),
+        fault_picks in proptest::collection::btree_set(0u64..64, 0..4),
+        loss_pct in 0u32..30,
+        dup_pct in 0u32..20,
+        seed in any::<u64>(),
+        kills in proptest::collection::vec((any::<u64>(), 0u64..20), 0..3),
+    ) {
+        let gh = GeneralizedHypercube::new(&radices);
+        let total = gh.num_nodes();
+        let mut faults = FaultSet::with_capacity(total);
+        for &a in &fault_picks {
+            faults.insert(NodeId::new(1 + a % (total - 1)));
+        }
+        let net = GhNet::new(&gh, &faults);
+        let channel = ChannelModel::new(seed)
+            .with_loss(loss_pct as f64 / 100.0)
+            .with_duplication(dup_pct as f64 / 100.0);
+        let (stats, injected) =
+            flood_stats(&net, |a| !faults.contains(NodeId::new(a)), channel, seed, &kills);
+        // Faults or kills can isolate the origin, so only the burst
+        // itself is guaranteed.
+        prop_assert!(stats.sends > 0, "origin never burst: {:?}", stats);
+        assert_conserved(&stats, injected)?;
+    }
+
+    /// The full protocol stack: reliable GS convergence and a reliable
+    /// unicast on the same faulty cube over a noisy channel. Timers and
+    /// retransmissions churn underneath; the balance must still close,
+    /// and no kills are injected so `killed` must be 0.
+    #[test]
+    fn reliable_protocols_conserve(
+        n in 3u8..=5,
+        fault_picks in proptest::collection::btree_set(0u64..32, 0..4),
+        loss_pct in 0u32..20,
+        dup_pct in 0u32..10,
+        seed in any::<u64>(),
+    ) {
+        let cube = Hypercube::new(n);
+        let total = cube.num_nodes();
+        let faults = FaultSet::from_nodes(
+            cube,
+            fault_picks.iter().map(|&a| NodeId::new(1 + a % (total - 1))),
+        );
+        let cfg = FaultConfig::with_node_faults(cube, faults);
+        let channel = || {
+            ChannelModel::new(seed)
+                .with_loss(loss_pct as f64 / 100.0)
+                .with_jitter(2)
+                .with_duplication(dup_pct as f64 / 100.0)
+        };
+        let rcfg = ReliableConfig::default();
+
+        let gs = run_gs_reliable(&cfg, channel(), rcfg, 1, 2_000_000);
+        prop_assert!(gs.quiescent, "GS ran out of event budget");
+        assert_conserved(&gs.stats, 0)?;
+
+        let map = SafetyMap::compute(&cfg);
+        let s = NodeId::new(0);
+        let d = NodeId::new(total - 1);
+        if !cfg.node_faulty(d) {
+            let uni = run_unicast_lossy(&cfg, &map, s, d, 1, channel(), rcfg, 2_000_000);
+            assert_conserved(&uni.stats, 0)?;
+        }
+    }
+}
