@@ -65,6 +65,7 @@ pub mod route_batch;
 pub mod safety;
 pub mod safety_delta;
 pub mod safety_vector;
+pub mod service;
 pub mod unicast;
 pub mod unicast_distributed;
 
@@ -101,6 +102,7 @@ pub use safety_delta::{
     run_delta_gs, run_delta_gs_sched, ChurnEvent, DeltaGsNode, DeltaGsRun, DeltaStats,
 };
 pub use safety_vector::{vector_dominates_level, SafetyVectorMap};
+pub use service::{SafetyService, SafetyState};
 pub use unicast::{
     intermediate_dim, intermediate_dim_tb, route, route_tb, route_traced, route_traced_tb,
     source_decision, source_decision_tb, Condition, Decision, RouteResult, TieBreak,

@@ -146,6 +146,14 @@ pub fn route_many_tb(
     if pairs.is_empty() {
         return Vec::new();
     }
+    // A one-thread pool (RAYON_NUM_THREADS=1) gains nothing from the
+    // fork/join machinery — route inline and skip it entirely.
+    if rayon::num_threads() <= 1 {
+        return pairs
+            .iter()
+            .map(|&(s, d)| route_light(cfg, map, s, d, tb))
+            .collect();
+    }
     // One contiguous chunk per worker keeps the fork/join overhead at
     // a handful of spawns per call.
     let chunk = pairs.len().div_ceil(rayon::num_threads()).max(1);

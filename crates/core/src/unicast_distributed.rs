@@ -748,6 +748,7 @@ mod tests {
             rto: 4,
             rto_cap: 32,
             max_retries: 4,
+            ..ReliableConfig::default()
         };
         let run = run_unicast_lossy(
             &cfg,

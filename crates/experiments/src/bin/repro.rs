@@ -26,11 +26,18 @@
 //! thread-count-independent `results/churn.csv`, and exits nonzero on
 //! any mismatch.
 //!
+//! `service` (E26) is a gate too: it soaks the epoch-snapshot routing
+//! service with an open-loop request + churn mix, writes the
+//! thread-count-independent `results/service.csv`,
+//! `results/BENCH_service.json`, and `results/service_obs.json`, and
+//! exits nonzero on any invariant violation, unterminated request, or
+//! deadline overrun.
+//!
 //! `validate-obs` is the export gate: it checks every metrics snapshot
 //! in the `--csv` directory (`obs_metrics.json`, `loss_obs.json`,
-//! `dst_obs.json`, `churn_obs.json`) against the compiled-in copy of
-//! `tests/goldens/obs_schema.json` and exits nonzero on any shape
-//! drift — or if no snapshot is found at all.
+//! `dst_obs.json`, `churn_obs.json`, `service_obs.json`) against the
+//! compiled-in copy of `tests/goldens/obs_schema.json` and exits
+//! nonzero on any shape drift — or if no snapshot is found at all.
 //!
 //! options:
 //!   --n <dim>        cube dimension (where applicable)
@@ -47,8 +54,8 @@ use hypersafe_experiments::table::Report;
 use hypersafe_experiments::{
     broadcast_exp, churn_exp, congestion_exp, distribution_exp, dst, dynamic_exp, fig1, fig2, fig3,
     fig4, fig5, linkfaults_exp, loss_exp, maintenance_exp, multicast_exp, obs_exp, patterns_exp,
-    property2, rounds_compare, routing_compare, safesets, thm4, tightness_exp, traffic_exp,
-    vectors_exp,
+    property2, rounds_compare, routing_compare, safesets, service_exp, thm4, tightness_exp,
+    traffic_exp, vectors_exp,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -68,7 +75,7 @@ struct Opts {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <fig1|fig2|fig3|fig4|fig5|safesets|property2|thm4|compare|rounds|maintenance|broadcast|dynamic|distribution|linkfaults|tightness|traffic|multicast|patterns|vectors|congestion|loss|obs|dst|churn|validate-obs|all> \
+        "usage: repro <fig1|fig2|fig3|fig4|fig5|safesets|property2|thm4|compare|rounds|maintenance|broadcast|dynamic|distribution|linkfaults|tightness|traffic|multicast|patterns|vectors|congestion|loss|obs|dst|churn|service|validate-obs|all> \
          [--n N] [--trials K] [--seeds K] [--max-faults M] [--seed S] [--csv DIR] [--md] [--quick]"
     );
     std::process::exit(2);
@@ -550,6 +557,45 @@ fn run_churn(o: &Opts) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// The service soak is a gate like DST and churn: any invariant
+/// violation, unterminated request, or deadline overrun must fail the
+/// process so CI can gate on it.
+fn run_service(o: &Opts) -> ExitCode {
+    let mut p = service_exp::ServiceParams::default();
+    if let Some(n) = o.n {
+        p.dims = vec![n];
+    } else if o.quick {
+        // CI-sized: small cubes, a few thousand requests.
+        p.dims = vec![6, 8];
+        p.requests = 3_000;
+    }
+    if let Some(t) = o.trials {
+        // Reuse --trials as a request multiplier knob (requests = t × 1000).
+        p.requests = u64::from(t) * 1_000;
+    }
+    if let Some(s) = o.seed {
+        p.seed = s;
+    }
+    if let Some(dir) = &o.csv {
+        p.out_dir = dir.clone();
+    }
+    let run = service_exp::run(&p);
+    if o.markdown {
+        println!("{}", run.report.to_markdown());
+    } else {
+        println!("{}", run.report.render());
+    }
+    if run.failures > 0 {
+        eprintln!(
+            "service: {} failure(s) (invariant violations / unterminated requests / \
+             deadline overruns) — see the `all` rows",
+            run.failures
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 /// The schema the exported snapshots are pinned to, compiled in from
 /// the checked-in golden so the binary always gates against the exact
 /// bytes under review.
@@ -566,6 +612,7 @@ fn run_validate_obs(o: &Opts) -> ExitCode {
         "loss_obs.json",
         "dst_obs.json",
         "churn_obs.json",
+        "service_obs.json",
     ];
     let mut checked = 0u32;
     let mut bad = 0u32;
@@ -607,6 +654,9 @@ fn main() -> ExitCode {
     }
     if opts.experiment == "churn" {
         return run_churn(&opts);
+    }
+    if opts.experiment == "service" {
+        return run_service(&opts);
     }
     let names: Vec<&str> = if opts.experiment == "all" {
         vec![

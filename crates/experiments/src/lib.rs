@@ -31,6 +31,7 @@
 //! | E23 | [`dst`] | deterministic simulation testing — seeded adversaries + invariants |
 //! | E24 | [`churn_exp`] | incremental churn + batched routing throughput |
 //! | E25 | [`obs_exp`] | observability snapshot — metrics registry + flight recorder |
+//! | E26 | [`service_exp`] | resilient-service churn soak — epoch snapshots + request lifecycle |
 #![warn(missing_docs)]
 
 pub mod broadcast_exp;
@@ -55,6 +56,7 @@ pub mod render;
 pub mod rounds_compare;
 pub mod routing_compare;
 pub mod safesets;
+pub mod service_exp;
 pub mod table;
 pub mod thm4;
 pub mod tightness_exp;

@@ -26,6 +26,12 @@
 //! JSON/CSV snapshot export — all zero-allocation no-ops unless a
 //! registry is installed.
 //!
+//! [`service`] turns the routing stack into a long-lived resilient
+//! service: lock-free epoch snapshots ([`service::EpochHandle`]), an
+//! explicit request lifecycle with deadlines / bounded retries /
+//! cancellation / admission control, and a graceful-degradation
+//! ladder — all deterministic under the DST scheduler.
+//!
 //! [`sim`] adds deterministic simulation testing on top: a pluggable
 //! [`sim::Scheduler`] (seeded adversarial reordering, latency
 //! stretching, loss/duplication bursts), an [`sim::Invariant`] hook
@@ -39,6 +45,7 @@ pub mod event;
 pub mod network;
 pub mod obs;
 pub mod reliable;
+pub mod service;
 pub mod sim;
 pub mod stats;
 pub mod sync_engine;
@@ -53,6 +60,11 @@ pub use obs::{
 };
 pub use reliable::{
     RelCtx, Reliable, ReliableActor, ReliableConfig, ReliableEndpoint, ReliableMsg,
+};
+pub use service::{
+    AttemptOutcome, AttemptVerdict, DegradeReason, DeliveryRung, Epoch, EpochHandle, Injection,
+    RejectReason, ReqId, ReqState, RouteProvider, RoutingService, ServiceConfig, ServiceStats,
+    Terminal,
 };
 pub use sim::{
     shrink_injections, AdversarialScheduler, FifoScheduler, Invariant, InvariantViolation,

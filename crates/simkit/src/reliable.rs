@@ -24,10 +24,17 @@
 //! actor sees each message exactly once, in send order.
 //! Unacknowledged messages are retransmitted individually on a
 //! per-sequence timer whose period doubles each attempt up to
-//! [`ReliableConfig::rto_cap`]; after [`ReliableConfig::max_retries`]
-//! attempts the link is declared dead (the peer is fault-stop silent —
-//! indistinguishable from total loss) and recorded in
-//! [`ReliableEndpoint::gave_up_dims`].
+//! [`ReliableConfig::rto_cap`], plus a seeded jitter of up to
+//! [`ReliableConfig::jitter_max`] ticks (a pure function of the seed,
+//! port, sequence, and attempt — so runs stay deterministic while
+//! retry storms desynchronize instead of thundering in lockstep). An
+//! ACK that acknowledges anything new resets the backoff of the
+//! sequences still outstanding on that link back to the base
+//! [`ReliableConfig::rto`]: fresh proof the peer is alive makes the
+//! grown ladder stale evidence (duplicate ACKs keep it). After
+//! [`ReliableConfig::max_retries`] attempts the link is declared dead
+//! (the peer is fault-stop silent — indistinguishable from total
+//! loss) and recorded in [`ReliableEndpoint::gave_up_dims`].
 //!
 //! Retransmission timers live in their own [`TimerTag::Arq`] tag
 //! space, so inner actors may use any `u64` tag without colliding with
@@ -38,6 +45,7 @@
 //! [`crate::obs::Metrics`] registry is installed), so experiment code
 //! can read total overhead from one place.
 
+use crate::channel::{mix, uniform_inclusive};
 use crate::event::{Actor, Ctx, Time, TimerTag};
 use hypersafe_topology::NodeId;
 use std::collections::BTreeMap;
@@ -54,6 +62,14 @@ pub struct ReliableConfig {
     /// dead. With loss rate p the residual failure probability is
     /// p^(max_retries + 1).
     pub max_retries: u32,
+    /// Extra delay added to every retransmission, uniform in
+    /// `0..=jitter_max` ticks. Zero disables jitter and makes the
+    /// backoff chain exact.
+    pub jitter_max: Time,
+    /// Seed of the jitter stream. The jitter of one retransmission is
+    /// a pure function of `(jitter_seed, port, seq, attempt)`, so the
+    /// same configuration replays tick-identically.
+    pub jitter_seed: u64,
 }
 
 impl Default for ReliableConfig {
@@ -62,6 +78,8 @@ impl Default for ReliableConfig {
             rto: 8,
             rto_cap: 256,
             max_retries: 12,
+            jitter_max: 2,
+            jitter_seed: 0xB0FF_5EED,
         }
     }
 }
@@ -214,8 +232,7 @@ impl<M: Clone> ReliableEndpoint<M> {
         let port = self.port_of(from);
         match msg {
             ReliableMsg::Ack { cum } => {
-                let link = &mut self.out[port];
-                link.unacked.retain(|&seq, _| seq > cum);
+                self.on_ack(port, cum);
                 Vec::new()
             }
             ReliableMsg::Data { seq, payload } => {
@@ -241,6 +258,24 @@ impl<M: Clone> ReliableEndpoint<M> {
         }
     }
 
+    /// Processes a cumulative acknowledgement on `port`: drops every
+    /// sequence at or below `cum`, and — if that acknowledged anything
+    /// new — resets the backoff of the sequences still outstanding to
+    /// the base timeout. A duplicate ACK acknowledges nothing and
+    /// keeps the grown ladder (it is not evidence of forward
+    /// progress). Attempt counts are deliberately *not* reset, so the
+    /// per-message give-up bound survives a half-alive peer.
+    fn on_ack(&mut self, port: usize, cum: u64) {
+        let link = &mut self.out[port];
+        let before = link.unacked.len();
+        link.unacked.retain(|&seq, _| seq > cum);
+        if link.unacked.len() < before {
+            for entry in link.unacked.values_mut() {
+                entry.2 = self.cfg.rto;
+            }
+        }
+    }
+
     fn handle_timer(&mut self, raw: &mut Ctx<ReliableMsg<M>>, port: u32, seq: u64) {
         let link = &mut self.out[port as usize];
         let Some((payload, attempts, rto)) = link.unacked.get_mut(&seq) else {
@@ -256,7 +291,16 @@ impl<M: Clone> ReliableEndpoint<M> {
         }
         *attempts += 1;
         *rto = (*rto * 2).min(self.cfg.rto_cap);
-        let delay = *rto;
+        let jitter = uniform_inclusive(
+            mix(self
+                .cfg
+                .jitter_seed
+                .wrapping_add((port as u64) << 48)
+                .wrapping_add(seq.rotate_left(16))
+                .wrapping_add(*attempts as u64)),
+            self.cfg.jitter_max,
+        );
+        let delay = *rto + jitter;
         let msg = ReliableMsg::Data {
             seq,
             payload: payload.clone(),
@@ -506,6 +550,8 @@ mod tests {
             rto: 2,
             rto_cap: 16,
             max_retries: 5,
+            jitter_max: 0,
+            jitter_seed: 0,
         };
         let net = HypercubeNet::new(&cfg);
         let mut eng = EventEngine::new(&net, |a| {
@@ -540,6 +586,8 @@ mod tests {
             rto: 2,
             rto_cap: 8,
             max_retries: 4,
+            jitter_max: 0,
+            jitter_seed: 0,
         };
         let net = HypercubeNet::new(&cfg);
         let mut eng = EventEngine::new(&net, |a| {
@@ -557,6 +605,82 @@ mod tests {
         eng.run(u64::MAX);
         // Timer chain: 2, 2+4=6, 6+8=14, 14+8=22, give-up check at 30.
         assert_eq!(eng.stats().end_time, 30);
+    }
+
+    /// One retransmission chain against a silent peer, with jitter:
+    /// end time lands inside the exact-chain-plus-jitter envelope,
+    /// replays tick-identically under the same seed, and moves when
+    /// the seed moves.
+    #[test]
+    fn retransmit_jitter_is_seeded_bounded_and_deterministic() {
+        let run = |jitter_seed: u64| {
+            let cube = Hypercube::new(1);
+            let mut faults = FaultSet::new(cube);
+            faults.insert(NodeId::new(1));
+            let cfg = FaultConfig::with_node_faults(cube, faults);
+            let rcfg = ReliableConfig {
+                rto: 2,
+                rto_cap: 8,
+                max_retries: 4,
+                jitter_max: 3,
+                jitter_seed,
+            };
+            let net = HypercubeNet::new(&cfg);
+            let mut eng = EventEngine::new(&net, |a| {
+                Reliable::new(
+                    Stream {
+                        count: 1,
+                        log: vec![],
+                    },
+                    a,
+                    1,
+                    1,
+                    rcfg,
+                )
+            });
+            eng.run(u64::MAX);
+            eng.stats().end_time
+        };
+        // The zero-jitter chain ends at 30 (see backoff_doubles_and_caps);
+        // each of the 4 re-arms plus the give-up check adds 0..=3 ticks.
+        let ends: Vec<Time> = (0..4).map(run).collect();
+        for &e in &ends {
+            assert!((30..=45).contains(&e), "inside the jitter envelope: {e}");
+        }
+        assert_eq!(run(0), ends[0], "same seed, same ticks");
+        assert!(
+            ends.iter().any(|&e| e != ends[0]),
+            "jitter responds to the seed: {ends:?}"
+        );
+    }
+
+    /// An ACK that acknowledges progress collapses the grown backoff
+    /// of the sequences still outstanding back to the base rto; a
+    /// duplicate ACK (no progress) leaves the ladder alone.
+    #[test]
+    fn ack_resets_backoff_of_outstanding_sequences() {
+        let rcfg = ReliableConfig {
+            rto: 2,
+            rto_cap: 64,
+            max_retries: 10,
+            jitter_max: 0,
+            jitter_seed: 0,
+        };
+        let mut ep: ReliableEndpoint<u64> = ReliableEndpoint::new(NodeId::ZERO, 1, 1, rcfg);
+        // Two messages mid-ladder on port 0: both backed off to 16.
+        ep.out[0].next_seq = 3;
+        ep.out[0].unacked.insert(1, (10, 3, 16));
+        ep.out[0].unacked.insert(2, (20, 3, 16));
+        // Duplicate ACK: cum 0 acknowledges nothing — ladder kept.
+        ep.on_ack(0, 0);
+        assert_eq!(ep.out[0].unacked[&1].2, 16, "duplicate ACK keeps backoff");
+        // Progress: seq 1 acknowledged — seq 2's rto resets, its
+        // attempt count (the give-up budget) does not.
+        ep.on_ack(0, 1);
+        assert!(!ep.out[0].unacked.contains_key(&1));
+        let (_, attempts, rto) = ep.out[0].unacked[&2];
+        assert_eq!(rto, rcfg.rto, "outstanding seq resets to base rto");
+        assert_eq!(attempts, 3, "attempts survive the reset");
     }
 
     /// The old reserved-bit convention made tags like `1 << 63`

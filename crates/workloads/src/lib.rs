@@ -10,6 +10,7 @@
 pub mod embedded;
 pub mod fault_gen;
 pub mod loss;
+pub mod open_loop;
 pub mod pairs;
 pub mod partition;
 pub mod sweep;
@@ -19,6 +20,7 @@ pub use embedded::{
 };
 pub use fault_gen::{clustered_faults, subcube_faults, uniform_faults, uniform_link_faults};
 pub use loss::{random_profile, LossProfile, STANDARD_PROFILES};
+pub use open_loop::{open_loop_mix, OpenLoop};
 pub use pairs::{random_healthy, random_pair, random_pair_at_distance};
 pub use partition::{corner_cut, is_disconnecting, random_disconnecting, subcube_cut};
 pub use sweep::{ci95, mean, stddev, Sweep};

@@ -1,0 +1,103 @@
+//! The resilient routing service under fault churn: requests route
+//! against immutable epoch snapshots of the safety map while node
+//! faults and recoveries mutate the live cube, every request runs the
+//! deadline-bounded lifecycle, and outcomes degrade down the ladder
+//! (optimal → suboptimal → detour → retry → typed rejection) instead
+//! of failing on stale state. See DESIGN.md §12 and EXPERIMENTS.md
+//! E26 for the full soak.
+//!
+//! ```text
+//! cargo run --release --example service_churn
+//! ```
+
+use hypersafe::safety::SafetyService;
+use hypersafe::simkit::{
+    AdversarialScheduler, Injection, ReqState, RoutingService, ServiceConfig, Terminal,
+};
+use hypersafe::topology::{FaultConfig, Hypercube};
+use hypersafe::workloads::{open_loop_mix, OpenLoop};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    // An 8-cube under open-loop load: route submits with deadlines,
+    // interleaved node fault/recover churn, and occasional caller
+    // cancellations — all seeded, so every run is identical.
+    let cube = Hypercube::new(8);
+    let wl = OpenLoop {
+        requests: 20_000,
+        churn_prob: 0.08,
+        max_live_faults: 7,
+        cancel_prob: 0.02,
+        ..OpenLoop::default()
+    };
+    let mut rng = ChaCha8Rng::seed_from_u64(0x05E5_71CE);
+    let injections = open_loop_mix(cube, &wl, &mut rng);
+    let submits = injections
+        .iter()
+        .filter(|i| matches!(i, Injection::Submit { .. }))
+        .count();
+    println!(
+        "workload: {} events ({} submits) on an 8-cube, up to 7 live faults",
+        injections.len(),
+        submits
+    );
+
+    // The service: epoch snapshots of (FaultConfig, SafetyMap) publish
+    // 4 ticks after each churn event (the restabilization window), so
+    // requests in flight during the lag really do route on stale maps
+    // — that is what the retry rung is for. Same-tick event order is
+    // handed to the DST adversarial scheduler to show the outcome does
+    // not depend on a friendly schedule.
+    let provider = SafetyService::new(FaultConfig::fault_free(cube));
+    let mut svc = RoutingService::with_scheduler(
+        provider,
+        ServiceConfig::default(),
+        Box::new(AdversarialScheduler::permute(7)),
+    );
+    svc.load(&injections);
+    svc.run();
+
+    println!("\n{}", svc.stats().render());
+
+    // The lifecycle contract, checked live: every request reached
+    // exactly one terminal state, nothing outlived its deadline by
+    // more than the documented +1 tick, and the safety-map invariant
+    // held at every epoch publication.
+    let mut worst_slack = 0;
+    for (state, submit, deadline, done_at, _) in svc.request_records() {
+        let ReqState::Done(terminal) = state else {
+            panic!("request left non-terminal: {state:?}");
+        };
+        assert!(done_at >= submit && done_at <= deadline + 1);
+        if matches!(terminal, Terminal::TimedOut) {
+            worst_slack = worst_slack.max(done_at - deadline);
+        }
+    }
+    assert_eq!(svc.stats().terminals(), submits as u64);
+    assert!(svc.violations().is_empty(), "{:?}", svc.violations());
+    println!(
+        "\nall {} requests terminal, {} epochs published, zero invariant \
+         violations, final tick {}",
+        submits,
+        svc.stats().epochs_published,
+        svc.now()
+    );
+
+    let s = svc.stats();
+    println!(
+        "ladder: optimal {} | suboptimal {} | detour {} | retry {} (after {} \
+         retry attempts) | rejected {} | timed out {}",
+        s.delivered_optimal,
+        s.degraded_suboptimal,
+        s.degraded_detour,
+        s.degraded_retry,
+        s.retries,
+        s.rejected_overloaded
+            + s.rejected_cancelled
+            + s.rejected_source_faulty
+            + s.rejected_destination_faulty
+            + s.rejected_unreachable,
+        s.timed_out,
+    );
+}

@@ -82,3 +82,78 @@ proptest! {
         }
     }
 }
+
+/// `route_many` must produce bitwise-identical outcomes whether it
+/// takes the fork/join path or the single-thread sequential fallback
+/// (`RAYON_NUM_THREADS=1`). The vendored rayon resolves its thread
+/// count once per process, so the fallback branch is exercised in a
+/// pinned child process of this same test binary and compared by
+/// fingerprint against the in-process parallel run and the plain
+/// sequential loop.
+#[test]
+fn route_many_single_thread_fallback_matches_parallel() {
+    use hypersafe::safety::{route_many, route_many_seq};
+    use hypersafe::topology::FaultSet;
+    use std::hash::{Hash, Hasher};
+
+    let cube = Hypercube::new(8);
+    let cfg = FaultConfig::with_node_faults(
+        cube,
+        FaultSet::from_binary_strs(
+            cube,
+            &["00000011", "00010100", "01100000", "10000001", "11110000"],
+        ),
+    );
+    let map = SafetyMap::compute(&cfg);
+    let pairs: Vec<(NodeId, NodeId)> = cube
+        .nodes()
+        .flat_map(|s| cube.nodes().map(move |d| (s, d)))
+        .collect();
+    let fingerprint = |out: &[hypersafe::safety::BatchOutcome]| -> u64 {
+        let mut h = std::hash::DefaultHasher::new();
+        format!("{out:?}").hash(&mut h);
+        h.finish()
+    };
+    let expect = fingerprint(&route_many_seq(&cfg, &map, &pairs));
+
+    if std::env::var("HYPERSAFE_ROUTE_MANY_CHILD").is_ok() {
+        // Child: pinned to one worker, so route_many takes the
+        // sequential fallback branch.
+        assert_eq!(rayon::num_threads(), 1, "child must be pinned");
+        let got = fingerprint(&route_many(&cfg, &map, &pairs));
+        println!("route_many_fingerprint={got:016x}");
+        assert_eq!(got, expect);
+        return;
+    }
+
+    assert_eq!(
+        fingerprint(&route_many(&cfg, &map, &pairs)),
+        expect,
+        "parallel path matches the sequential loop"
+    );
+    let out = std::process::Command::new(std::env::current_exe().unwrap())
+        .args([
+            "route_many_single_thread_fallback_matches_parallel",
+            "--exact",
+            "--nocapture",
+        ])
+        .env("RAYON_NUM_THREADS", "1")
+        .env("HYPERSAFE_ROUTE_MANY_CHILD", "1")
+        .output()
+        .expect("spawn pinned child");
+    assert!(
+        out.status.success(),
+        "pinned child failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // The libtest runner may glue the marker onto its own "test ..."
+    // line, so search by substring rather than line prefix.
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let hex = stdout
+        .split("route_many_fingerprint=")
+        .nth(1)
+        .map(|rest| &rest[..16])
+        .expect("child printed its fingerprint");
+    let got = u64::from_str_radix(hex, 16).expect("hex fingerprint");
+    assert_eq!(got, expect, "fallback outcomes identical to parallel");
+}
