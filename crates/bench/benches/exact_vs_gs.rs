@@ -29,23 +29,26 @@ fn bench_gap(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_parallel_gs(c: &mut Criterion) {
-    let mut g = c.benchmark_group("gs_parallelism");
+fn bench_plane_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gs_kernels");
     g.sample_size(10);
     for n in [12u8, 14] {
         let cube = Hypercube::new(n);
         let mut rng = Sweep::new(1, 0xE1).trial_rng(0);
         let cfg =
             FaultConfig::with_node_faults(cube, uniform_faults(cube, 2 * n as usize, &mut rng));
-        g.bench_with_input(BenchmarkId::new("sequential", n), &cfg, |b, cfg| {
+        g.bench_with_input(BenchmarkId::new("plane_jacobi", n), &cfg, |b, cfg| {
             b.iter(|| black_box(SafetyMap::compute(cfg)))
         });
-        g.bench_with_input(BenchmarkId::new("rayon", n), &cfg, |b, cfg| {
-            b.iter(|| black_box(SafetyMap::compute_parallel(cfg)))
+        g.bench_with_input(BenchmarkId::new("plane_constructive", n), &cfg, |b, cfg| {
+            b.iter(|| black_box(SafetyMap::compute_constructive(cfg)))
+        });
+        g.bench_with_input(BenchmarkId::new("scalar_reference", n), &cfg, |b, cfg| {
+            b.iter(|| black_box(SafetyMap::compute_reference(cfg)))
         });
     }
     g.finish();
 }
 
-criterion_group!(benches, bench_gap, bench_parallel_gs);
+criterion_group!(benches, bench_gap, bench_plane_kernels);
 criterion_main!(benches);

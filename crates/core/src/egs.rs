@@ -18,20 +18,25 @@
 //! Footnote 3's special-fault semantics: an `N2` node is never used as
 //! an intermediate, but a message destined *to* it is still delivered.
 
+use crate::level_store::LevelStore;
 use crate::safety::{level_from_neighbors, Level, SafetyMap};
 use crate::unicast::{route_traced, RouteResult};
 use hypersafe_simkit::{SyncEngine, SyncNode, SyncStats, Trace};
-use hypersafe_topology::{FaultConfig, FaultSet, NodeId};
+use hypersafe_topology::{FaultConfig, FaultSet, NodeId, MAX_DIM};
 
 /// Safety state of a hypercube with node and link faults: the
-/// advertised (global) view plus each `N2` node's self view.
+/// advertised (global) view plus each `N2` node's self view. Both
+/// views share the packed [`LevelStore`] representation — the self
+/// view starts as a clone of the advertised store and diverges only
+/// on `N2` nodes, so the extension costs the same ~0.5 bytes/node as
+/// the node-fault-only map.
 #[derive(Clone, Debug)]
 pub struct ExtendedSafetyMap {
     /// Advertised levels: the fixed point over `N1` with `F ∪ N2`
     /// treated as faulty. This is what every *other* node sees.
     advertised: SafetyMap,
     /// Self-view levels: differs from `advertised` only on `N2` nodes.
-    own: Vec<Level>,
+    own: LevelStore,
     /// Membership of `N2`, by raw address.
     in_n2: Vec<bool>,
 }
@@ -59,8 +64,8 @@ impl ExtendedSafetyMap {
         // Last round: each N2 node evaluates NODE_STATUS once over the
         // advertised levels (its faulty-link far ends are in N2 or F,
         // so they already advertise 0).
-        let mut own: Vec<Level> = advertised.as_slice().to_vec();
-        let mut scratch = vec![0 as Level; n as usize];
+        let mut own = advertised.store().clone();
+        let mut scratch = [0 as Level; MAX_DIM as usize];
         for a in cube.nodes() {
             if !in_n2[a.raw() as usize] {
                 continue;
@@ -68,7 +73,7 @@ impl ExtendedSafetyMap {
             for (i, b) in cube.neighbors(a).enumerate() {
                 scratch[i] = advertised.level(b);
             }
-            own[a.raw() as usize] = level_from_neighbors(n, &mut scratch);
+            own.set(a.raw(), level_from_neighbors(n, &mut scratch[..n as usize]));
         }
         ExtendedSafetyMap {
             advertised,
@@ -90,7 +95,7 @@ impl ExtendedSafetyMap {
     /// Level of `a` in its own view (differs from advertised only for
     /// `N2` nodes).
     pub fn own_level(&self, a: NodeId) -> Level {
-        self.own[a.raw() as usize]
+        self.own.get(a.raw())
     }
 
     /// Whether `a` is a nonfaulty node with an adjacent faulty link.
@@ -144,11 +149,14 @@ impl SyncNode for EgsNode {
     }
 
     fn receive(&mut self, inbox: &[(u8, Level)]) -> bool {
-        let mut levels = vec![0 as Level; self.n as usize];
+        // Faulty links never deliver, so absent dimensions read as 0 —
+        // a stack array keeps the per-round evaluation allocation-free
+        // even with a million simulated actors.
+        let mut levels = [0 as Level; MAX_DIM as usize];
         for &(dim, lv) in inbox {
             levels[dim as usize] = lv;
         }
-        let new = level_from_neighbors(self.n, &mut levels);
+        let new = level_from_neighbors(self.n, &mut levels[..self.n as usize]);
         let changed = new != self.level;
         self.level = new;
         changed
@@ -183,7 +191,7 @@ pub fn run_egs(cfg: &FaultConfig) -> (ExtendedSafetyMap, SyncStats) {
     (
         ExtendedSafetyMap {
             advertised: SafetyMap::from_levels(cube, advertised),
-            own,
+            own: LevelStore::from_levels(n, &own),
             in_n2,
         },
         stats,
@@ -208,10 +216,11 @@ pub fn route_egs_traced(
 ) -> RouteResult {
     // The routing algorithm is byte-for-byte the node-fault one; the
     // only difference is the level view: the source's C1 test uses its
-    // own level. Materialize that view as a SafetyMap.
-    let mut levels = emap.advertised.as_slice().to_vec();
-    levels[s.raw() as usize] = emap.own_level(s);
-    let view = SafetyMap::from_levels(cfg.cube(), levels);
+    // own level. Clone the packed store and substitute that one level
+    // — no byte-per-node materialization.
+    let mut view = emap.advertised.store().clone();
+    view.set(s.raw(), emap.own_level(s));
+    let view = SafetyMap::from_store(cfg.cube(), view);
     // An N2 destination advertises 0 and so, like a faulty one, is only
     // reachable as the final hop; `route_traced` treats message entry
     // into it as ordinary arrival because it is not in the node fault
@@ -273,7 +282,7 @@ mod tests {
         let cfg = FaultConfig::with_node_faults(cube, nodes);
         let emap = ExtendedSafetyMap::compute(&cfg);
         let plain = SafetyMap::compute(&cfg);
-        assert_eq!(emap.advertised.as_slice(), plain.as_slice());
+        assert_eq!(emap.advertised.store(), plain.store());
         assert!(cfg.cube().nodes().all(|a| !emap.is_n2(a)));
     }
 
@@ -296,7 +305,7 @@ mod tests {
         let cfg = fig4_like();
         let central = ExtendedSafetyMap::compute(&cfg);
         let (dist, stats) = run_egs(&cfg);
-        assert_eq!(central.advertised.as_slice(), dist.advertised.as_slice());
+        assert_eq!(central.advertised.store(), dist.advertised.store());
         assert_eq!(central.own, dist.own);
         assert_eq!(central.in_n2, dist.in_n2);
         assert!(stats.messages > 0);
@@ -321,8 +330,8 @@ mod tests {
             let central = ExtendedSafetyMap::compute(&cfg);
             let (dist, _) = run_egs(&cfg);
             assert_eq!(
-                central.advertised.as_slice(),
-                dist.advertised.as_slice(),
+                central.advertised.store(),
+                dist.advertised.store(),
                 "seed {seed}"
             );
             assert_eq!(central.own, dist.own, "seed {seed}");

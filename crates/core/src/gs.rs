@@ -15,12 +15,13 @@
 //! Theorem 1 both converge to the same unique fixed point, which the
 //! test suite cross-checks against the centralized computation.
 
+use crate::level_store::NeighborLevels;
 use crate::safety::{level_from_neighbors, level_from_unsorted, Level, SafetyMap};
 use hypersafe_simkit::{
     Actor, ChannelModel, Ctx, EventEngine, EventStats, FifoScheduler, HypercubeNet, Metrics,
     RelCtx, Reliable, ReliableActor, ReliableConfig, Scheduler, SyncEngine, SyncNode, SyncStats,
 };
-use hypersafe_topology::{FaultConfig, NodeId};
+use hypersafe_topology::{FaultConfig, NodeId, MAX_DIM};
 
 /// Per-node state of the synchronous GS protocol.
 #[derive(Clone, Debug)]
@@ -50,12 +51,13 @@ impl SyncNode for GsNode {
 
     fn receive(&mut self, inbox: &[(u8, Level)]) -> bool {
         // Dimensions that delivered nothing (faulty neighbor or faulty
-        // link) read as level 0.
-        let mut levels = vec![0 as Level; self.n as usize];
+        // link) read as level 0. Stack scratch: this runs once per node
+        // per round, so a heap allocation here dominates at n = 20.
+        let mut levels = [0 as Level; MAX_DIM as usize];
         for &(dim, lv) in inbox {
             levels[dim as usize] = lv;
         }
-        let new = level_from_neighbors(self.n, &mut levels);
+        let new = level_from_neighbors(self.n, &mut levels[..self.n as usize]);
         let changed = new != self.level;
         self.level = new;
         changed
@@ -106,7 +108,7 @@ pub fn run_gs_bounded(cfg: &FaultConfig, max_rounds: u32) -> GsRun {
 /// let cfg = FaultConfig::with_node_faults(cube, faults);
 /// let run = run_gs(&cfg);
 /// // The distributed protocol converges to the centralized fixed point.
-/// assert_eq!(run.map.as_slice(), SafetyMap::compute(&cfg).as_slice());
+/// assert_eq!(run.map.store(), SafetyMap::compute(&cfg).store());
 /// assert!(run.stats.messages > 0);
 /// ```
 pub fn run_gs(cfg: &FaultConfig) -> GsRun {
@@ -129,11 +131,13 @@ pub fn run_gs(cfg: &FaultConfig) -> GsRun {
 pub struct AsyncGsNode {
     n: u8,
     level: Level,
-    /// Best current knowledge of each neighbor's level, by dimension.
-    heard: Vec<Level>,
+    /// Best current knowledge of each neighbor's level, by dimension —
+    /// packed 5-bit fields, three words total regardless of `n`.
+    heard: NeighborLevels,
     /// Which neighbors are locally known reachable (healthy node behind
-    /// a healthy link) — assumption 2's local fault detection.
-    usable: Vec<bool>,
+    /// a healthy link) — assumption 2's local fault detection. Bit `d`
+    /// set means the dimension-`d` neighbor is usable.
+    usable: u32,
     latency: u64,
     /// Whether every level change so far was a decrease. Starting from
     /// the top element this must stay `true` (the Definition 1 operator
@@ -147,12 +151,14 @@ pub struct AsyncGsNode {
 impl AsyncGsNode {
     pub(crate) fn new(cfg: &FaultConfig, me: NodeId, latency: u64) -> Self {
         let n = cfg.cube().dim();
-        let usable: Vec<bool> = cfg
-            .cube()
-            .neighbors_with_dims(me)
-            .map(|(_, b)| !cfg.node_faulty(b) && !cfg.link_faults().contains(me, b))
-            .collect();
-        let heard = usable.iter().map(|&u| if u { n } else { 0 }).collect();
+        let mut usable = 0u32;
+        let mut heard = NeighborLevels::filled(n, 0);
+        for (d, b) in cfg.cube().neighbors_with_dims(me) {
+            if !cfg.node_faulty(b) && !cfg.link_faults().contains(me, b) {
+                usable |= 1 << d;
+                heard.set(d, n);
+            }
+        }
         AsyncGsNode {
             n,
             level: n,
@@ -177,7 +183,7 @@ impl AsyncGsNode {
     fn reevaluate(&mut self) -> bool {
         // Histogram evaluation: no clone, no sort (hot path — runs on
         // every received announcement).
-        let new = level_from_unsorted(self.n, self.heard.iter().copied());
+        let new = level_from_unsorted(self.n, self.heard.iter(self.n));
         if new != self.level {
             self.monotone &= new < self.level;
             self.level = new;
@@ -214,7 +220,7 @@ impl Actor for AsyncGsNode {
         // high level could resurrect knowledge under an adversarial
         // schedule; the min() makes descent unconditional, which is what
         // the `GsLevelsDescend` DST invariant checks.
-        self.heard[dim as usize] = self.heard[dim as usize].min(msg);
+        self.heard.set(dim, self.heard.get(dim).min(msg));
         if self.reevaluate() {
             self.announce(ctx);
         }
@@ -292,7 +298,7 @@ impl ReliableActor for AsyncGsNode {
     fn on_start(&mut self, ctx: &mut RelCtx<Level>) {
         if self.reevaluate() {
             for i in 0..self.n {
-                if self.usable[i as usize] {
+                if self.usable >> i & 1 == 1 {
                     ctx.send_reliable(ctx.self_id().neighbor(i), self.level);
                 }
             }
@@ -304,10 +310,10 @@ impl ReliableActor for AsyncGsNode {
         // Same monotone merge as the unreliable actor; the ARQ layer
         // delivers in order per link, so this is belt-and-suspenders
         // there, but it keeps the two actors' semantics identical.
-        self.heard[dim as usize] = self.heard[dim as usize].min(msg);
+        self.heard.set(dim, self.heard.get(dim).min(msg));
         if self.reevaluate() {
             for i in 0..self.n {
-                if self.usable[i as usize] {
+                if self.usable >> i & 1 == 1 {
                     ctx.send_reliable(ctx.self_id().neighbor(i), self.level);
                 }
             }
@@ -432,7 +438,7 @@ mod tests {
         let cfg = cfg4(&["0011", "0100", "0110", "1001"]);
         let run = run_gs(&cfg);
         let central = SafetyMap::compute(&cfg);
-        assert_eq!(run.map.as_slice(), central.as_slice());
+        assert_eq!(run.map.store(), central.store());
         assert_eq!(run.map.rounds(), 2, "Fig. 1 stabilizes after two rounds");
     }
 
@@ -441,7 +447,7 @@ mod tests {
         let cfg = cfg4(&["0011", "0100", "0110", "1001"]);
         let (map, stats) = run_gs_async(&cfg, 3);
         let central = SafetyMap::compute(&cfg);
-        assert_eq!(map.as_slice(), central.as_slice());
+        assert_eq!(map.store(), central.store());
         assert!(stats.delivered > 0);
     }
 
@@ -460,17 +466,9 @@ mod tests {
             let cfg = FaultConfig::with_node_faults(cube, f);
             let central = SafetyMap::compute(&cfg);
             let sync = run_gs(&cfg);
-            assert_eq!(
-                sync.map.as_slice(),
-                central.as_slice(),
-                "sync mask {mask:#b}"
-            );
+            assert_eq!(sync.map.store(), central.store(), "sync mask {mask:#b}");
             let (async_map, _) = run_gs_async(&cfg, 1);
-            assert_eq!(
-                async_map.as_slice(),
-                central.as_slice(),
-                "async mask {mask:#b}"
-            );
+            assert_eq!(async_map.store(), central.store(), "async mask {mask:#b}");
         }
     }
 
@@ -479,7 +477,7 @@ mod tests {
         // Latency 7 ≫ 1 stresses reordering across rounds.
         let cfg = cfg4(&["0000", "0110", "1111"]);
         let (map, _) = run_gs_async(&cfg, 7);
-        assert_eq!(map.as_slice(), SafetyMap::compute(&cfg).as_slice());
+        assert_eq!(map.store(), SafetyMap::compute(&cfg).store());
     }
 
     #[test]
@@ -496,7 +494,7 @@ mod tests {
                 run.links_abandoned, 0,
                 "loss {loss}: no healthy link abandoned"
             );
-            assert_eq!(run.map.as_slice(), central.as_slice(), "loss {loss}");
+            assert_eq!(run.map.store(), central.store(), "loss {loss}");
             if loss >= 0.2 {
                 assert!(
                     run.stats.retransmitted > 0,
@@ -519,7 +517,7 @@ mod tests {
         assert!(run.quiescent);
         assert_eq!(run.stats.retransmitted, 0);
         assert_eq!(run.stats.lost, 0);
-        assert_eq!(run.map.as_slice(), SafetyMap::compute(&cfg).as_slice());
+        assert_eq!(run.map.store(), SafetyMap::compute(&cfg).store());
         assert!(run.stats.acked > 0, "every announcement is acknowledged");
     }
 

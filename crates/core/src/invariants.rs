@@ -106,7 +106,7 @@ impl DeltaGsDirected {
     /// configuration, `prev_map` the pre-event fixed point. Computes
     /// the post-event fixed point once as the far bound.
     pub fn new(cfg: &FaultConfig, prev_map: &SafetyMap, event: ChurnEvent) -> Self {
-        let mut prev = prev_map.as_slice().to_vec();
+        let mut prev = prev_map.to_vec();
         let descending = matches!(event, ChurnEvent::Fault(_));
         if let ChurnEvent::Recover(a) = event {
             // The revived node starts from zero knowledge, which
@@ -255,7 +255,7 @@ pub fn run_delta_gs_checked(
         .map(|a| eng.actor(a).map_or(0, DeltaGsNode::level))
         .collect();
     let fixed = SafetyMap::compute(cfg);
-    if levels != fixed.as_slice() {
+    if levels != fixed.to_vec() {
         let bad = cfg
             .cube()
             .nodes()
@@ -601,7 +601,7 @@ mod tests {
                 Box::new(AdversarialScheduler::permute(seed).with_stretch(5)),
             )
             .unwrap_or_else(|v| panic!("fault seed {seed}: {v}"));
-            assert_eq!(run.map.as_slice(), SafetyMap::compute(&cfg).as_slice());
+            assert_eq!(run.map.store(), SafetyMap::compute(&cfg).store());
 
             // And the reverse event, from the post-fault fixed point.
             let mut back = cfg.clone();
@@ -614,7 +614,7 @@ mod tests {
                 Box::new(AdversarialScheduler::permute(seed ^ 0xA5).with_stretch(5)),
             )
             .unwrap_or_else(|v| panic!("recover seed {seed}: {v}"));
-            assert_eq!(run2.map.as_slice(), prev.as_slice());
+            assert_eq!(run2.map.store(), prev.store());
         }
     }
 
@@ -623,7 +623,7 @@ mod tests {
         // Feed the checker a *wrong* pre-event map: the run quiesces
         // off the fixed point and must be reported, not absorbed.
         let (cfg0, _) = fig1();
-        let mut wrong = SafetyMap::compute(&cfg0).as_slice().to_vec();
+        let mut wrong = SafetyMap::compute(&cfg0).store().to_vec();
         let victim = n("1000");
         wrong[victim.raw() as usize] = 1; // truly 4-safe in fig. 1
         let wrong_map = SafetyMap::from_levels(cfg0.cube(), wrong);

@@ -56,6 +56,7 @@ pub mod gh_unicast;
 pub mod gh_unicast_distributed;
 pub mod gs;
 pub mod invariants;
+pub mod level_store;
 pub mod maintenance;
 pub mod multicast;
 pub mod navigation;
@@ -88,6 +89,7 @@ pub use invariants::{
     run_unicast_lossy_checked, run_unicast_lossy_checked_traced, ArqSingleDelivery,
     DeltaGsDirected, GsLevelsDescend,
 };
+pub use level_store::{LevelStore, NeighborLevels, PlaneView};
 pub use maintenance::{replay, MaintenanceReport, Strategy, Timeline, TimelineEvent};
 pub use multicast::{multicast, MulticastResult};
 pub use navigation::NavVector;

@@ -146,8 +146,8 @@ pub fn replay(cube: Hypercube, timeline: &Timeline, strategy: Strategy) -> Maint
                 ChurnEvent::Recover(a) => map.apply_recover(cfg, a),
             };
             debug_assert_eq!(
-                map.as_slice(),
-                run.map.as_slice(),
+                map.store(),
+                run.map.store(),
                 "delta-GS diverged from the centralized incremental update"
             );
             report.gs_runs += 1;

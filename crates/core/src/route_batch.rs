@@ -6,15 +6,15 @@
 //! against one safety map. [`route_light`] runs the identical §3
 //! algorithm hop-by-hop without building the path, and [`route_many`]
 //! fans a batch of source/destination pairs over the vendored rayon's
-//! `par_chunks` — order-preserving and deterministic, so the result
-//! vector is bitwise-identical at any `RAYON_NUM_THREADS` (CI diffs 1
-//! vs 4 threads on every push).
+//! `for_each_chunk_pair` — workers write straight into one
+//! preallocated output vector, order-preserving and deterministic, so
+//! the result is bitwise-identical at any `RAYON_NUM_THREADS` (CI
+//! diffs 1 vs 4 threads on every push).
 
 use crate::navigation::NavVector;
 use crate::safety::SafetyMap;
 use crate::unicast::{intermediate_dim_tb, source_decision_tb, Decision, TieBreak};
 use hypersafe_topology::{FaultConfig, NodeId};
-use rayon::prelude::*;
 
 /// Compact outcome of one batched unicast: the source decision, the
 /// hop count actually walked, and delivery — everything the
@@ -147,28 +147,34 @@ pub fn route_many_tb(
         return Vec::new();
     }
     // A one-thread pool (RAYON_NUM_THREADS=1) gains nothing from the
-    // fork/join machinery — route inline and skip it entirely.
+    // fan-out — route straight into the result and skip even the
+    // prealloc fill, so the fallback is byte-for-byte the sequential
+    // loop.
     if rayon::num_threads() <= 1 {
         return pairs
             .iter()
             .map(|&(s, d)| route_light(cfg, map, s, d, tb))
             .collect();
     }
-    // One contiguous chunk per worker keeps the fork/join overhead at
-    // a handful of spawns per call.
+    // Workers write straight into one preallocated output — no
+    // per-chunk result vectors, no concatenation copy. One contiguous
+    // chunk per worker keeps the fork/join overhead at a handful of
+    // spawns per call.
+    const FILLER: BatchOutcome = BatchOutcome {
+        decision: Decision::Failure,
+        hops: 0,
+        delivered: false,
+    };
+    let mut out = vec![FILLER; pairs.len()];
     let chunk = pairs.len().div_ceil(rayon::num_threads()).max(1);
-    let per_chunk: Vec<Vec<BatchOutcome>> = pairs
-        .par_chunks(chunk)
-        .map(|c| {
-            c.iter()
-                .map(|&(s, d)| route_light(cfg, map, s, d, tb))
-                .collect()
-        })
-        .collect();
-    let mut out = Vec::with_capacity(pairs.len());
-    for v in per_chunk {
-        out.extend(v);
-    }
+    rayon::for_each_chunk_pair(pairs, &mut out, chunk, |ins, outs| {
+        // Walk the packed level store once up front so the chunk's
+        // first routes pay sequential-prefetch misses, not random ones.
+        map.store().warm();
+        for (o, &(s, d)) in outs.iter_mut().zip(ins) {
+            *o = route_light(cfg, map, s, d, tb);
+        }
+    });
     out
 }
 

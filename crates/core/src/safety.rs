@@ -18,8 +18,24 @@
 //! computes it two independent ways (Jacobi iteration from the all-`n`
 //! start, and the constructive round-by-round assignment from the
 //! theorem's proof), which the test suite cross-checks.
+//!
+//! ## Bit-plane kernels
+//!
+//! Both computations run on the packed [`PlaneView`] representation
+//! from [`crate::level_store`] (see DESIGN.md §13): levels live as
+//! ⌈log₂(n+1)⌉ bit-planes, a neighbor's levels along dimension `d`
+//! are one word shuffle per plane (an in-word delta swap for `d < 6`,
+//! an XOR-indexed word load above), and Definition 1's "more than `k`
+//! neighbors below `k`" test runs branchlessly for 64 nodes at a time
+//! via bit-sliced counters. The historical byte-per-node scalar sweep
+//! survives as [`SafetyMap::compute_reference`], the differential
+//! oracle the plane kernels are checked against (exhaustively on
+//! small cubes, on goldens and random instances above).
 
-use hypersafe_topology::{FaultConfig, Hypercube, NodeId};
+use crate::level_store::{
+    gather_neighbor_word, sliced_add, sliced_gt_const, tail_mask, LevelStore, PlaneView,
+};
+use hypersafe_topology::{FaultConfig, Hypercube, NodeId, MAX_DIM};
 
 /// Safety level of one node: `0..=n`. `n` means *safe*; anything less
 /// is *unsafe*; `0` is the level of a faulty node.
@@ -76,7 +92,7 @@ pub fn level_from_neighbors(n: u8, levels: &mut [Level]) -> Level {
 #[inline]
 pub fn level_from_unsorted<I: IntoIterator<Item = Level>>(n: u8, levels: I) -> Level {
     // Levels are 0..=n ≤ MAX_DIM, so a small fixed histogram suffices.
-    let mut counts = [0u32; hypersafe_topology::MAX_DIM as usize + 1];
+    let mut counts = [0u32; MAX_DIM as usize + 1];
     for l in levels {
         counts[l as usize] += 1;
     }
@@ -91,23 +107,118 @@ pub fn level_from_unsorted<I: IntoIterator<Item = Level>>(n: u8, levels: I) -> L
 }
 
 /// The safety level of every node of one faulty hypercube instance,
-/// indexed by raw address.
+/// indexed by raw address. Levels are held packed (~0.5 bytes/node,
+/// [`LevelStore`]) — an n=20 cube's map is ~585 KiB instead of 1 MiB,
+/// and the compute kernels below never materialize a byte per node.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SafetyMap {
     n: u8,
-    levels: Vec<Level>,
+    levels: LevelStore,
     /// Active rounds the computation needed (Fig. 2's metric); 0 for a
     /// map built directly from levels.
     rounds: u32,
 }
 
+/// One Jacobi round on planes: for every 64-node word, gather the
+/// `n` neighbor words per plane, run Definition 1's histogram rule as
+/// bit-sliced arithmetic, and write the next round's planes. Returns
+/// whether any level changed (the scalar loop's `changed` flag,
+/// word-XOR instead of per-node compare).
+fn jacobi_round_planes(n: u8, cur: &PlaneView, faulty: &[u64], next: &mut PlaneView) -> bool {
+    let bits = cur.bits() as usize;
+    let mut changed = false;
+    for (w, &faulty_w) in faulty.iter().enumerate().take(cur.words()) {
+        let valid = cur.valid_mask(w);
+        // Neighbor plane words, dimension-major: g[d][b] bit j is bit
+        // b of the level of node (64w + j) ^ 2^d.
+        let mut g = [[0u64; 5]; MAX_DIM as usize];
+        for (d, gd) in g.iter_mut().enumerate().take(n as usize) {
+            for (b, lane) in gd.iter_mut().enumerate().take(bits) {
+                *lane = gather_neighbor_word(cur.plane(b), w, d as u8);
+            }
+        }
+        // Walk k = 1..n accumulating "#neighbors with level < k" in a
+        // bit-sliced counter; the first k that exceeds k wins (faulty
+        // nodes are pre-assigned 0 and never re-enter).
+        let mut cnt = [0u64; 5];
+        let mut assigned = faulty_w;
+        let mut res = [0u64; 5];
+        for k in 1..n as u32 {
+            let j = k - 1;
+            for gd in g.iter().take(n as usize) {
+                let mut eq = !0u64;
+                for (b, lane) in gd.iter().enumerate().take(bits) {
+                    eq &= if (j >> b) & 1 == 1 { *lane } else { !*lane };
+                }
+                sliced_add(&mut cnt, eq);
+            }
+            let new = sliced_gt_const(&cnt, k) & !assigned & valid;
+            if new != 0 {
+                assigned |= new;
+                for (b, lane) in res.iter_mut().enumerate().take(bits) {
+                    if (k >> b) & 1 == 1 {
+                        *lane |= new;
+                    }
+                }
+            }
+        }
+        // Survivors of every test are safe (level n).
+        let rem = !assigned & valid;
+        for (b, lane) in res.iter_mut().enumerate().take(bits) {
+            if ((n as u32) >> b) & 1 == 1 {
+                *lane |= rem;
+            }
+        }
+        for (b, &lane) in res.iter().enumerate().take(bits) {
+            changed |= lane != cur.plane(b)[w];
+            next.plane_mut(b)[w] = lane;
+        }
+    }
+    changed
+}
+
+/// The paper's Jacobi initial state as planes: faulty nodes 0,
+/// healthy nodes `n`.
+fn initial_planes(n: u8, len: u64, faulty: &[u64]) -> PlaneView {
+    let mut v = PlaneView::zeroed(n, len);
+    for b in 0..v.bits() as usize {
+        if ((n as u32) >> b) & 1 == 1 {
+            let words = v.words();
+            let plane = v.plane_mut(b);
+            for w in 0..words {
+                let base = w as u64 * 64;
+                let valid = if base + 64 > len {
+                    tail_mask(len - base)
+                } else {
+                    !0
+                };
+                plane[w] = !faulty[w] & valid;
+            }
+        }
+    }
+    v
+}
+
 impl SafetyMap {
-    /// Wraps precomputed levels.
+    /// Wraps precomputed levels (packs them into the [`LevelStore`]).
     pub fn from_levels(cube: Hypercube, levels: Vec<Level>) -> Self {
         assert_eq!(levels.len() as u64, cube.num_nodes());
         SafetyMap {
             n: cube.dim(),
-            levels,
+            levels: LevelStore::from_levels(cube.dim(), &levels),
+            rounds: 0,
+        }
+    }
+
+    /// Wraps an already-packed store (the zero-copy counterpart of
+    /// [`SafetyMap::from_levels`], used by consumers that edit a
+    /// cloned store — e.g. the §4.1 router substituting one level).
+    pub fn from_store(cube: Hypercube, store: LevelStore) -> Self {
+        assert_eq!(store.len(), cube.num_nodes());
+        assert_eq!(store.max_level(), cube.dim());
+        SafetyMap {
+            n: cube.dim(),
+            levels: store,
             rounds: 0,
         }
     }
@@ -128,11 +239,99 @@ impl SafetyMap {
     /// ```
     /// Computes the unique fixed point for `cfg` by synchronous Jacobi
     /// iteration from the paper's initial state (faulty = 0, nonfaulty
-    /// = `n`), exactly the centralized shadow of `GLOBAL_STATUS`.
+    /// = `n`), exactly the centralized shadow of `GLOBAL_STATUS` — run
+    /// on bit-planes, 64 nodes per word op. Byte-identical to
+    /// [`SafetyMap::compute_reference`] (same rounds, same levels) by
+    /// construction and by differential test.
     ///
     /// Node faults only; for node + link faults use
     /// [`crate::egs::ExtendedSafetyMap`].
     pub fn compute(cfg: &FaultConfig) -> Self {
+        Self::compute_inner(cfg, None)
+    }
+
+    /// [`SafetyMap::compute`] that also snapshots the unpacked level
+    /// vector after every active round (the differential-testing hook
+    /// behind "round-by-round equality" in the proptests). The first
+    /// entry is the initial state, the last the fixed point.
+    pub fn compute_trace(cfg: &FaultConfig) -> (Self, Vec<Vec<Level>>) {
+        let mut trace = Vec::new();
+        let map = Self::compute_inner(cfg, Some(&mut trace));
+        (map, trace)
+    }
+
+    fn compute_inner(cfg: &FaultConfig, mut trace: Option<&mut Vec<Vec<Level>>>) -> Self {
+        assert!(
+            cfg.link_faults().is_empty(),
+            "SafetyMap::compute handles node faults only; use egs for link faults"
+        );
+        let cube = cfg.cube();
+        let n = cube.dim();
+        let len = cube.num_nodes();
+        let faulty = cfg.node_faults().words();
+        let mut cur = initial_planes(n, len, faulty);
+        let mut next = PlaneView::zeroed(n, len);
+        if let Some(t) = trace.as_deref_mut() {
+            t.push(cur.to_store().to_vec());
+        }
+        let mut rounds = 0u32;
+        loop {
+            if !jacobi_round_planes(n, &cur, faulty, &mut next) {
+                break;
+            }
+            std::mem::swap(&mut cur, &mut next);
+            rounds += 1;
+            if let Some(t) = trace.as_deref_mut() {
+                t.push(cur.to_store().to_vec());
+            }
+        }
+        SafetyMap {
+            n,
+            levels: cur.to_store(),
+            rounds,
+        }
+    }
+
+    /// The historical byte-per-node Jacobi sweep, kept as the
+    /// differential oracle for the plane kernels (and as the honest
+    /// scalar baseline E27 times them against). Returns the raw level
+    /// vector; [`SafetyMap::compute_reference`] wraps it.
+    pub fn compute_reference_levels(cfg: &FaultConfig) -> Vec<Level> {
+        Self::reference_inner(cfg, None).0
+    }
+
+    /// Scalar counterpart of [`SafetyMap::compute_trace`] — snapshots
+    /// the level vector after every active round.
+    pub fn compute_reference_trace(cfg: &FaultConfig) -> (Self, Vec<Vec<Level>>) {
+        let mut trace = Vec::new();
+        let (levels, rounds) = Self::reference_inner(cfg, Some(&mut trace));
+        let n = cfg.cube().dim();
+        (
+            SafetyMap {
+                n,
+                levels: LevelStore::from_levels(n, &levels),
+                rounds,
+            },
+            trace,
+        )
+    }
+
+    /// [`SafetyMap::compute_reference_levels`] packaged as a map
+    /// (packs the result; `rounds()` matches [`SafetyMap::compute`]).
+    pub fn compute_reference(cfg: &FaultConfig) -> Self {
+        let (levels, rounds) = Self::reference_inner(cfg, None);
+        let n = cfg.cube().dim();
+        SafetyMap {
+            n,
+            levels: LevelStore::from_levels(n, &levels),
+            rounds,
+        }
+    }
+
+    fn reference_inner(
+        cfg: &FaultConfig,
+        mut trace: Option<&mut Vec<Vec<Level>>>,
+    ) -> (Vec<Level>, u32) {
         assert!(
             cfg.link_faults().is_empty(),
             "SafetyMap::compute handles node faults only; use egs for link faults"
@@ -143,7 +342,9 @@ impl SafetyMap {
             .nodes()
             .map(|a| if cfg.node_faulty(a) { 0 } else { n })
             .collect();
-
+        if let Some(t) = trace.as_deref_mut() {
+            t.push(levels.clone());
+        }
         let mut rounds = 0u32;
         let mut next = levels.clone();
         loop {
@@ -163,95 +364,66 @@ impl SafetyMap {
             }
             std::mem::swap(&mut levels, &mut next);
             rounds += 1;
-        }
-        SafetyMap { n, levels, rounds }
-    }
-
-    /// [`SafetyMap::compute`] with each Jacobi round parallelized over
-    /// nodes via rayon — bitwise-identical results (the rounds are
-    /// data-parallel by construction: every node reads only the
-    /// previous round's levels).
-    ///
-    /// Measured caveat (see the `exact_vs_gs` bench): each round is a
-    /// cheap memory-bound sweep, so up to at least `n = 14` the rayon
-    /// fork/join overhead *loses* to the sequential version. Prefer
-    /// [`SafetyMap::compute`] unless cubes are huge or the per-node
-    /// work grows (e.g. an instrumented variant); the function mainly
-    /// documents — and tests — that the rounds are data-parallel.
-    pub fn compute_parallel(cfg: &FaultConfig) -> Self {
-        use rayon::prelude::*;
-        assert!(cfg.link_faults().is_empty(), "node faults only");
-        let cube = cfg.cube();
-        let n = cube.dim();
-        let mut levels: Vec<Level> = cube
-            .nodes()
-            .map(|a| if cfg.node_faulty(a) { 0 } else { n })
-            .collect();
-        let mut rounds = 0u32;
-        loop {
-            let prev = &levels;
-            let next: Vec<Level> = (0..cube.num_nodes())
-                .into_par_iter()
-                .map(|raw| {
-                    let a = NodeId::new(raw);
-                    if cfg.node_faulty(a) {
-                        return 0;
-                    }
-                    level_from_unsorted(n, cube.neighbors(a).map(|b| prev[b.raw() as usize]))
-                })
-                .collect();
-            if next == levels {
-                break;
+            if let Some(t) = trace.as_deref_mut() {
+                t.push(levels.clone());
             }
-            levels = next;
-            rounds += 1;
         }
-        SafetyMap { n, levels, rounds }
+        (levels, rounds)
     }
 
     /// Computes the same fixed point by the constructive assignment in
     /// the proof of Theorem 1: at round `k`, every still-unassigned
     /// nonfaulty node with `k + 1` or more neighbors of level `≤ k − 1`
     /// receives level `k`; after round `n − 1`, survivors receive `n`.
+    ///
+    /// On planes this is even simpler than the Jacobi round: "neighbor
+    /// with level below `k`" is exactly "neighbor already assigned"
+    /// (faulty or claimed by an earlier round), so round `k` is one
+    /// gather-and-count over the single `assigned` plane — no per-level
+    /// equality masks at all. Cost over all `n − 1` rounds is
+    /// `O(n² / 64)` word ops per node.
     pub fn compute_constructive(cfg: &FaultConfig) -> Self {
         assert!(cfg.link_faults().is_empty(), "node faults only");
         let cube = cfg.cube();
         let n = cube.dim();
-        const UNASSIGNED: Level = u8::MAX;
-        let mut levels: Vec<Level> = cube
-            .nodes()
-            .map(|a| if cfg.node_faulty(a) { 0 } else { UNASSIGNED })
-            .collect();
-        for k in 1..n {
-            // Round k reads only levels assigned in earlier rounds, so a
-            // same-round snapshot is unnecessary: levels ≤ k−1 were all
-            // assigned strictly before round k.
-            let assignments: Vec<NodeId> = cube
-                .nodes()
-                .filter(|&a| {
-                    levels[a.raw() as usize] == UNASSIGNED
-                        && cube
-                            .neighbors(a)
-                            .filter(|&b| {
-                                let l = levels[b.raw() as usize];
-                                l != UNASSIGNED && l < k
-                            })
-                            .count()
-                            > (k as usize)
-                })
-                .collect();
-            for a in assignments {
-                levels[a.raw() as usize] = k;
+        let len = cube.num_nodes();
+        let mut res = PlaneView::zeroed(n, len);
+        let bits = res.bits() as usize;
+        let words = res.words();
+        // Round k reads only levels assigned in earlier rounds;
+        // `snapshot` pins the pre-round state so in-round assignments
+        // (which land in `assigned`) can't feed back into the count.
+        let mut assigned: Vec<u64> = cfg.node_faults().words().to_vec();
+        let mut snapshot = vec![0u64; words];
+        for k in 1..n as u32 {
+            snapshot.copy_from_slice(&assigned);
+            for (w, assigned_w) in assigned.iter_mut().enumerate() {
+                let mut cnt = [0u64; 5];
+                for d in 0..n {
+                    sliced_add(&mut cnt, gather_neighbor_word(&snapshot, w, d));
+                }
+                let new = sliced_gt_const(&cnt, k) & !*assigned_w & res.valid_mask(w);
+                if new != 0 {
+                    *assigned_w |= new;
+                    for b in 0..bits {
+                        if (k >> b) & 1 == 1 {
+                            res.plane_mut(b)[w] |= new;
+                        }
+                    }
+                }
             }
         }
-        for l in &mut levels {
-            if *l == UNASSIGNED {
-                *l = n;
+        for (w, &assigned_w) in assigned.iter().enumerate().take(words) {
+            let rem = !assigned_w & res.valid_mask(w);
+            for b in 0..bits {
+                if ((n as u32) >> b) & 1 == 1 {
+                    res.plane_mut(b)[w] |= rem;
+                }
             }
         }
         SafetyMap {
             n,
-            levels,
+            levels: res.to_store(),
             rounds: (n - 1) as u32,
         }
     }
@@ -265,7 +437,7 @@ impl SafetyMap {
     /// Safety level of node `a`.
     #[inline]
     pub fn level(&self, a: NodeId) -> Level {
-        self.levels[a.raw() as usize]
+        self.levels.get(a.raw())
     }
 
     /// Whether `a` is *safe* (level `n`).
@@ -294,30 +466,37 @@ impl SafetyMap {
 
     /// Iterator over the safe nodes, ascending — the allocation-free
     /// form of [`SafetyMap::safe_nodes`] for hot paths that only scan
-    /// or count.
+    /// or count (one packed equality mask per 64 nodes).
     pub fn safe_nodes_iter(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.levels
-            .iter()
-            .enumerate()
-            .filter(|&(_, &l)| l == self.n)
-            .map(|(i, _)| NodeId::new(i as u64))
+        self.levels.iter_eq(self.n).map(NodeId::new)
     }
 
-    /// Number of safe nodes (no allocation).
+    /// Number of safe nodes (no allocation — popcount over the store).
     pub fn safe_count(&self) -> usize {
-        self.levels.iter().filter(|&&l| l == self.n).count()
+        self.levels.count_eq(self.n) as usize
     }
 
-    /// The raw level array, indexed by address.
-    pub fn as_slice(&self) -> &[Level] {
+    /// The packed level store — the seam every consumer reads levels
+    /// through. Clone it to edit a what-if copy (see
+    /// [`crate::egs::route_egs`]) and rewrap with
+    /// [`SafetyMap::from_store`].
+    #[inline]
+    pub fn store(&self) -> &LevelStore {
         &self.levels
+    }
+
+    /// Unpacks into a byte-per-level vector, indexed by address (the
+    /// bridge for code that wants plain bytes; prefer
+    /// [`SafetyMap::store`] or [`SafetyMap::level`] on hot paths).
+    pub fn to_vec(&self) -> Vec<Level> {
+        self.levels.to_vec()
     }
 
     /// Overwrites one level (incremental maintenance only — see
     /// `safety_delta`).
     #[inline]
     pub(crate) fn set_level(&mut self, a: NodeId, l: Level) {
-        self.levels[a.raw() as usize] = l;
+        self.levels.set(a.raw(), l);
     }
 
     /// Overwrites the recorded round count in place.
@@ -448,13 +627,13 @@ mod tests {
         let cfg = cfg4(&["0011", "0100", "0110", "1001"]);
         let a = SafetyMap::compute(&cfg);
         let b = SafetyMap::compute_constructive(&cfg);
-        assert_eq!(a.as_slice(), b.as_slice());
+        assert_eq!(a.store(), b.store());
     }
 
     #[test]
     fn constructive_matches_iterative_exhaustive_q3() {
         // All 2^8 fault subsets of Q_3: Theorem 1's two constructions
-        // agree everywhere.
+        // agree everywhere — and both agree with the scalar oracle.
         let cube = Hypercube::new(3);
         for mask in 0u64..256 {
             let mut f = FaultSet::new(cube);
@@ -466,51 +645,99 @@ mod tests {
             let cfg = FaultConfig::with_node_faults(cube, f);
             let a = SafetyMap::compute(&cfg);
             let b = SafetyMap::compute_constructive(&cfg);
-            assert_eq!(a.as_slice(), b.as_slice(), "mask {mask:#b}");
+            assert_eq!(a.store(), b.store(), "mask {mask:#b}");
+            assert_eq!(
+                a.to_vec(),
+                SafetyMap::compute_reference_levels(&cfg),
+                "mask {mask:#b}"
+            );
             assert_eq!(a.check_fixed_point(&cfg), None, "mask {mask:#b}");
             assert!(a.rounds() <= 2, "Corollary: ≤ n−1 rounds, mask {mask:#b}");
         }
     }
 
     #[test]
-    fn parallel_matches_sequential() {
-        // Fig. 1 instance plus exhaustive Q_3: bitwise-identical maps
-        // and round counts.
+    fn plane_kernel_matches_reference_round_by_round() {
+        // Fig. 1 plus a denser 5-cube instance: the plane Jacobi's
+        // per-round snapshots are byte-identical to the scalar sweep's
+        // at every round, not just at the fixed point.
         let cfg = cfg4(&["0011", "0100", "0110", "1001"]);
-        let seq = SafetyMap::compute(&cfg);
-        let par = SafetyMap::compute_parallel(&cfg);
-        assert_eq!(seq, par);
+        let (pm, pt) = SafetyMap::compute_trace(&cfg);
+        let (rm, rt) = SafetyMap::compute_reference_trace(&cfg);
+        assert_eq!(pt, rt);
+        assert_eq!(pm, rm);
 
-        let cube = Hypercube::new(3);
-        for mask in 0u64..256 {
-            let mut f = FaultSet::new(cube);
-            for i in 0..8 {
-                if (mask >> i) & 1 == 1 {
-                    f.insert(NodeId::new(i));
-                }
-            }
-            let cfg = FaultConfig::with_node_faults(cube, f);
-            assert_eq!(
-                SafetyMap::compute(&cfg),
-                SafetyMap::compute_parallel(&cfg),
-                "mask {mask:#b}"
-            );
-        }
+        let cube = Hypercube::new(5);
+        let cfg = FaultConfig::with_node_faults(
+            cube,
+            FaultSet::from_binary_strs(
+                cube,
+                &["00000", "00011", "00101", "01001", "10001", "11111"],
+            ),
+        );
+        let (pm, pt) = SafetyMap::compute_trace(&cfg);
+        let (rm, rt) = SafetyMap::compute_reference_trace(&cfg);
+        assert_eq!(pt, rt);
+        assert_eq!(pm.rounds(), rm.rounds());
     }
 
     #[test]
-    fn parallel_on_a_big_cube() {
-        // n = 12: 4096 nodes, a realistically "large" instance.
+    fn plane_kernel_matches_reference_on_a_big_cube() {
+        // n = 12: 4096 nodes, multi-word planes with every gather kind
+        // (in-word d < 6 and XOR-indexed d ≥ 6).
         let cube = Hypercube::new(12);
         let mut f = FaultSet::new(cube);
         for i in 0..11u64 {
             f.insert(NodeId::new(i * 373 % 4096));
         }
         let cfg = FaultConfig::with_node_faults(cube, f);
-        let seq = SafetyMap::compute(&cfg);
-        let par = SafetyMap::compute_parallel(&cfg);
-        assert_eq!(seq.as_slice(), par.as_slice());
-        assert!(seq.rounds() <= 11);
+        let plane = SafetyMap::compute(&cfg);
+        let reference = SafetyMap::compute_reference(&cfg);
+        assert_eq!(plane, reference);
+        assert_eq!(plane.to_vec(), SafetyMap::compute_reference_levels(&cfg));
+        assert!(plane.rounds() <= 11);
+    }
+
+    #[test]
+    fn tiny_cubes_use_partial_words_correctly() {
+        // n < 6 leaves a partial plane word; exhaust Q_1 and Q_2 fault
+        // sets and sample Q_4/Q_5 to pin the tail-mask handling.
+        for n in 1u8..=2 {
+            let cube = Hypercube::new(n);
+            for mask in 0u64..(1 << cube.num_nodes()) {
+                let mut f = FaultSet::new(cube);
+                for i in 0..cube.num_nodes() {
+                    if (mask >> i) & 1 == 1 {
+                        f.insert(NodeId::new(i));
+                    }
+                }
+                let cfg = FaultConfig::with_node_faults(cube, f);
+                let a = SafetyMap::compute(&cfg);
+                assert_eq!(
+                    a.to_vec(),
+                    SafetyMap::compute_reference_levels(&cfg),
+                    "n={n} mask={mask:#b}"
+                );
+                assert_eq!(
+                    a.store(),
+                    SafetyMap::compute_constructive(&cfg).store(),
+                    "n={n} mask={mask:#b}"
+                );
+            }
+        }
+        for (n, faults) in [(4u8, vec![1u64, 6, 11]), (5, vec![0, 7, 19, 30])] {
+            let cube = Hypercube::new(n);
+            let cfg = FaultConfig::with_node_faults(
+                cube,
+                FaultSet::from_nodes(cube, faults.into_iter().map(NodeId::new)),
+            );
+            let a = SafetyMap::compute(&cfg);
+            assert_eq!(
+                a.to_vec(),
+                SafetyMap::compute_reference_levels(&cfg),
+                "n={n}"
+            );
+        }
     }
 
     #[test]
@@ -535,14 +762,14 @@ mod tests {
         }
         let cfg = FaultConfig::with_node_faults(cube, f);
         let m = SafetyMap::compute(&cfg);
-        assert!(m.as_slice().iter().all(|&l| l == 0));
+        assert!(m.to_vec().iter().all(|&l| l == 0));
     }
 
     #[test]
     fn check_fixed_point_catches_corruption() {
         let cfg = cfg4(&["0011"]);
         let m = SafetyMap::compute(&cfg);
-        let mut levels = m.as_slice().to_vec();
+        let mut levels = m.to_vec();
         levels[0] = 1; // corrupt node 0000
         let bad = SafetyMap::from_levels(cfg.cube(), levels);
         assert_eq!(bad.check_fixed_point(&cfg), Some(NodeId::ZERO));

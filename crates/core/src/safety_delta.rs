@@ -26,8 +26,9 @@
 //! the DST invariant [`crate::invariants`] enforce byte-identity
 //! against [`SafetyMap::compute`] after every event.
 
-use std::collections::VecDeque;
+use std::collections::{HashSet, VecDeque};
 
+use crate::level_store::NeighborLevels;
 use crate::safety::{level_from_unsorted, Level, SafetyMap};
 use hypersafe_simkit::{
     Actor, Ctx, EventEngine, EventStats, FifoScheduler, HypercubeNet, Scheduler,
@@ -91,7 +92,7 @@ impl SafetyMap {
     /// let a = NodeId::new(9);
     /// cfg.node_faults_mut().insert(a);
     /// let stats = map.apply_fault(&cfg, a);
-    /// assert_eq!(map.as_slice(), SafetyMap::compute(&cfg).as_slice());
+    /// assert_eq!(map.store(), SafetyMap::compute(&cfg).store());
     /// // One fault in a healthy cube lowers no neighbor below n: the
     /// // wave dies in the first shell.
     /// assert_eq!(stats.cells_changed, 1);
@@ -107,7 +108,7 @@ impl SafetyMap {
             ..DeltaStats::default()
         };
         self.set_level(a, 0);
-        let mut work = Worklist::new(cfg.cube().num_nodes());
+        let mut work = Worklist::new();
         for b in cfg.cube().neighbors(a) {
             work.push(b, 1);
         }
@@ -132,7 +133,7 @@ impl SafetyMap {
         // Seed with the event node itself (depth 0): re-evaluating it
         // lifts it off 0, which is counted by `propagate` like any
         // other change, and its neighbors join the frontier from there.
-        let mut work = Worklist::new(cfg.cube().num_nodes());
+        let mut work = Worklist::new();
         work.push(a, 0);
         self.propagate(cfg, work, &mut stats);
         self.set_rounds(stats.waves);
@@ -178,32 +179,39 @@ impl SafetyMap {
     }
 }
 
-/// FIFO worklist with an in-queue bitset so each node appears at most
+/// FIFO worklist with an in-queue set so each node appears at most
 /// once at a time; entries carry their BFS depth from the event node.
+///
+/// The set is a `HashSet` over the (typically tiny) affected region,
+/// *not* a `2ⁿ`-bit array: a dense bitset would cost an O(2ⁿ) zeroing
+/// per event — a 1 MiB memset at n=20, dwarfing the actual worklist
+/// drain and wrecking the "incremental beats scratch by orders of
+/// magnitude" contract the scale experiment measures. FIFO order is
+/// carried entirely by the queue, so dedup-set iteration order never
+/// influences results (determinism gate: churn.csv across thread
+/// counts).
 struct Worklist {
     queue: VecDeque<(NodeId, u32)>,
-    queued: Vec<bool>,
+    queued: HashSet<u64>,
 }
 
 impl Worklist {
-    fn new(num_nodes: u64) -> Self {
+    fn new() -> Self {
         Worklist {
             queue: VecDeque::new(),
-            queued: vec![false; num_nodes as usize],
+            queued: HashSet::new(),
         }
     }
 
     fn push(&mut self, a: NodeId, depth: u32) {
-        let i = a.raw() as usize;
-        if !self.queued[i] {
-            self.queued[i] = true;
+        if self.queued.insert(a.raw()) {
             self.queue.push_back((a, depth));
         }
     }
 
     fn pop(&mut self) -> Option<(NodeId, u32)> {
         let (a, d) = self.queue.pop_front()?;
-        self.queued[a.raw() as usize] = false;
+        self.queued.remove(&a.raw());
         Some((a, d))
     }
 }
@@ -232,8 +240,10 @@ impl Worklist {
 pub struct DeltaGsNode {
     n: u8,
     level: Level,
-    /// Best current knowledge of each neighbor's level, by dimension.
-    heard: Vec<Level>,
+    /// Best current knowledge of each neighbor's level, by dimension —
+    /// packed 5 bits per dimension, so actor state stays heap-free
+    /// even with a million simulated nodes.
+    heard: NeighborLevels,
     latency: u64,
     /// `true` after a fault event (descend / min-merge), `false` after
     /// a recovery (ascend / max-merge).
@@ -269,19 +279,14 @@ impl DeltaGsNode {
         // local fault detection (a currently-faulty neighbor reads 0).
         // The revived node has no memory: healthy neighbors read 0 too
         // until they courtesy-announce.
-        let heard: Vec<Level> = cfg
-            .cube()
-            .neighbors_with_dims(me)
-            .map(|(_, b)| {
-                if cfg.node_faulty(b) || is_event_node {
-                    0
-                } else {
-                    prev.level(b)
-                }
-            })
-            .collect();
+        let mut heard = NeighborLevels::filled(n, 0);
+        for (d, b) in cfg.cube().neighbors_with_dims(me) {
+            if !cfg.node_faulty(b) && !is_event_node {
+                heard.set(d, prev.level(b));
+            }
+        }
         let level = if is_event_node {
-            level_from_unsorted(n, heard.iter().copied())
+            level_from_unsorted(n, heard.iter(n))
         } else {
             prev.level(me)
         };
@@ -309,7 +314,7 @@ impl DeltaGsNode {
     }
 
     fn reevaluate(&mut self) -> bool {
-        let new = level_from_unsorted(self.n, self.heard.iter().copied());
+        let new = level_from_unsorted(self.n, self.heard.iter(self.n));
         if new != self.level {
             self.monotone &= if self.descending {
                 new < self.level
@@ -342,7 +347,7 @@ impl Actor for DeltaGsNode {
         } else if let Some(dim) = self.event_dim {
             if self.descending {
                 // Local fault detection: that dimension now reads 0.
-                self.heard[dim as usize] = 0;
+                self.heard.set(dim, 0);
                 if self.reevaluate() {
                     self.announce(ctx);
                 }
@@ -356,15 +361,18 @@ impl Actor for DeltaGsNode {
 
     fn on_message(&mut self, ctx: &mut Ctx<Level>, from: NodeId, msg: Level) {
         let dim = ctx.self_id().xor(from).set_dims().next().expect("neighbor");
-        let h = &mut self.heard[dim as usize];
+        let h = self.heard.get(dim);
         // Direction-aware monotone merge: after a fault true levels
         // only descend, so min(); after a recovery only ascend, so
         // max(). Either way stale reordered announcements are ignored.
-        *h = if self.descending {
-            (*h).min(msg)
-        } else {
-            (*h).max(msg)
-        };
+        self.heard.set(
+            dim,
+            if self.descending {
+                h.min(msg)
+            } else {
+                h.max(msg)
+            },
+        );
         if self.reevaluate() {
             self.announce(ctx);
         }
@@ -402,7 +410,7 @@ pub struct DeltaGsRun {
 /// let a = NodeId::new(7);
 /// cfg.node_faults_mut().insert(a);
 /// let run = run_delta_gs(&cfg, &prev, ChurnEvent::Fault(a), 1);
-/// assert_eq!(run.map.as_slice(), SafetyMap::compute(&cfg).as_slice());
+/// assert_eq!(run.map.store(), SafetyMap::compute(&cfg).store());
 /// // A lone fault demotes nobody in a healthy 5-cube: zero messages,
 /// // versus a full re-broadcast for the from-scratch protocol.
 /// assert_eq!(run.stats.delivered, 0);
@@ -492,13 +500,13 @@ mod tests {
 
         cfg.node_faults_mut().insert(a);
         let fs = map.apply_fault(&cfg, a);
-        assert_eq!(map.as_slice(), SafetyMap::compute(&cfg).as_slice());
+        assert_eq!(map.store(), SafetyMap::compute(&cfg).store());
         assert!(map.check_fixed_point(&cfg).is_none());
         assert!(fs.cells_changed >= 1);
 
         cfg.node_faults_mut().remove(a);
         let rs = map.apply_recover(&cfg, a);
-        assert_eq!(map.as_slice(), SafetyMap::compute(&cfg).as_slice());
+        assert_eq!(map.store(), SafetyMap::compute(&cfg).store());
         assert!(rs.cells_changed >= 1, "the node itself came back");
     }
 
@@ -526,8 +534,8 @@ mod tests {
                     map.apply_fault(&cfg, x);
                 }
                 assert_eq!(
-                    map.as_slice(),
-                    SafetyMap::compute(&cfg).as_slice(),
+                    map.store(),
+                    SafetyMap::compute(&cfg).store(),
                     "seed {seed} event at {x}"
                 );
             }
@@ -546,7 +554,7 @@ mod tests {
         assert_eq!(st.cells_touched, 10, "its n neighbors are probed");
         assert_eq!(st.waves, 0, "no neighbor level moved");
         assert_eq!(st.rounds_saved, 9, "a full recompute budget is n−1");
-        assert_eq!(map.as_slice(), SafetyMap::compute(&cfg).as_slice());
+        assert_eq!(map.store(), SafetyMap::compute(&cfg).store());
     }
 
     #[test]
@@ -556,13 +564,13 @@ mod tests {
         let a = n("0101");
         cfg.node_faults_mut().insert(a);
         let run = run_delta_gs(&cfg, &prev, ChurnEvent::Fault(a), 1);
-        assert_eq!(run.map.as_slice(), SafetyMap::compute(&cfg).as_slice());
+        assert_eq!(run.map.store(), SafetyMap::compute(&cfg).store());
         assert!(run.monotone);
 
         let prev2 = run.map.clone();
         cfg.node_faults_mut().remove(a);
         let run2 = run_delta_gs(&cfg, &prev2, ChurnEvent::Recover(a), 1);
-        assert_eq!(run2.map.as_slice(), SafetyMap::compute(&cfg).as_slice());
+        assert_eq!(run2.map.store(), SafetyMap::compute(&cfg).store());
         assert!(run2.monotone);
     }
 
@@ -596,8 +604,8 @@ mod tests {
                         Box::new(AdversarialScheduler::permute(seed)),
                     );
                     assert_eq!(
-                        run.map.as_slice(),
-                        want.as_slice(),
+                        run.map.store(),
+                        want.store(),
                         "mask {mask:#b} event {ev:?} seed {seed}"
                     );
                     assert!(run.monotone, "mask {mask:#b} event {ev:?} seed {seed}");
@@ -617,7 +625,7 @@ mod tests {
         cfg.node_faults_mut().insert(a);
         let delta = run_delta_gs(&cfg, &prev, ChurnEvent::Fault(a), 1);
         let full = crate::gs::run_gs(&cfg);
-        assert_eq!(delta.map.as_slice(), full.map.as_slice());
+        assert_eq!(delta.map.store(), full.map.store());
         assert_eq!(delta.stats.delivered, 0, "nobody demoted → nobody speaks");
         assert!(full.stats.messages > 1000, "full GS floods the cube");
     }

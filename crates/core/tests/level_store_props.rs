@@ -1,0 +1,140 @@
+//! Property tests for the packed level store: the packed
+//! representation must be observationally identical to a plain
+//! `Vec<Level>` — element-for-element, plane-for-plane, and round by
+//! round through the bit-plane safety kernels.
+
+use hypersafe_core::{Level, LevelStore, PlaneView, SafetyMap};
+use hypersafe_topology::{FaultConfig, FaultSet, Hypercube, NodeId};
+use proptest::prelude::*;
+
+/// Random `(max_level, levels)` including the boundary levels 0 and
+/// `max_level`, with lengths that straddle nibble-word (16) and
+/// plane-word (64) boundaries.
+fn levels_input() -> impl Strategy<Value = (u8, Vec<Level>)> {
+    // Word-boundary lengths (16 nibbles / 64 plane bits per word) are
+    // where the tail masks live, so they get their own slots.
+    const LENS: [usize; 10] = [1, 5, 15, 16, 17, 63, 64, 65, 128, 200];
+    (1u8..=30, 0usize..LENS.len()).prop_flat_map(|(max, li)| {
+        let len = LENS[li];
+        // Sample past the ceiling, then fold the overflow onto the
+        // boundary levels so 0 and max_level appear often.
+        proptest::collection::vec(0u8..=max.saturating_add(2), len..=len).prop_map(move |raw| {
+            let v = raw
+                .iter()
+                .map(|&x| {
+                    if x > max {
+                        if x % 2 == 0 {
+                            0
+                        } else {
+                            max
+                        }
+                    } else {
+                        x
+                    }
+                })
+                .collect();
+            (max, v)
+        })
+    })
+}
+
+fn faulty_cube() -> impl Strategy<Value = FaultConfig> {
+    (3u8..=9).prop_flat_map(|n| {
+        let cube = Hypercube::new(n);
+        let total = cube.num_nodes();
+        let max_faults = (total as usize / 4).max(1);
+        proptest::collection::btree_set(0..total, 0..=max_faults).prop_map(move |set| {
+            FaultConfig::with_node_faults(
+                cube,
+                FaultSet::from_nodes(cube, set.into_iter().map(NodeId::new)),
+            )
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Packing then unpacking is the identity, and random point
+    /// lookups agree with the unpacked vector at every index —
+    /// including the first and last node of each nibble/plane word.
+    #[test]
+    fn pack_unpack_roundtrip((max, levels) in levels_input()) {
+        let store = LevelStore::from_levels(max, &levels);
+        prop_assert_eq!(store.len(), levels.len() as u64);
+        prop_assert_eq!(store.to_vec(), levels.clone());
+        for i in [0, levels.len() - 1, levels.len() / 2, 15.min(levels.len() - 1), 64.min(levels.len() - 1)] {
+            prop_assert_eq!(store.get(i as u64), levels[i], "index {}", i);
+        }
+    }
+
+    /// Random point writes behave exactly like writes to a
+    /// `Vec<Level>` model, and equality between stores is level
+    /// equality (trailing padding never leaks in).
+    #[test]
+    fn set_matches_vec_model(
+        (max, mut levels) in levels_input(),
+        writes in proptest::collection::vec((0u16..512, 0u8..=30), 1..40),
+    ) {
+        let mut store = LevelStore::from_levels(max, &levels);
+        for (i, l) in writes {
+            let i = i as usize % levels.len();
+            let l = l.min(max);
+            levels[i] = l;
+            store.set(i as u64, l);
+        }
+        prop_assert_eq!(store.to_vec(), levels.clone());
+        prop_assert_eq!(&store, &LevelStore::from_levels(max, &levels));
+    }
+
+    /// Counting and iterating a level class agrees with a scalar scan
+    /// — the primitives `safe_count` / `safe_nodes_iter` sit on.
+    #[test]
+    fn count_and_iter_match_scan((max, levels) in levels_input(), probe in 0u8..=30) {
+        let probe = probe.min(max);
+        let store = LevelStore::from_levels(max, &levels);
+        let expect: Vec<u64> = levels
+            .iter()
+            .enumerate()
+            .filter(|&(_, &l)| l == probe)
+            .map(|(i, _)| i as u64)
+            .collect();
+        prop_assert_eq!(store.count_eq(probe), expect.len() as u64);
+        prop_assert_eq!(store.iter_eq(probe).collect::<Vec<u64>>(), expect);
+    }
+
+    /// The bit-plane view round-trips through the packed store and
+    /// reads back the same levels bit by bit.
+    #[test]
+    fn plane_view_roundtrip((max, levels) in levels_input()) {
+        let store = LevelStore::from_levels(max, &levels);
+        let view = PlaneView::from_store(&store);
+        for (i, &l) in levels.iter().enumerate() {
+            prop_assert_eq!(view.get(i as u64), l, "index {}", i);
+        }
+        prop_assert_eq!(&view.to_store(), &store);
+    }
+
+    /// The plane Jacobi kernel equals the scalar reference not just at
+    /// the fixed point but after *every* round — the packed compute is
+    /// the same iteration, not merely the same limit.
+    #[test]
+    fn plane_kernel_matches_reference_round_by_round(cfg in faulty_cube()) {
+        let (map, trace) = SafetyMap::compute_trace(&cfg);
+        let (refmap, reftrace) = SafetyMap::compute_reference_trace(&cfg);
+        prop_assert_eq!(map.rounds(), refmap.rounds());
+        prop_assert_eq!(map.to_vec(), refmap.to_vec());
+        prop_assert_eq!(trace.len(), reftrace.len());
+        for (r, (a, b)) in trace.iter().zip(&reftrace).enumerate() {
+            prop_assert_eq!(a, b, "round {}", r);
+        }
+    }
+
+    /// The constructive kernel lands on the identical packed store.
+    #[test]
+    fn constructive_matches_jacobi_store(cfg in faulty_cube()) {
+        let jacobi = SafetyMap::compute(&cfg);
+        let cons = SafetyMap::compute_constructive(&cfg);
+        prop_assert_eq!(jacobi.store(), cons.store());
+    }
+}

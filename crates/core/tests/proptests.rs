@@ -196,7 +196,7 @@ proptest! {
             let run = run_gs_reliable(&cfg, ch, ReliableConfig::default(), 1, 5_000_000);
             prop_assert!(run.quiescent, "GS budget exhausted at loss {}", loss);
             prop_assert_eq!(run.links_abandoned, 0);
-            prop_assert_eq!(run.map.as_slice(), central.as_slice(), "loss {}", loss);
+            prop_assert_eq!(run.map.store(), central.store(), "loss {}", loss);
 
             // Unicast over the converged map: feasible pairs deliver.
             for (i, &s) in healthy.iter().enumerate().take(3) {

@@ -33,11 +33,20 @@
 //! exits nonzero on any invariant violation, unterminated request, or
 //! deadline overrun.
 //!
+//! `safety-scale` (E27) is a gate: it runs the packed bit-plane safety
+//! kernels on large cubes (up to 2²⁰ nodes; `--quick` stops at 2¹⁶),
+//! cross-checks them against the scalar reference and from-scratch
+//! recomputes, enforces the ≤ 1 byte/node store ceiling, writes the
+//! deterministic `results/safety_scale.csv` + `safety_scale_obs.json`,
+//! and merges wall-clock numbers into `results/BENCH_safety_compute.json`,
+//! `BENCH_churn.json`, and `BENCH_routing.json`.
+//!
 //! `validate-obs` is the export gate: it checks every metrics snapshot
 //! in the `--csv` directory (`obs_metrics.json`, `loss_obs.json`,
-//! `dst_obs.json`, `churn_obs.json`, `service_obs.json`) against the
-//! compiled-in copy of `tests/goldens/obs_schema.json` and exits
-//! nonzero on any shape drift — or if no snapshot is found at all.
+//! `dst_obs.json`, `churn_obs.json`, `service_obs.json`,
+//! `safety_scale_obs.json`) against the compiled-in copy of
+//! `tests/goldens/obs_schema.json` and exits nonzero on any shape
+//! drift — or if no snapshot is found at all.
 //!
 //! options:
 //!   --n <dim>        cube dimension (where applicable)
@@ -54,8 +63,8 @@ use hypersafe_experiments::table::Report;
 use hypersafe_experiments::{
     broadcast_exp, churn_exp, congestion_exp, distribution_exp, dst, dynamic_exp, fig1, fig2, fig3,
     fig4, fig5, linkfaults_exp, loss_exp, maintenance_exp, multicast_exp, obs_exp, patterns_exp,
-    property2, rounds_compare, routing_compare, safesets, service_exp, thm4, tightness_exp,
-    traffic_exp, vectors_exp,
+    property2, rounds_compare, routing_compare, safesets, safety_scale_exp, service_exp, thm4,
+    tightness_exp, traffic_exp, vectors_exp,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -75,7 +84,7 @@ struct Opts {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <fig1|fig2|fig3|fig4|fig5|safesets|property2|thm4|compare|rounds|maintenance|broadcast|dynamic|distribution|linkfaults|tightness|traffic|multicast|patterns|vectors|congestion|loss|obs|dst|churn|service|validate-obs|all> \
+        "usage: repro <fig1|fig2|fig3|fig4|fig5|safesets|property2|thm4|compare|rounds|maintenance|broadcast|dynamic|distribution|linkfaults|tightness|traffic|multicast|patterns|vectors|congestion|loss|obs|dst|churn|service|safety-scale|validate-obs|all> \
          [--n N] [--trials K] [--seeds K] [--max-faults M] [--seed S] [--csv DIR] [--md] [--quick]"
     );
     std::process::exit(2);
@@ -613,6 +622,7 @@ fn run_validate_obs(o: &Opts) -> ExitCode {
         "dst_obs.json",
         "churn_obs.json",
         "service_obs.json",
+        "safety_scale_obs.json",
     ];
     let mut checked = 0u32;
     let mut bad = 0u32;
@@ -644,6 +654,48 @@ fn run_validate_obs(o: &Opts) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `safety-scale` (E27) is a gate: packed-vs-scalar equivalence and
+/// the bytes/node ceiling fail the run; timings land in the BENCH
+/// JSONs. `--quick` keeps CI at n <= 16.
+fn run_safety_scale(o: &Opts) -> ExitCode {
+    let mut p = safety_scale_exp::SafetyScaleParams::default();
+    if o.quick {
+        p.dims = vec![14, 16];
+        p.events = 8;
+        p.route_pairs = 100_000;
+    }
+    if let Some(t) = o.trials {
+        p.events = t;
+    }
+    if let Some(s) = o.seed {
+        p.seed = s;
+    }
+    if let Some(dir) = &o.csv {
+        p.out_dir = dir.clone();
+    }
+    let run = safety_scale_exp::run(&p);
+    if o.markdown {
+        println!("{}", run.report.to_markdown());
+    } else {
+        println!("{}", run.report.render());
+    }
+    if run.mismatches > 0 {
+        eprintln!(
+            "safety-scale: {} packed-vs-reference mismatch(es)",
+            run.mismatches
+        );
+        return ExitCode::FAILURE;
+    }
+    if run.max_bytes_per_node > 1.0 {
+        eprintln!(
+            "safety-scale: store exceeds 1 byte/node ({:.4})",
+            run.max_bytes_per_node
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let opts = parse_args();
     if opts.experiment == "validate-obs" {
@@ -657,6 +709,9 @@ fn main() -> ExitCode {
     }
     if opts.experiment == "service" {
         return run_service(&opts);
+    }
+    if opts.experiment == "safety-scale" {
+        return run_safety_scale(&opts);
     }
     let names: Vec<&str> = if opts.experiment == "all" {
         vec![

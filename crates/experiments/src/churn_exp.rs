@@ -123,7 +123,7 @@ fn run_trial<R: Rng + ?Sized>(n: u8, events: u32, pairs: usize, rng: &mut R) -> 
         // counted mismatch so `repro churn` can exit nonzero.
         let scratch = SafetyMap::compute(&cfg);
         out.cells_scratch += cube.num_nodes() * scratch.rounds().max(1) as u64;
-        if map.as_slice() != scratch.as_slice() {
+        if map.store() != scratch.store() {
             out.mismatches += 1;
         }
     }

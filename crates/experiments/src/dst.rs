@@ -159,7 +159,7 @@ impl Scenario {
                     ChurnEvent::Fault(a) => central.apply_fault(&cfg2, a),
                     ChurnEvent::Recover(a) => central.apply_recover(&cfg2, a),
                 };
-                (central.as_slice() != run.map.as_slice()).then(|| {
+                (central.store() != run.map.store()).then(|| {
                     format!(
                         "centralized incremental update diverged from delta-GS for {:?}",
                         self.delta_event

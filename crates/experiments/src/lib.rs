@@ -56,6 +56,7 @@ pub mod render;
 pub mod rounds_compare;
 pub mod routing_compare;
 pub mod safesets;
+pub mod safety_scale_exp;
 pub mod service_exp;
 pub mod table;
 pub mod thm4;

@@ -109,9 +109,7 @@ fn run_point(p: &LossParams, prof: &LossProfile, m: usize, point: u64) -> Vec<Tr
         };
 
         let mut t = Trial {
-            gs_ok: run.quiescent
-                && run.links_abandoned == 0
-                && run.map.as_slice() == central.as_slice(),
+            gs_ok: run.quiescent && run.links_abandoned == 0 && run.map.store() == central.store(),
             gs_time: run.stats.end_time as f64,
             gs_overhead,
             feasible: 0,

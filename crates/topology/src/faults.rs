@@ -106,6 +106,15 @@ impl FaultSet {
         present
     }
 
+    /// The backing bitset words, 64 addresses per word ascending —
+    /// the same bit order as a safety bit-plane, so the plane kernels
+    /// in `hypersafe-core` can use the fault set directly as their
+    /// "level is 0 and pinned" mask without re-packing.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.bits
+    }
+
     /// Iterator over the faulty node addresses, ascending.
     pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
         self.bits.iter().enumerate().flat_map(|(w, &word)| {

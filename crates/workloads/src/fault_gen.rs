@@ -20,10 +20,22 @@ pub fn uniform_faults<R: Rng + ?Sized>(cube: Hypercube, m: usize, rng: &mut R) -
     assert!(m as u64 <= total, "cannot fault {m} of {total} nodes");
     let mut f = FaultSet::new(cube);
     // Rejection sampling is fine for the fault densities the paper
-    // studies (m ≪ 2ⁿ); fall back to a shuffle when dense.
+    // studies (m ≪ 2ⁿ); fall back to a shuffle when dense. On big
+    // cubes the shuffle would materialize every node id (8 MiB at
+    // n = 20), so past 2¹⁶ nodes dense draws use Floyd's sampling
+    // instead: O(m) work, no O(2ⁿ) scratch. Cubes up to n = 16 keep
+    // the shuffle so every pre-existing golden's RNG stream is
+    // byte-identical.
     if (m as u64) * 4 <= total {
         while f.len() < m {
             f.insert(NodeId::new(rng.gen_range(0..total)));
+        }
+    } else if total > 65536 {
+        for j in (total - m as u64)..total {
+            let t = rng.gen_range(0..=j);
+            if !f.insert(NodeId::new(t)) {
+                f.insert(NodeId::new(j));
+            }
         }
     } else {
         let mut all: Vec<u64> = (0..total).collect();
@@ -112,6 +124,18 @@ mod tests {
         let cube = Hypercube::new(4);
         let f = uniform_faults(cube, 12, &mut rng(2));
         assert_eq!(f.len(), 12);
+    }
+
+    #[test]
+    fn uniform_dense_path_on_a_big_cube_uses_floyd_sampling() {
+        // n = 17 crosses the 2¹⁶ threshold: a dense request must come
+        // back exact and deterministic without the O(2ⁿ) shuffle.
+        let cube = Hypercube::new(17);
+        let m = 40_000; // 4·m > 2¹⁷ → dense branch
+        let a = uniform_faults(cube, m, &mut rng(6));
+        assert_eq!(a.len(), m);
+        let b = uniform_faults(cube, m, &mut rng(6));
+        assert_eq!(a, b, "same seed, same faults");
     }
 
     #[test]

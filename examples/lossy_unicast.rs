@@ -35,7 +35,7 @@ fn main() {
         1_000_000,
     );
     assert!(gs.quiescent);
-    assert_eq!(gs.map.as_slice(), SafetyMap::compute(&cfg).as_slice());
+    assert_eq!(gs.map.store(), SafetyMap::compute(&cfg).store());
     println!(
         "GS converged under 5% loss: {} messages delivered, {} lost in transit, \
          {} retransmitted, {} ACKs",

@@ -48,7 +48,7 @@ proptest! {
                 }
             }
             let scratch = SafetyMap::compute(&cfg);
-            prop_assert_eq!(map.as_slice(), scratch.as_slice());
+            prop_assert_eq!(map.store(), scratch.store());
             prop_assert_eq!(map.check_fixed_point(&cfg), None);
         }
     }
@@ -77,7 +77,7 @@ proptest! {
                 }
             }
             let run = run_delta_gs(&cfg, &prev, ev, 1);
-            prop_assert_eq!(run.map.as_slice(), map.as_slice());
+            prop_assert_eq!(run.map.store(), map.store());
             prop_assert!(run.monotone, "delta-GS levels moved against the event's direction");
         }
     }
@@ -156,4 +156,46 @@ fn route_many_single_thread_fallback_matches_parallel() {
         .expect("child printed its fingerprint");
     let got = u64::from_str_radix(hex, 16).expect("hex fingerprint");
     assert_eq!(got, expect, "fallback outcomes identical to parallel");
+}
+
+/// n = 16 scale smoke: the plane kernels, the scalar reference, and
+/// the constructive path agree on a 65,536-node cube — the largest
+/// size the reference oracle can cover at test speed.
+#[test]
+fn scale_smoke_n16_packed_matches_scalar_reference() {
+    let cube = Hypercube::new(16);
+    let mut cfg = FaultConfig::fault_free(cube);
+    for i in 0..24u64 {
+        cfg.node_faults_mut()
+            .insert(NodeId::new(i * 2731 % cube.num_nodes()));
+    }
+    let map = SafetyMap::compute(&cfg);
+    assert_eq!(map.to_vec(), SafetyMap::compute_reference_levels(&cfg));
+    assert_eq!(map.store(), SafetyMap::compute_constructive(&cfg).store());
+}
+
+/// n = 20 scale smoke: a million-node cube computes on the packed
+/// planes, stays within the 1 byte/node store ceiling, and a
+/// single-fault incremental update matches a from-scratch plane
+/// recompute byte for byte. (No scalar oracle here — the plane
+/// kernels cross-check each other, and the n = 16 smoke pins them to
+/// the scalar semantics.)
+#[test]
+fn scale_smoke_n20_million_node_incremental() {
+    let cube = Hypercube::new(20);
+    let mut cfg = FaultConfig::fault_free(cube);
+    for i in 1..=12u64 {
+        cfg.node_faults_mut()
+            .insert(NodeId::new(i * 87_381 % cube.num_nodes()));
+    }
+    let mut map = SafetyMap::compute(&cfg);
+    assert_eq!(map.store(), SafetyMap::compute_constructive(&cfg).store());
+    let bpn = map.store().memory_bytes() as f64 / cube.num_nodes() as f64;
+    assert!(bpn <= 1.0, "store is {bpn:.4} bytes/node");
+
+    let v = NodeId::new(777_777);
+    assert!(!cfg.node_faulty(v));
+    cfg.node_faults_mut().insert(v);
+    map.apply_fault(&cfg, v);
+    assert_eq!(map.store(), SafetyMap::compute(&cfg).store());
 }

@@ -18,8 +18,7 @@ fn gs_three_ways_on_random_6_cubes() {
             let central = SafetyMap::compute(&cfg);
             let sync = run_gs(&cfg);
             let (async_map, _) = run_gs_async(&cfg, 1 + (i as u64 % 5));
-            (central.as_slice() != sync.map.as_slice()
-                || central.as_slice() != async_map.as_slice()) as u32
+            (central.store() != sync.map.store() || central.store() != async_map.store()) as u32
         })
         .iter()
         .sum();

@@ -144,15 +144,15 @@ fn record_cube_scenario(out: &mut Vec<String>, tag: &str, cfg: &FaultConfig) {
     let sync = run_gs(cfg);
     out.push(format!(
         "{tag} gs_sync levels={} rounds={} {}",
-        fmt_levels(sync.map.as_slice()),
+        fmt_levels(&sync.map.to_vec()),
         sync.map.rounds(),
         fmt_sync_stats(&sync.stats)
     ));
     if cfg.link_faults().is_empty() {
         let central = SafetyMap::compute(cfg);
         assert_eq!(
-            sync.map.as_slice(),
-            central.as_slice(),
+            sync.map.store(),
+            central.store(),
             "{tag}: distributed GS must match the centralized fixed point"
         );
     }
@@ -161,7 +161,7 @@ fn record_cube_scenario(out: &mut Vec<String>, tag: &str, cfg: &FaultConfig) {
     let (amap, astats) = run_gs_async(cfg, 3);
     out.push(format!(
         "{tag} gs_async levels={} {}",
-        fmt_levels(amap.as_slice()),
+        fmt_levels(&amap.to_vec()),
         fmt_event_stats(&astats)
     ));
 
@@ -173,7 +173,7 @@ fn record_cube_scenario(out: &mut Vec<String>, tag: &str, cfg: &FaultConfig) {
         let run = run_gs_reliable(cfg, channel, ReliableConfig::default(), 1, MAX_EVENTS);
         out.push(format!(
             "{tag} gs_reliable loss={pct} levels={} quiescent={} abandoned={} {}",
-            fmt_levels(run.map.as_slice()),
+            fmt_levels(&run.map.to_vec()),
             run.quiescent,
             run.links_abandoned,
             fmt_event_stats(&run.stats)
@@ -310,14 +310,14 @@ fn record_delta_scenario(out: &mut Vec<String>, tag: &str, cfg: &FaultConfig) {
     let mut central = map.clone();
     let stats = central.apply_fault(&cfg2, v);
     assert_eq!(
-        central.as_slice(),
-        run.map.as_slice(),
+        central.store(),
+        run.map.store(),
         "{tag}: delta-GS must match the centralized incremental update"
     );
     out.push(format!(
         "{tag} delta_fault v={} levels={} touched={} changed={} waves={} saved={} {}",
         v.raw(),
-        fmt_levels(run.map.as_slice()),
+        fmt_levels(&run.map.to_vec()),
         stats.cells_touched,
         stats.cells_changed,
         stats.waves,
@@ -332,14 +332,14 @@ fn record_delta_scenario(out: &mut Vec<String>, tag: &str, cfg: &FaultConfig) {
         let mut central = map.clone();
         let stats = central.apply_recover(&cfg2, r);
         assert_eq!(
-            central.as_slice(),
-            run.map.as_slice(),
+            central.store(),
+            run.map.store(),
             "{tag}: delta-GS recovery must match the centralized incremental update"
         );
         out.push(format!(
             "{tag} delta_recover v={} levels={} touched={} changed={} waves={} saved={} {}",
             r.raw(),
-            fmt_levels(run.map.as_slice()),
+            fmt_levels(&run.map.to_vec()),
             stats.cells_touched,
             stats.cells_changed,
             stats.waves,

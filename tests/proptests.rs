@@ -37,11 +37,11 @@ proptest! {
         let central = SafetyMap::compute(&cfg);
         prop_assert_eq!(central.check_fixed_point(&cfg), None);
         let constructive = SafetyMap::compute_constructive(&cfg);
-        prop_assert_eq!(central.as_slice(), constructive.as_slice());
+        prop_assert_eq!(central.store(), constructive.store());
         let sync = run_gs(&cfg);
-        prop_assert_eq!(central.as_slice(), sync.map.as_slice());
+        prop_assert_eq!(central.store(), sync.map.store());
         let (async_map, _) = run_gs_async(&cfg, 3);
-        prop_assert_eq!(central.as_slice(), async_map.as_slice());
+        prop_assert_eq!(central.store(), async_map.store());
     }
 
     /// Theorem 2 + Property 1 on arbitrary instances.
@@ -148,7 +148,7 @@ proptest! {
         let ghmap = GhSafetyMap::compute(&gh, &faults);
         let cfg = FaultConfig::with_node_faults(cube, faults);
         let qmap = SafetyMap::compute(&cfg);
-        prop_assert_eq!(ghmap.as_slice(), qmap.as_slice());
+        prop_assert_eq!(ghmap.as_slice(), qmap.to_vec());
     }
 
     /// BFS ground truth: the safety-level route is never shorter than

@@ -247,6 +247,41 @@ impl<T: Send> ParallelSliceMut<T> for [T] {
     }
 }
 
+/// Zipped chunk fan-out: splits `input` and `output` into aligned
+/// contiguous chunks of `chunk_size` elements and runs
+/// `f(in_chunk, out_chunk)` once per pair, each on its own scoped
+/// worker. Unlike the `ParIter` adapters there is no buffering and no
+/// per-item result collection: workers write straight into the
+/// caller's output slice, so the only allocations are the caller's.
+/// With one thread — or when everything fits in a single chunk — `f`
+/// runs inline on the whole pair, making the `RAYON_NUM_THREADS=1`
+/// path identical to a plain loop.
+///
+/// Panics if the slices differ in length.
+pub fn for_each_chunk_pair<T, O, F>(input: &[T], output: &mut [O], chunk_size: usize, f: F)
+where
+    T: Sync,
+    O: Send,
+    F: Fn(&[T], &mut [O]) + Sync,
+{
+    assert_eq!(
+        input.len(),
+        output.len(),
+        "for_each_chunk_pair: slice length mismatch"
+    );
+    let chunk_size = chunk_size.max(1);
+    if num_threads() <= 1 || input.len() <= chunk_size {
+        f(input, output);
+        return;
+    }
+    let f = &f;
+    std::thread::scope(|s| {
+        for (ic, oc) in input.chunks(chunk_size).zip(output.chunks_mut(chunk_size)) {
+            s.spawn(move || f(ic, oc));
+        }
+    });
+}
+
 /// Runs both closures (on two scoped threads when the machine has
 /// them) and returns both results.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
@@ -346,6 +381,39 @@ mod tests {
         assert_eq!(sums, expect);
         assert_eq!(sums.len(), 12);
         assert_eq!(sums.iter().sum::<u64>(), xs.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn chunk_pair_writes_every_slot_in_order() {
+        let input: Vec<u32> = (0..103).collect();
+        let mut output = vec![0u32; input.len()];
+        super::for_each_chunk_pair(&input, &mut output, 9, |ins, outs| {
+            for (o, &x) in outs.iter_mut().zip(ins) {
+                *o = x * 3 + 1;
+            }
+        });
+        assert_eq!(
+            output,
+            input.iter().map(|&x| x * 3 + 1).collect::<Vec<u32>>()
+        );
+    }
+
+    #[test]
+    fn chunk_pair_handles_degenerate_inputs() {
+        let empty: [u8; 0] = [];
+        let mut out: Vec<u8> = Vec::new();
+        super::for_each_chunk_pair(&empty, &mut out, 4, |_, _| {});
+        let input = [7u8];
+        let mut one = [0u8];
+        super::for_each_chunk_pair(&input, &mut one, 0, |ins, outs| outs[0] = ins[0] + 1);
+        assert_eq!(one, [8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn chunk_pair_rejects_mismatched_lengths() {
+        let mut out = [0u8; 2];
+        super::for_each_chunk_pair(&[1u8], &mut out, 1, |_, _| {});
     }
 
     #[test]
