@@ -129,7 +129,7 @@ pub struct GhGsNode {
 }
 
 impl GhGsNode {
-    fn new(port_dims: std::sync::Arc<[u8]>, n: u8) -> Self {
+    pub(crate) fn new(port_dims: std::sync::Arc<[u8]>, n: u8) -> Self {
         GhGsNode {
             port_dims,
             n,

@@ -200,6 +200,21 @@ impl AsyncGsNode {
     }
 }
 
+/// Canonical protocol state for the model checker: own level, per-dim
+/// neighbor knowledge, and the descent flag. `n`/`usable` are static
+/// per fault configuration and `latency` is timing, so all three are
+/// excluded — which is exactly what lets the untimed checker merge
+/// engine states that differ only in clock detail.
+impl hypersafe_simkit::StateHash for AsyncGsNode {
+    fn state_hash(&self, h: &mut hypersafe_simkit::McHasher) {
+        h.write_u64(self.level as u64);
+        for d in 0..self.n {
+            h.write_u64(self.heard.get(d) as u64);
+        }
+        h.write_bytes(&[self.monotone as u8]);
+    }
+}
+
 impl Actor for AsyncGsNode {
     type Msg = Level;
 

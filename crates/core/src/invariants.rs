@@ -21,6 +21,8 @@
 //! [`run_unicast_lossy_checked`]) wire both layers together and are
 //! what `repro dst` sweeps over seeds.
 
+use crate::gh_safety::{GhGsNode, GhSafetyMap};
+use crate::gh_unicast::GhDecision;
 use crate::gs::{collect_gs_async, AsyncGsNode, GsAsyncRun};
 use crate::properties::Violation;
 use crate::safety::{Level, SafetyMap};
@@ -31,7 +33,9 @@ use hypersafe_simkit::{
     ChannelModel, EventEngine, HypercubeNet, Invariant, InvariantViolation, Reliable,
     ReliableConfig, Scheduler, Time, Trace,
 };
-use hypersafe_topology::{connectivity, FaultConfig, NodeId};
+use hypersafe_topology::{
+    connectivity, FaultConfig, FaultSet, GeneralizedHypercube, GhNode, NodeId,
+};
 
 use crate::unicast_distributed::LossyUnicastNode;
 
@@ -532,6 +536,150 @@ pub fn check_lossy_outcome(
         delivery_guaranteed,
     )?;
     check_theorem4_soundness(cfg, s, d, run.decision)
+}
+
+// ---------------------------------------------------------------------
+// Generalized-hypercube coverage (§4.2): the same two guarantee layers
+// restated for GH topologies.
+// ---------------------------------------------------------------------
+
+/// BFS connectivity over the healthy part of a generalized hypercube —
+/// the GH analogue of [`hypersafe_topology::connectivity::connected`].
+fn gh_connected(gh: &GeneralizedHypercube, faults: &FaultSet, s: GhNode, d: GhNode) -> bool {
+    if faults.contains(NodeId::new(s.raw())) || faults.contains(NodeId::new(d.raw())) {
+        return false;
+    }
+    if s == d {
+        return true;
+    }
+    let mut seen = vec![false; gh.num_nodes() as usize];
+    seen[s.raw() as usize] = true;
+    let mut stack = vec![s];
+    while let Some(a) = stack.pop() {
+        for b in gh.neighbors(a) {
+            if seen[b.raw() as usize] || faults.contains(NodeId::new(b.raw())) {
+                continue;
+            }
+            if b == d {
+                return true;
+            }
+            seen[b.raw() as usize] = true;
+            stack.push(b);
+        }
+    }
+    false
+}
+
+/// Checked runner for the distributed GH `GLOBAL_STATUS`: steps the
+/// lock-step engine round by round and verifies, after every round,
+/// that no node's level ever rises (monotone descent from the all-`n`
+/// start) or undershoots the centralized Definition 4 fixed point, that
+/// the round count stays within the paper's `n − 1` bound (`+1` for
+/// the final no-change confirmation round), and that the quiescent
+/// levels equal [`GhSafetyMap::compute`] exactly.
+pub fn run_gh_gs_checked(
+    gh: &GeneralizedHypercube,
+    faults: &FaultSet,
+) -> Result<GhSafetyMap, Violation> {
+    let n = gh.dim();
+    let central = GhSafetyMap::compute(gh, faults);
+    let port_dims: std::sync::Arc<[u8]> = (0..gh.degree() as usize)
+        .map(|p| hypersafe_simkit::gh_port_dim(gh, p))
+        .collect();
+    let faulty: Vec<bool> = (0..gh.num_nodes())
+        .map(|a| faults.contains(NodeId::new(a)))
+        .collect();
+    let mut eng = hypersafe_simkit::GenericSyncEngine::new(gh, faulty, |_| {
+        GhGsNode::new(port_dims.clone(), n)
+    });
+    let level_at = |eng: &hypersafe_simkit::GenericSyncEngine<'_, _, GhGsNode>, a: u64| {
+        eng.node(a).map_or(0, GhGsNode::level)
+    };
+    let mut prev: Vec<Level> = (0..gh.num_nodes()).map(|a| level_at(&eng, a)).collect();
+    let mut rounds = 0u32;
+    while eng.run_round() != 0 {
+        rounds += 1;
+        if rounds > n as u32 {
+            return Err(Violation {
+                claim: "gh-gs-round-bound",
+                witness: Vec::new(),
+                detail: format!("still active after {rounds} rounds on an n = {n} GH"),
+            });
+        }
+        for a in 0..gh.num_nodes() {
+            let lv = level_at(&eng, a);
+            if lv > prev[a as usize] {
+                return Err(Violation {
+                    claim: "gh-gs-monotone-descent",
+                    witness: vec![NodeId::new(a)],
+                    detail: format!("rose from {} to {lv} in round {rounds}", prev[a as usize]),
+                });
+            }
+            if lv < central.level(GhNode(a)) {
+                return Err(Violation {
+                    claim: "gh-gs-monotone-descent",
+                    witness: vec![NodeId::new(a)],
+                    detail: format!(
+                        "undershot the fixed point: {lv} < {}",
+                        central.level(GhNode(a))
+                    ),
+                });
+            }
+            prev[a as usize] = lv;
+        }
+    }
+    for a in 0..gh.num_nodes() {
+        let lv = level_at(&eng, a);
+        if lv != central.level(GhNode(a)) {
+            return Err(Violation {
+                claim: "gh-gs-convergence",
+                witness: vec![NodeId::new(a)],
+                detail: format!(
+                    "quiescent at {lv}, centralized says {}",
+                    central.level(GhNode(a))
+                ),
+            });
+        }
+    }
+    Ok(central)
+}
+
+/// **Theorem 4 soundness on GH topologies.** Same contract as
+/// [`check_theorem4_soundness`], against the GH BFS oracle: `Failure`
+/// is only legitimate for a disconnected pair or at `n`-or-more
+/// faults; any accept of a disconnected pair is unsound.
+pub fn check_gh_theorem4_soundness(
+    gh: &GeneralizedHypercube,
+    faults: &FaultSet,
+    s: GhNode,
+    d: GhNode,
+    decision: GhDecision,
+) -> Result<(), Violation> {
+    let n = gh.dim() as usize;
+    let reachable = gh_connected(gh, faults, s, d);
+    let nf = faults.len();
+    match decision {
+        GhDecision::Failure => {
+            if reachable && nf < n {
+                return Err(Violation {
+                    claim: "gh-theorem4-soundness",
+                    witness: vec![NodeId::new(s.raw()), NodeId::new(d.raw())],
+                    detail: format!("refused a connected pair with only {nf} fault(s) < n = {n}"),
+                });
+            }
+        }
+        GhDecision::AlreadyThere => {}
+        GhDecision::Optimal | GhDecision::Suboptimal => {
+            if !reachable {
+                return Err(Violation {
+                    claim: "gh-theorem4-soundness",
+                    witness: vec![NodeId::new(s.raw()), NodeId::new(d.raw())],
+                    detail: "accepted a pair the BFS oracle says is disconnected".into(),
+                });
+            }
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -58,6 +58,7 @@ pub mod gs;
 pub mod invariants;
 pub mod level_store;
 pub mod maintenance;
+pub mod mc;
 pub mod multicast;
 pub mod navigation;
 pub mod properties;
@@ -84,13 +85,14 @@ pub use gs::{
     run_gs_reliable_observed, GsAsyncRun, GsLossyRun, GsRun,
 };
 pub use invariants::{
-    check_gs_convergence, check_lossy_outcome, check_theorem4_soundness, check_unicast_optimality,
-    run_delta_gs_checked, run_gs_async_checked, run_gs_async_checked_traced,
-    run_unicast_lossy_checked, run_unicast_lossy_checked_traced, ArqSingleDelivery,
-    DeltaGsDirected, GsLevelsDescend,
+    check_gh_theorem4_soundness, check_gs_convergence, check_lossy_outcome,
+    check_theorem4_soundness, check_unicast_optimality, run_delta_gs_checked, run_gh_gs_checked,
+    run_gs_async_checked, run_gs_async_checked_traced, run_unicast_lossy_checked,
+    run_unicast_lossy_checked_traced, ArqSingleDelivery, DeltaGsDirected, GsLevelsDescend,
 };
 pub use level_store::{LevelStore, NeighborLevels, PlaneView};
 pub use maintenance::{replay, MaintenanceReport, Strategy, Timeline, TimelineEvent};
+pub use mc::{gs_engine_projections, mc_delta_gs, mc_gs, mc_unicast_arq};
 pub use multicast::{multicast, MulticastResult};
 pub use navigation::NavVector;
 pub use properties::{

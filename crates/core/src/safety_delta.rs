@@ -335,6 +335,20 @@ impl DeltaGsNode {
     }
 }
 
+/// Canonical protocol state for the model checker: level, neighbor
+/// knowledge, and the direction-monotonicity flag. The event role
+/// flags (`descending`, `is_event_node`, `event_dim`) are static per
+/// run and `latency` is timing — all excluded.
+impl hypersafe_simkit::StateHash for DeltaGsNode {
+    fn state_hash(&self, h: &mut hypersafe_simkit::McHasher) {
+        h.write_u64(self.level as u64);
+        for d in 0..self.n {
+            h.write_u64(self.heard.get(d) as u64);
+        }
+        h.write_bytes(&[self.monotone as u8]);
+    }
+}
+
 impl Actor for DeltaGsNode {
     type Msg = Level;
 

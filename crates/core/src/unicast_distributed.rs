@@ -268,6 +268,7 @@ pub struct LossyRun {
 /// [`UnicastNode`]'s logic behind the reliable layer, with the
 /// bookkeeping the widened outcome taxonomy needs. Crate-visible so
 /// [`crate::invariants`] can inspect it mid-run.
+#[derive(Clone)]
 pub(crate) struct LossyUnicastNode {
     n: u8,
     own_level: Level,
@@ -302,6 +303,26 @@ impl LossyUnicastNode {
         msg.nav = msg.nav.after_hop(dim);
         msg.trail.push(next);
         ctx.send_reliable(next, msg);
+    }
+}
+
+impl hypersafe_simkit::StateHash for UnicastMsg {
+    fn state_hash(&self, h: &mut hypersafe_simkit::McHasher) {
+        h.write_u64(self.nav.0);
+        self.trail.state_hash(h);
+    }
+}
+
+/// Canonical protocol state for the model checker: the delivery /
+/// abort / pending-start flags and what was received. `received_at`
+/// is a timestamp (timing detail the untimed checker abstracts away)
+/// and the level tables are static per safety map — all excluded.
+impl hypersafe_simkit::StateHash for LossyUnicastNode {
+    fn state_hash(&self, h: &mut hypersafe_simkit::McHasher) {
+        self.received.state_hash(h);
+        h.write_u64(self.receives);
+        h.write_bytes(&[self.aborted as u8]);
+        self.start.state_hash(h);
     }
 }
 

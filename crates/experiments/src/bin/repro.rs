@@ -41,10 +41,17 @@
 //! and merges wall-clock numbers into `results/BENCH_safety_compute.json`,
 //! `BENCH_churn.json`, and `BENCH_routing.json`.
 //!
+//! `mc` (E28) is a gate: it runs the explicit-state model checker
+//! over every delivery interleaving of GS / delta-GS / ARQ on small
+//! cubes (`--quick` limits to `Q_3` single-fault GS plus a lossless
+//! ARQ pair), writes the fully deterministic `results/mc.csv` +
+//! `mc_obs.json`, and exits nonzero on any property violation or any
+//! truncated (non-exhaustive) search.
+//!
 //! `validate-obs` is the export gate: it checks every metrics snapshot
 //! in the `--csv` directory (`obs_metrics.json`, `loss_obs.json`,
 //! `dst_obs.json`, `churn_obs.json`, `service_obs.json`,
-//! `safety_scale_obs.json`) against the compiled-in copy of
+//! `safety_scale_obs.json`, `mc_obs.json`) against the compiled-in copy of
 //! `tests/goldens/obs_schema.json` and exits nonzero on any shape
 //! drift — or if no snapshot is found at all.
 //!
@@ -62,9 +69,9 @@
 use hypersafe_experiments::table::Report;
 use hypersafe_experiments::{
     broadcast_exp, churn_exp, congestion_exp, distribution_exp, dst, dynamic_exp, fig1, fig2, fig3,
-    fig4, fig5, linkfaults_exp, loss_exp, maintenance_exp, multicast_exp, obs_exp, patterns_exp,
-    property2, rounds_compare, routing_compare, safesets, safety_scale_exp, service_exp, thm4,
-    tightness_exp, traffic_exp, vectors_exp,
+    fig4, fig5, linkfaults_exp, loss_exp, maintenance_exp, mc_exp, multicast_exp, obs_exp,
+    patterns_exp, property2, rounds_compare, routing_compare, safesets, safety_scale_exp,
+    service_exp, thm4, tightness_exp, traffic_exp, vectors_exp,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -84,7 +91,7 @@ struct Opts {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <fig1|fig2|fig3|fig4|fig5|safesets|property2|thm4|compare|rounds|maintenance|broadcast|dynamic|distribution|linkfaults|tightness|traffic|multicast|patterns|vectors|congestion|loss|obs|dst|churn|service|safety-scale|validate-obs|all> \
+        "usage: repro <fig1|fig2|fig3|fig4|fig5|safesets|property2|thm4|compare|rounds|maintenance|broadcast|dynamic|distribution|linkfaults|tightness|traffic|multicast|patterns|vectors|congestion|loss|obs|dst|churn|service|safety-scale|mc|validate-obs|all> \
          [--n N] [--trials K] [--seeds K] [--max-faults M] [--seed S] [--csv DIR] [--md] [--quick]"
     );
     std::process::exit(2);
@@ -623,6 +630,7 @@ fn run_validate_obs(o: &Opts) -> ExitCode {
         "churn_obs.json",
         "service_obs.json",
         "safety_scale_obs.json",
+        "mc_obs.json",
     ];
     let mut checked = 0u32;
     let mut bad = 0u32;
@@ -696,10 +704,52 @@ fn run_safety_scale(o: &Opts) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `mc` (E28) is a gate: the explicit-state checker must visit every
+/// reachable state of each scenario without a property violation and
+/// without hitting the state cap — a truncated search is not a proof,
+/// so it fails the process too.
+fn run_mc(o: &Opts) -> ExitCode {
+    let mut p = mc_exp::McParams {
+        quick: o.quick,
+        ..mc_exp::McParams::default()
+    };
+    if let Some(t) = o.trials {
+        // Reuse --trials as the state-cap knob (max_states = t × 1M).
+        p.max_states = u64::from(t) * 1_000_000;
+    }
+    if let Some(dir) = &o.csv {
+        p.out_dir = dir.clone();
+    }
+    let run = mc_exp::run(&p);
+    if o.markdown {
+        println!("{}", run.report.to_markdown());
+    } else {
+        println!("{}", run.report.render());
+    }
+    if run.violations > 0 {
+        eprintln!(
+            "mc: {} property violation(s) — see the verdict column",
+            run.violations
+        );
+        return ExitCode::FAILURE;
+    }
+    if run.truncated > 0 {
+        eprintln!(
+            "mc: {} truncated search(es) — raise the state cap (--trials, in millions)",
+            run.truncated
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let opts = parse_args();
     if opts.experiment == "validate-obs" {
         return run_validate_obs(&opts);
+    }
+    if opts.experiment == "mc" {
+        return run_mc(&opts);
     }
     if opts.experiment == "dst" {
         return run_dst(&opts);

@@ -32,6 +32,8 @@
 //! | E24 | [`churn_exp`] | incremental churn + batched routing throughput |
 //! | E25 | [`obs_exp`] | observability snapshot — metrics registry + flight recorder |
 //! | E26 | [`service_exp`] | resilient-service churn soak — epoch snapshots + request lifecycle |
+//! | E27 | [`safety_scale_exp`] | packed bit-plane safety kernels at million-node scale |
+//! | E28 | [`mc_exp`] | explicit-state model checking — exhaustive GS/ARQ verification |
 #![warn(missing_docs)]
 
 pub mod broadcast_exp;
@@ -48,6 +50,7 @@ pub mod fig5;
 pub mod linkfaults_exp;
 pub mod loss_exp;
 pub mod maintenance_exp;
+pub mod mc_exp;
 pub mod multicast_exp;
 pub mod obs_exp;
 pub mod patterns_exp;

@@ -39,7 +39,7 @@ pub type Time = u64;
 /// disjoint by construction, so a wrapped actor can use any `u64` tag
 /// without colliding with the transport (this replaces an earlier
 /// reserved-high-bit convention).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum TimerTag {
     /// An actor-armed timer carrying an opaque protocol tag.
     Actor(u64),
@@ -72,6 +72,32 @@ pub struct Ctx<M> {
 }
 
 impl<M> Ctx<M> {
+    /// Builds a context detached from any engine, for callers (the
+    /// model checker in [`crate::mc`]) that execute actor callbacks
+    /// outside an [`EventEngine`] and absorb the effects themselves.
+    pub(crate) fn detached(self_id: NodeId, now: Time) -> Self {
+        Ctx {
+            self_id,
+            now,
+            sends: Vec::new(),
+            timers: Vec::new(),
+            retransmits: 0,
+            acks: 0,
+            retx_ports: Vec::new(),
+            obs_on: false,
+            halt: false,
+        }
+    }
+
+    /// Tears the context apart into its raw effects `(sends, timers,
+    /// halt)` for out-of-engine absorption (crate-internal; the engine
+    /// itself uses `absorb_ctx`). Send and timer entries carry the
+    /// absolute times the engine would have enqueued them at.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn into_effects(self) -> (Vec<(Time, NodeId, M)>, Vec<(Time, TimerTag)>, bool) {
+        (self.sends, self.timers, self.halt)
+    }
+
     /// The node executing the current callback.
     pub fn self_id(&self) -> NodeId {
         self.self_id

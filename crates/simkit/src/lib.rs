@@ -42,6 +42,7 @@
 
 pub mod channel;
 pub mod event;
+pub mod mc;
 pub mod network;
 pub mod obs;
 pub mod reliable;
@@ -53,6 +54,10 @@ pub mod trace;
 
 pub use channel::{ChannelModel, LinkFate};
 pub use event::{Actor, Ctx, EventEngine, Time, TimerTag};
+pub use mc::{
+    engine_projection, explore, parse_artifact_path, projection_hash, render_artifact, replay,
+    McCheck, McConfig, McHasher, McReplay, McReport, McSnapshot, McViolation, StateHash,
+};
 pub use network::{gh_port_dim, GenericSyncEngine, GhNet, HypercubeNet, Network, PortNode};
 pub use obs::{
     parse_json, validate_json, DimStat, FlightRecorder, JsonValue, Metrics, MetricsSnapshot,

@@ -47,6 +47,7 @@
 
 use crate::channel::{mix, uniform_inclusive};
 use crate::event::{Actor, Ctx, Time, TimerTag};
+use crate::mc::{McHasher, StateHash};
 use hypersafe_topology::NodeId;
 use std::collections::BTreeMap;
 
@@ -101,6 +102,7 @@ pub enum ReliableMsg<M> {
     },
 }
 
+#[derive(Clone)]
 struct OutLink<M> {
     next_seq: u64,
     /// seq → (payload, attempts so far, current rto).
@@ -118,6 +120,7 @@ impl<M> Default for OutLink<M> {
     }
 }
 
+#[derive(Clone)]
 struct InLink<M> {
     cum: u64,
     buffer: BTreeMap<u64, M>,
@@ -134,6 +137,7 @@ impl<M> Default for InLink<M> {
 
 /// Per-node transport state: one outgoing stream and one incoming
 /// cursor per neighbor port.
+#[derive(Clone)]
 pub struct ReliableEndpoint<M> {
     /// The node at port `p`'s far end, fixed at construction.
     neighbors: Vec<NodeId>,
@@ -377,6 +381,7 @@ pub trait ReliableActor: Sized {
 /// The [`Actor`] adapter running a [`ReliableActor`] over the reliable
 /// layer. Construct with [`Reliable::new`] and hand to
 /// [`crate::event::EventEngine`] as usual.
+#[derive(Clone)]
 pub struct Reliable<A: ReliableActor> {
     /// The wrapped protocol actor.
     pub inner: A,
@@ -448,6 +453,66 @@ impl<A: ReliableActor> Actor for Reliable<A> {
                 );
             }
         }
+    }
+}
+
+impl<M: StateHash> StateHash for ReliableMsg<M> {
+    fn state_hash(&self, h: &mut McHasher) {
+        match self {
+            ReliableMsg::Data { seq, payload } => {
+                h.write_bytes(&[0]);
+                h.write_u64(*seq);
+                payload.state_hash(h);
+            }
+            ReliableMsg::Ack { cum } => {
+                h.write_bytes(&[1]);
+                h.write_u64(*cum);
+            }
+        }
+    }
+}
+
+/// Canonical transport state for model checking: sequence cursors,
+/// unacked payloads with their attempt counts, reorder buffers, dead
+/// links and give-ups. Excludes the timing ladder (per-entry RTO) and
+/// the observational counters — two endpoints that differ only in
+/// backoff or tallies are protocol-equivalent.
+impl<M: StateHash> StateHash for ReliableEndpoint<M> {
+    fn state_hash(&self, h: &mut McHasher) {
+        h.write_u64(self.out.len() as u64);
+        for link in &self.out {
+            h.write_u64(link.next_seq);
+            h.write_bytes(&[link.dead as u8]);
+            h.write_u64(link.unacked.len() as u64);
+            for (seq, (payload, attempts, _rto)) in &link.unacked {
+                h.write_u64(*seq);
+                payload.state_hash(h);
+                h.write_u64(*attempts as u64);
+            }
+        }
+        for link in &self.inn {
+            h.write_u64(link.cum);
+            h.write_u64(link.buffer.len() as u64);
+            for (seq, payload) in &link.buffer {
+                h.write_u64(*seq);
+                payload.state_hash(h);
+            }
+        }
+        // Give-up order is schedule noise; the *set* is the state.
+        let mut gave: Vec<u8> = self.gave_up.clone();
+        gave.sort_unstable();
+        gave.state_hash(h);
+    }
+}
+
+impl<A> StateHash for Reliable<A>
+where
+    A: ReliableActor + StateHash,
+    A::Msg: StateHash,
+{
+    fn state_hash(&self, h: &mut McHasher) {
+        self.inner.state_hash(h);
+        self.endpoint.state_hash(h);
     }
 }
 

@@ -9,8 +9,10 @@ use hypersafe::safety::invariants::{
 };
 use hypersafe::safety::SafetyMap;
 use hypersafe::simkit::{
+    explore as mc_explore, parse_artifact_path, render_artifact, replay as mc_replay,
     shrink_injections, Actor, AdversarialScheduler, Ctx, EventEngine, HypercubeNet, Invariant,
-    ReliableConfig, Scheduler, Time, Trace,
+    McCheck, McConfig, McHasher, McReplay, McReport, McSnapshot, ReliableConfig, Scheduler,
+    StateHash, Time, Trace,
 };
 use hypersafe::topology::{FaultConfig, Hypercube, NodeId};
 use hypersafe::workloads::{random_pair, uniform_faults, Sweep, STANDARD_PROFILES};
@@ -137,8 +139,16 @@ const POISON: u64 = 13;
 /// dimension-0 neighbor; on receiving the poison value it *raises* its
 /// level — exactly the monotone-descent bug the DST invariants exist
 /// to catch.
+#[derive(Clone)]
 struct BrokenNode {
     level: u64,
+}
+
+/// The broken actor's canonical protocol state is just its level.
+impl StateHash for BrokenNode {
+    fn state_hash(&self, h: &mut McHasher) {
+        h.write_u64(self.level);
+    }
 }
 
 impl Actor for BrokenNode {
@@ -251,6 +261,126 @@ fn planted_violation_shrinks_to_one_event_and_replays_byte_identically() {
     assert_eq!(v1, v2);
     assert!(v1.is_some());
     assert_eq!(t1.render(), t2.render(), "replay diverged");
+}
+
+// ---------------------------------------------------------------------
+// The same planted bug through the model checker: found exhaustively,
+// ddmin-shrunk, written as a seedless path artifact, replayed
+// byte-identically.
+// ---------------------------------------------------------------------
+
+/// The state-local reformulation of `NeverRises`: levels start at 100
+/// and only the poison raises one above it, so `level <= 100` at every
+/// reachable state is exactly the planted bug's signature.
+fn mc_broken_checks<'a>() -> [McCheck<'a, BrokenNode>; 1] {
+    [McCheck {
+        name: "mc-never-rises",
+        terminal_only: false,
+        check: Box::new(|s: &McSnapshot<'_, BrokenNode>| {
+            for (v, a) in s.actors.iter().enumerate() {
+                if let Some(a) = a {
+                    if a.level > 100 {
+                        return Err(format!("node {v} rose to {}", a.level));
+                    }
+                }
+            }
+            Ok(())
+        }),
+    }]
+}
+
+fn mc_broken(cfg: &FaultConfig, injections: &[(NodeId, u64)]) -> McReport {
+    let net = HypercubeNet::new(cfg);
+    mc_explore(
+        &net,
+        |_| BrokenNode { level: 100 },
+        injections,
+        &McConfig::default(),
+        &mc_broken_checks(),
+    )
+}
+
+fn mc_broken_replay(cfg: &FaultConfig, injections: &[(NodeId, u64)], path: &[u32]) -> McReplay {
+    let net = HypercubeNet::new(cfg);
+    mc_replay(
+        &net,
+        |_| BrokenNode { level: 100 },
+        injections,
+        &McConfig::default(),
+        &mc_broken_checks(),
+        path,
+    )
+}
+
+/// The minimal reproducer ddmin converges to: one poisoned timer on
+/// node 1 (which relays the poison to node 0). The pinned artifact in
+/// `tests/corpus/` replays against exactly this system.
+const MC_MINIMAL_INJECTIONS: [(NodeId, u64); 1] = [(NodeId(1), POISON)];
+
+#[test]
+fn mc_finds_shrinks_and_replays_the_planted_violation() {
+    let cube = Hypercube::new(2);
+    let cfg = FaultConfig::fault_free(cube);
+
+    // Six injected timers, one poisonous.
+    let mut inj: Vec<(NodeId, u64)> = (0..6u64).map(|k| (NodeId::new(k % 4), k % 3)).collect();
+    inj[3] = (NodeId::new(1), POISON);
+
+    let rep = mc_broken(&cfg, &inj);
+    let v = rep.violation.as_ref().expect("checker must find the bug");
+    assert_eq!(v.property, "mc-never-rises");
+
+    // ddmin over injection subsets with the checker as the oracle.
+    let shrunk = shrink_injections(&inj, |sub| mc_broken(&cfg, sub).violation.is_some());
+    assert_eq!(shrunk, MC_MINIMAL_INJECTIONS.to_vec(), "{shrunk:?}");
+
+    // Counterexample of the minimal system, replayed twice: the
+    // rendered schedule and the per-step state hashes must match
+    // byte-for-byte — the path alone is the reproducer, no seed.
+    let rep = mc_broken(&cfg, &shrunk);
+    let mut v = rep
+        .violation
+        .clone()
+        .expect("minimal system still violates");
+    let r1 = mc_broken_replay(&cfg, &shrunk, &v.path);
+    let r2 = mc_broken_replay(&cfg, &shrunk, &v.path);
+    assert_eq!(r1.rendered, r2.rendered, "replay diverged");
+    assert_eq!(r1.state_hashes, r2.state_hashes);
+    assert_eq!(
+        r1.violation.as_ref().map(|(p, _)| p.as_str()),
+        Some("mc-never-rises")
+    );
+
+    // Artifact round-trip: the path survives render + parse.
+    v.rendered = r1.rendered.clone();
+    let artifact = render_artifact(&v);
+    println!("{artifact}");
+    assert_eq!(parse_artifact_path(&artifact), Some(v.path.clone()));
+
+    // The engine agrees: the same minimal injection trips run_checked.
+    let eng_inj: Vec<(NodeId, u64, Time)> = shrunk.iter().map(|&(a, t)| (a, t, 1)).collect();
+    let (violation, _) = broken_run(&cfg, 7, &eng_inj);
+    assert!(violation
+        .expect("engine reproduces it")
+        .contains("never-rises"));
+}
+
+#[test]
+fn pinned_mc_counterexample_replays_byte_identically() {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/corpus/mc_broken_counterexample.txt");
+    let text = std::fs::read_to_string(&path).expect("pinned mc counterexample present");
+    let steps = parse_artifact_path(&text).expect("artifact has a path line");
+    let cube = Hypercube::new(2);
+    let cfg = FaultConfig::fault_free(cube);
+    let r = mc_broken_replay(&cfg, &MC_MINIMAL_INJECTIONS, &steps);
+    assert_eq!(
+        r.violation.as_ref().map(|(p, _)| p.as_str()),
+        Some("mc-never-rises"),
+        "pinned path no longer reaches the violation"
+    );
+    let stored = text.split_once("--\n").expect("artifact body").1;
+    assert_eq!(r.rendered, stored, "pinned replay diverged");
 }
 
 #[test]

@@ -1,0 +1,74 @@
+//! Cross-validation of the model checker against the timed engine:
+//! any engine schedule (FIFO or adversarial reorder/stretch) is one
+//! interleaving of the untimed transition system, so every
+//! actor-projection hash a real GS run passes through — after
+//! `on_start` and after each delivered event — must be a member of
+//! the checker's reachable projection set. A hash outside the set
+//! would mean the abstraction in `simkit::mc` (untimed delivery,
+//! no-op closure) fails to subsume some timed behavior.
+
+use hypersafe::safety::{gs_engine_projections, mc_gs};
+use hypersafe::simkit::{AdversarialScheduler, FifoScheduler, McConfig};
+use hypersafe::topology::{FaultConfig, FaultSet, Hypercube, NodeId};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn q3_cfg(faults: &[u64]) -> FaultConfig {
+    let cube = Hypercube::new(3);
+    FaultConfig::with_node_faults(
+        cube,
+        FaultSet::from_nodes(cube, faults.iter().copied().map(NodeId::new)),
+    )
+}
+
+/// The checker's reachable projection set for `cfg`, asserting the
+/// exploration itself was clean and exhaustive.
+fn reachable(cfg: &FaultConfig) -> HashSet<u128> {
+    let mcfg = McConfig {
+        collect_projections: true,
+        ..McConfig::default()
+    };
+    let rep = mc_gs(cfg, &mcfg);
+    assert!(rep.violation.is_none(), "{:?}", rep.violation);
+    assert!(!rep.truncated, "state space truncated");
+    rep.projections.expect("collect_projections was on")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// FIFO schedules on every single-fault Q_3 instance stay inside
+    /// the checker's reachable set.
+    #[test]
+    fn fifo_schedules_are_reachable(f in 0u64..8) {
+        let cfg = q3_cfg(&[f]);
+        let mc = reachable(&cfg);
+        let steps = gs_engine_projections(&cfg, Box::new(FifoScheduler));
+        for (k, h) in steps.iter().enumerate() {
+            prop_assert!(mc.contains(h), "fault {}: engine step {} left the reachable set", f, k);
+        }
+    }
+
+    /// Adversarial reorder/stretch schedules on one- and two-fault
+    /// Q_3 instances stay inside the checker's reachable set.
+    #[test]
+    fn adversarial_schedules_are_reachable(
+        f1 in 0u64..8,
+        f2 in 0u64..8,
+        seed in any::<u64>(),
+        stretch in 1u64..6,
+    ) {
+        let faults = if f1 == f2 { vec![f1] } else { vec![f1, f2] };
+        let cfg = q3_cfg(&faults);
+        let mc = reachable(&cfg);
+        let sched = AdversarialScheduler::permute(seed).with_stretch(stretch);
+        let steps = gs_engine_projections(&cfg, Box::new(sched));
+        for (k, h) in steps.iter().enumerate() {
+            prop_assert!(
+                mc.contains(h),
+                "faults {:?} seed {:#x}: engine step {} left the reachable set",
+                faults, seed, k
+            );
+        }
+    }
+}
