@@ -60,6 +60,7 @@ pub mod level_store;
 pub mod maintenance;
 pub mod mc;
 pub mod multicast;
+pub mod multipath;
 pub mod navigation;
 pub mod properties;
 pub mod reroute;
@@ -94,6 +95,10 @@ pub use level_store::{LevelStore, NeighborLevels, PlaneView};
 pub use maintenance::{replay, MaintenanceReport, Strategy, Timeline, TimelineEvent};
 pub use mc::{gs_engine_projections, mc_delta_gs, mc_gs, mc_unicast_arq};
 pub use multicast::{multicast, MulticastResult};
+pub use multipath::{
+    check_disjoint_delivery, outcome_of, route_disjoint, route_disjoint_many,
+    route_disjoint_ranked, DisjointPath, MultiOutcome, MultipathResult, PathKind,
+};
 pub use navigation::NavVector;
 pub use properties::{
     check_never_fails_under_n_faults, check_property1, check_property2, check_theorem2,

@@ -1,0 +1,723 @@
+//! k-disjoint multi-path unicast (ROADMAP open item 1).
+//!
+//! The paper routes each unicast on a single safety-level-guided path;
+//! its Theorem 2 machinery already leans on the classic fan of `n`
+//! node-disjoint Hamming paths ([`hypersafe_topology::disjoint`]).
+//! This module turns that fan into a *routing* primitive: a message is
+//! replicated across up to `k ≤ n` pairwise node-disjoint, fault-free
+//! paths, so a single further fault (or a congested link) can kill at
+//! most one copy.
+//!
+//! ## Path selection
+//!
+//! 1. **Fan phase** — the `h = H(s, d)` optimal rotations and the
+//!    `n − h` spare-dimension detours of the classic fan are tried in
+//!    a safety-guided order: optimal rotations sorted by the safety
+//!    level of their first-hop neighbor (descending), then detours by
+//!    a caller-supplied spare cost (ascending — the congestion
+//!    workloads pass per-link queue depths here, so the least-loaded
+//!    healthy spare wins) with safety level as the tie-break. Each
+//!    candidate is accepted iff every interior node is nonfaulty and
+//!    every link usable; fan members are pairwise internally disjoint
+//!    by construction, so acceptance never needs a cross-check.
+//! 2. **Reroute phase** — when faults cut fan candidates and fewer
+//!    than `k` survive, the survivors are converted into a unit flow
+//!    on the node-split residual graph of the live faulty cube and
+//!    augmented (BFS, deterministic dimension order) until either `k`
+//!    paths exist or no augmenting path remains. Unit vertex
+//!    capacities make the result *maximum*: the delivered count equals
+//!    `min(k, F(s, d))` where `F` is the max number of pairwise
+//!    internally-disjoint fault-free `s → d` paths (the max-flow /
+//!    Menger bound) — property-tested against an independent oracle in
+//!    `tests/multipath_props.rs`.
+//!
+//! On the fault-free cube the fan phase alone returns exactly `n`
+//! disjoint delivered paths for distinct endpoints (`h` optimal +
+//! `n − h` detours of length `h + 2`); whenever the single-path router
+//! ([`crate::route`]) delivers, a fault-free walk exists, so the flow
+//! bound is ≥ 1 and multi-path delivers on at least one path.
+//!
+//! Endpoint semantics match [`crate::route`]: interior nodes must be
+//! healthy and links usable; the destination may be faulty (footnote
+//! 3 — delivery to a dead node's doorstep still counts). A faulty
+//! *source* cannot transmit and yields an empty result.
+
+use crate::safety::SafetyMap;
+use hypersafe_topology::{e, FaultConfig, NodeId, Path, MAX_DIM};
+
+/// Length class of one delivered path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PathKind {
+    /// Hamming length `H` (an optimal fan rotation, or a reroute that
+    /// happened to land on one).
+    Optimal,
+    /// Length `H + 2` (a spare-dimension detour).
+    Detour,
+    /// Longer than `H + 2`: only the reroute phase produces these,
+    /// snaking around dense fault regions.
+    Reroute,
+}
+
+/// One delivered path of a multi-path unicast.
+#[derive(Clone, Debug)]
+pub struct DisjointPath {
+    /// The fault-free realized path.
+    pub path: Path,
+    /// Its length class.
+    pub kind: PathKind,
+}
+
+/// Outcome of [`route_disjoint`]: the delivered paths are pairwise
+/// internally disjoint and individually fault-free.
+#[derive(Clone, Debug)]
+pub struct MultipathResult {
+    /// Delivered paths, shortest first (ties: fan acceptance order).
+    pub paths: Vec<DisjointPath>,
+    /// Paths requested (`k`, clamped to `n`).
+    pub requested: u8,
+    /// Paths accepted straight from the fan before any reroute.
+    pub fan_accepted: u8,
+    /// Whether the reroute (augmentation) phase ran.
+    pub rerouted: bool,
+}
+
+impl MultipathResult {
+    /// Number of delivered paths.
+    pub fn delivered(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// Total hops across all delivered copies (message overhead).
+    pub fn total_hops(&self) -> u32 {
+        self.paths.iter().map(|p| p.path.len()).sum()
+    }
+
+    /// Hops of the shortest delivered copy (first-copy latency), or
+    /// `None` when nothing was delivered.
+    pub fn best_hops(&self) -> Option<u32> {
+        self.paths.iter().map(|p| p.path.len()).min()
+    }
+
+    fn empty(requested: u8) -> Self {
+        MultipathResult {
+            paths: Vec::new(),
+            requested,
+            fan_accepted: 0,
+            rerouted: false,
+        }
+    }
+}
+
+/// Compact per-pair outcome of [`route_disjoint_many`] — everything
+/// the E29 experiment aggregates, with no path allocation retained.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MultiOutcome {
+    /// Delivered path count.
+    pub delivered: u8,
+    /// Delivered paths of Hamming length.
+    pub optimal: u8,
+    /// Delivered paths of length `H + 2`.
+    pub detour: u8,
+    /// Delivered paths longer than `H + 2`.
+    pub reroute: u8,
+    /// Total hops across all delivered copies.
+    pub total_hops: u32,
+    /// Hops of the shortest delivered copy (0 when none delivered).
+    pub best_hops: u32,
+}
+
+/// `H` interior nodes + endpoints is the longest fan candidate; the
+/// reroute phase can exceed it, so paths are built from raw node vecs.
+fn fan_path_ok(cfg: &FaultConfig, nodes: &[NodeId]) -> bool {
+    let last = nodes.len() - 1;
+    for &v in &nodes[1..last] {
+        if cfg.node_faulty(v) {
+            return false;
+        }
+    }
+    for w in nodes.windows(2) {
+        if !cfg.link_usable(w[0], w[1]) {
+            return false;
+        }
+    }
+    true
+}
+
+/// The fan candidate that crosses the preferred dimensions in cyclic
+/// order starting at `dims[start]`.
+fn optimal_candidate(s: NodeId, dims: &[u8], start: usize) -> Vec<NodeId> {
+    let h = dims.len();
+    let mut nodes = Vec::with_capacity(h + 1);
+    let mut cur = s;
+    nodes.push(cur);
+    for k in 0..h {
+        cur = cur.neighbor(dims[(start + k) % h]);
+        nodes.push(cur);
+    }
+    nodes
+}
+
+/// The fan candidate that detours through spare dimension `j`.
+fn detour_candidate(s: NodeId, d: NodeId, dims: &[u8], j: u8) -> Vec<NodeId> {
+    let mut nodes = Vec::with_capacity(dims.len() + 3);
+    let mut cur = s.neighbor(j);
+    nodes.push(s);
+    nodes.push(cur);
+    for &p in dims {
+        cur = cur.neighbor(p);
+        nodes.push(cur);
+    }
+    debug_assert_eq!(cur, d.xor(e(j)));
+    nodes.push(d);
+    nodes
+}
+
+fn kind_of(len: u32, h: u32) -> PathKind {
+    if len == h {
+        PathKind::Optimal
+    } else if len == h + 2 {
+        PathKind::Detour
+    } else {
+        PathKind::Reroute
+    }
+}
+
+/// Routes `s → d` across up to `k` pairwise node-disjoint fault-free
+/// paths, safety-guided, with spare-dimension detours ordered by
+/// safety level alone. See the module docs for the selection rule and
+/// the `min(k, F(s, d))` delivery guarantee.
+///
+/// # Examples
+///
+/// ```
+/// use hypersafe_topology::{Hypercube, FaultConfig, NodeId, disjoint};
+/// use hypersafe_core::{route_disjoint, SafetyMap};
+///
+/// let cube = Hypercube::new(4);
+/// let cfg = FaultConfig::fault_free(cube);
+/// let map = SafetyMap::compute(&cfg);
+/// let res = route_disjoint(&cfg, &map,
+///     NodeId::from_binary("0000").unwrap(),
+///     NodeId::from_binary("0011").unwrap(), 4);
+/// // Fault-free: the full fan — H optimal paths + (n − H) detours.
+/// assert_eq!(res.delivered(), 4);
+/// let paths: Vec<_> = res.paths.iter().map(|p| p.path.clone()).collect();
+/// assert!(disjoint::pairwise_internally_disjoint(&paths));
+/// ```
+pub fn route_disjoint(
+    cfg: &FaultConfig,
+    map: &SafetyMap,
+    s: NodeId,
+    d: NodeId,
+    k: u8,
+) -> MultipathResult {
+    route_disjoint_ranked(cfg, map, s, d, k, &|_, _| 0)
+}
+
+/// [`route_disjoint`] with a caller-supplied cost on spare first-hop
+/// links: `spare_cost(s, j)` ranks the detour through spare dimension
+/// `j` (lower is better; safety level breaks ties). The hotspot
+/// workload passes live per-link queue depths here so the least-loaded
+/// healthy spare is preferred.
+pub fn route_disjoint_ranked(
+    cfg: &FaultConfig,
+    map: &SafetyMap,
+    s: NodeId,
+    d: NodeId,
+    k: u8,
+    spare_cost: &dyn Fn(NodeId, u8) -> u64,
+) -> MultipathResult {
+    let n = cfg.cube().dim();
+    let k = k.min(n);
+    if s == d || k == 0 || cfg.node_faulty(s) {
+        return MultipathResult::empty(k);
+    }
+
+    let dims: Vec<u8> = cfg.cube().preferred_dims(s, d).collect();
+    let h = dims.len();
+
+    // Safety-guided candidate order: optimal rotations first (by
+    // first-hop level, descending), then spare detours (by cost, then
+    // level). All keys are deterministic, so so is the whole route.
+    let mut rot_order: Vec<usize> = (0..h).collect();
+    rot_order.sort_by_key(|&i| (std::cmp::Reverse(map.level(s.neighbor(dims[i]))), dims[i]));
+    let mut spare_order: Vec<u8> = cfg.cube().spare_dims(s, d).collect();
+    spare_order.sort_by_key(|&j| {
+        (
+            spare_cost(s, j),
+            std::cmp::Reverse(map.level(s.neighbor(j))),
+            j,
+        )
+    });
+
+    let mut accepted: Vec<Vec<NodeId>> = Vec::with_capacity(k as usize);
+    let mut candidates_cut = false;
+    for &i in &rot_order {
+        if accepted.len() == k as usize {
+            break;
+        }
+        let cand = optimal_candidate(s, &dims, i);
+        if fan_path_ok(cfg, &cand) {
+            accepted.push(cand);
+        } else {
+            candidates_cut = true;
+        }
+    }
+    for &j in &spare_order {
+        if accepted.len() == k as usize {
+            break;
+        }
+        let cand = detour_candidate(s, d, &dims, j);
+        if fan_path_ok(cfg, &cand) {
+            accepted.push(cand);
+        } else {
+            candidates_cut = true;
+        }
+    }
+
+    let fan_accepted = accepted.len() as u8;
+    let mut rerouted = false;
+    if (accepted.len() as u8) < k && candidates_cut {
+        // Live reroute: grow the surviving fan flow to the maximum
+        // set of disjoint fault-free paths through the faulty cube.
+        accepted = augment_to_max(cfg, s, d, accepted, k);
+        rerouted = true;
+    }
+
+    let mut paths: Vec<DisjointPath> = accepted
+        .into_iter()
+        .map(|nodes| {
+            let path = Path::from_nodes(nodes);
+            let kind = kind_of(path.len(), h as u32);
+            DisjointPath { path, kind }
+        })
+        .collect();
+    paths.sort_by_key(|p| p.path.len());
+    MultipathResult {
+        paths,
+        requested: k,
+        fan_accepted,
+        rerouted,
+    }
+}
+
+/// Node-split BFS augmentation from an initial set of disjoint
+/// fault-free paths to a maximum one (capped at `k`).
+///
+/// States are `2v` (the *in* copy of node `v`) and `2v + 1` (*out*);
+/// interior vertex capacity is 1, links are unit in each direction,
+/// and `s`/`d` are uncapacitated. The flow is kept in two flat maps:
+/// `out_flow[v]` has bit `i` set when the edge `v → v ⊕ eᵢ` carries
+/// flow, and `node_used[v]` marks interior vertices on a path.
+fn augment_to_max(
+    cfg: &FaultConfig,
+    s: NodeId,
+    d: NodeId,
+    initial: Vec<Vec<NodeId>>,
+    k: u8,
+) -> Vec<Vec<NodeId>> {
+    let cube = cfg.cube();
+    let n = cube.dim();
+    let total = cube.num_nodes() as usize;
+    let mut out_flow = vec![0u32; total];
+    let mut node_used = vec![false; total];
+    let mut flows = initial.len();
+    for path in &initial {
+        for w in path.windows(2) {
+            let dim = w[0].differing_dims(w[1]).next().expect("adjacent");
+            out_flow[w[0].raw() as usize] |= 1 << dim;
+        }
+        for &v in &path[1..path.len() - 1] {
+            node_used[v.raw() as usize] = true;
+        }
+    }
+
+    let sr = s.raw() as usize;
+    let dr = d.raw() as usize;
+    let mut parent = vec![u32::MAX; 2 * total];
+    let mut queue: Vec<u32> = Vec::with_capacity(total);
+    while flows < k as usize {
+        parent.iter_mut().for_each(|p| *p = u32::MAX);
+        queue.clear();
+        let start = (2 * sr + 1) as u32; // s_out
+        parent[start as usize] = start;
+        queue.push(start);
+        let mut head = 0;
+        let mut found = false;
+        while head < queue.len() && !found {
+            let st = queue[head];
+            head += 1;
+            let v = (st as usize) >> 1;
+            let is_out = st & 1 == 1;
+            let node = NodeId::new(v as u64);
+            if is_out {
+                // Forward link edges v_out → w_in (no flow yet), and
+                // the residual internal edge v_out → v_in when v
+                // carries flow.
+                for i in 0..n {
+                    if out_flow[v] & (1 << i) != 0 {
+                        continue;
+                    }
+                    let w = node.neighbor(i);
+                    let wr = w.raw() as usize;
+                    // A link with opposing flow is cancelled via the
+                    // w_in residual rule, not traversed forward.
+                    if out_flow[wr] & (1 << i) != 0 {
+                        continue;
+                    }
+                    if !cfg.link_usable(node, w) {
+                        continue;
+                    }
+                    if wr != dr && (cfg.node_faulty(w) || wr == sr) {
+                        continue;
+                    }
+                    let wst = (2 * wr) as u32;
+                    if parent[wst as usize] == u32::MAX {
+                        parent[wst as usize] = st;
+                        if wr == dr {
+                            found = true;
+                            break;
+                        }
+                        queue.push(wst);
+                    }
+                }
+                if !found && node_used[v] {
+                    let ist = (st - 1) as usize;
+                    if parent[ist] == u32::MAX {
+                        parent[ist] = st;
+                        queue.push(ist as u32);
+                    }
+                }
+            } else {
+                // v_in: pass through an unused interior vertex, or
+                // cancel an incoming flow edge w → v.
+                if !node_used[v] {
+                    let ost = st + 1;
+                    if parent[ost as usize] == u32::MAX {
+                        parent[ost as usize] = st;
+                        queue.push(ost);
+                    }
+                }
+                for i in 0..n {
+                    let w = node.neighbor(i);
+                    let wr = w.raw() as usize;
+                    if out_flow[wr] & (1 << i) == 0 {
+                        continue; // no flow w → v to cancel
+                    }
+                    let wst = (2 * wr + 1) as u32;
+                    if parent[wst as usize] == u32::MAX {
+                        parent[wst as usize] = st;
+                        queue.push(wst);
+                    }
+                }
+            }
+        }
+        if !found {
+            break;
+        }
+        // Apply the augmenting path by walking parents from d_in.
+        let mut st = (2 * dr) as u32;
+        while st != start {
+            let pr = parent[st as usize];
+            let (pv, p_out) = ((pr as usize) >> 1, pr & 1 == 1);
+            let (cv, c_out) = ((st as usize) >> 1, st & 1 == 1);
+            if pv == cv {
+                // Internal edge: forward in→out claims the vertex,
+                // residual out→in releases it.
+                node_used[cv] = c_out;
+            } else if p_out && !c_out {
+                // Forward link edge pv → cv.
+                let dim = NodeId::new(pv as u64)
+                    .differing_dims(NodeId::new(cv as u64))
+                    .next()
+                    .expect("adjacent");
+                out_flow[pv] |= 1 << dim;
+            } else {
+                // Residual link edge: cancel flow cv → pv.
+                debug_assert!(!p_out && c_out);
+                let dim = NodeId::new(cv as u64)
+                    .differing_dims(NodeId::new(pv as u64))
+                    .next()
+                    .expect("adjacent");
+                out_flow[cv] &= !(1 << dim);
+            }
+            st = pr;
+        }
+        flows += 1;
+    }
+
+    // Decompose the flow into paths: from s, follow each outgoing
+    // flow bit (ascending dimension for determinism); every interior
+    // vertex carries exactly one outgoing unit.
+    let mut paths = Vec::with_capacity(flows);
+    for i in 0..n {
+        if out_flow[sr] & (1 << i) == 0 {
+            continue;
+        }
+        let mut nodes = vec![s];
+        let mut cur = s.neighbor(i);
+        nodes.push(cur);
+        while cur != d {
+            let bits = out_flow[cur.raw() as usize];
+            debug_assert_eq!(bits.count_ones(), 1, "interior vertex capacity violated");
+            let dim = bits.trailing_zeros() as u8;
+            cur = cur.neighbor(dim);
+            nodes.push(cur);
+        }
+        paths.push(nodes);
+    }
+    debug_assert_eq!(paths.len(), flows);
+    paths
+}
+
+/// Routes every pair across up to `k` disjoint paths, in parallel,
+/// preserving input order — the many-to-many batch variant on the
+/// vendored-rayon chunked executor. Each outcome is a pure function of
+/// `(cfg, map, pair, k)`, and chunks commit in order, so the result is
+/// bitwise identical at any `RAYON_NUM_THREADS` (CI diffs 1 vs 4).
+///
+/// Degenerate `s == d` pairs yield an all-zero outcome — the
+/// `disjoint_paths` contract fix this PR exists so such pairs cannot
+/// kill a batch.
+pub fn route_disjoint_many(
+    cfg: &FaultConfig,
+    map: &SafetyMap,
+    pairs: &[(NodeId, NodeId)],
+    k: u8,
+) -> Vec<MultiOutcome> {
+    if pairs.is_empty() {
+        return Vec::new();
+    }
+    if rayon::num_threads() <= 1 {
+        return pairs
+            .iter()
+            .map(|&(s, d)| outcome_of(&route_disjoint(cfg, map, s, d, k)))
+            .collect();
+    }
+    const FILLER: MultiOutcome = MultiOutcome {
+        delivered: 0,
+        optimal: 0,
+        detour: 0,
+        reroute: 0,
+        total_hops: 0,
+        best_hops: 0,
+    };
+    let mut out = vec![FILLER; pairs.len()];
+    let chunk = pairs.len().div_ceil(rayon::num_threads()).max(1);
+    rayon::for_each_chunk_pair(pairs, &mut out, chunk, |ins, outs| {
+        map.store().warm();
+        for (o, &(s, d)) in outs.iter_mut().zip(ins) {
+            *o = outcome_of(&route_disjoint(cfg, map, s, d, k));
+        }
+    });
+    out
+}
+
+/// Folds a full result into the compact batch outcome.
+pub fn outcome_of(res: &MultipathResult) -> MultiOutcome {
+    let mut o = MultiOutcome {
+        delivered: res.delivered() as u8,
+        optimal: 0,
+        detour: 0,
+        reroute: 0,
+        total_hops: res.total_hops(),
+        best_hops: res.best_hops().unwrap_or(0),
+    };
+    for p in &res.paths {
+        match p.kind {
+            PathKind::Optimal => o.optimal += 1,
+            PathKind::Detour => o.detour += 1,
+            PathKind::Reroute => o.reroute += 1,
+        }
+    }
+    o
+}
+
+/// Debug-check used by tests and the E29 gate: all paths share no
+/// interior node, each is fault-free end to end, and each runs
+/// `s → d`.
+pub fn check_disjoint_delivery(
+    cfg: &FaultConfig,
+    s: NodeId,
+    d: NodeId,
+    res: &MultipathResult,
+) -> Result<(), String> {
+    let mut interior: Vec<NodeId> = Vec::new();
+    for p in &res.paths {
+        if p.path.start() != s || p.path.end() != d {
+            return Err(format!("path endpoints are not {s} → {d}: {}", p.path));
+        }
+        let nodes = p.path.nodes();
+        if !fan_path_ok(cfg, nodes) {
+            return Err(format!("path not fault-free: {}", p.path));
+        }
+        if p.path.has_repeats() {
+            return Err(format!("path revisits a node: {}", p.path));
+        }
+        interior.extend_from_slice(&nodes[1..nodes.len() - 1]);
+    }
+    let before = interior.len();
+    interior.sort();
+    interior.dedup();
+    if interior.len() != before {
+        return Err("paths share an interior node".to_string());
+    }
+    if res.delivered() > res.requested as usize {
+        return Err(format!(
+            "delivered {} > requested {}",
+            res.delivered(),
+            res.requested
+        ));
+    }
+    if usize::from(MAX_DIM) < res.delivered() {
+        return Err("more paths than dimensions".to_string());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::unicast::route;
+    use hypersafe_topology::{disjoint, FaultSet, Hypercube};
+
+    fn n(s: &str) -> NodeId {
+        NodeId::from_binary(s).unwrap()
+    }
+
+    fn fig1() -> (FaultConfig, SafetyMap) {
+        let cube = Hypercube::new(4);
+        let cfg = FaultConfig::with_node_faults(
+            cube,
+            FaultSet::from_binary_strs(cube, &["0011", "0100", "0110", "1001"]),
+        );
+        let map = SafetyMap::compute(&cfg);
+        (cfg, map)
+    }
+
+    #[test]
+    fn fault_free_full_fan_every_pair() {
+        for nn in 2u8..=5 {
+            let cube = Hypercube::new(nn);
+            let cfg = FaultConfig::fault_free(cube);
+            let map = SafetyMap::compute(&cfg);
+            for s in cube.nodes() {
+                for d in cube.nodes() {
+                    if s == d {
+                        continue;
+                    }
+                    let res = route_disjoint(&cfg, &map, s, d, nn);
+                    assert_eq!(res.delivered(), nn as usize, "{s} → {d}");
+                    assert_eq!(res.fan_accepted, nn, "{s} → {d}");
+                    assert!(!res.rerouted);
+                    let h = s.distance(d);
+                    let o = outcome_of(&res);
+                    assert_eq!(o.optimal as u32, h, "{s} → {d}");
+                    assert_eq!(o.detour as u32, nn as u32 - h, "{s} → {d}");
+                    assert_eq!(o.reroute, 0);
+                    assert_eq!(o.best_hops, h);
+                    check_disjoint_delivery(&cfg, s, d, &res).unwrap();
+                    let paths: Vec<Path> = res.paths.iter().map(|p| p.path.clone()).collect();
+                    assert!(disjoint::pairwise_internally_disjoint(&paths));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_and_clamped_requests() {
+        let (cfg, map) = fig1();
+        let a = n("0000");
+        assert_eq!(route_disjoint(&cfg, &map, a, a, 4).delivered(), 0);
+        assert_eq!(route_disjoint(&cfg, &map, a, n("0001"), 0).delivered(), 0);
+        // k > n clamps to n.
+        let res = route_disjoint(&cfg, &map, a, n("0001"), 200);
+        assert_eq!(res.requested, 4);
+        // A faulty source cannot transmit.
+        assert_eq!(route_disjoint(&cfg, &map, n("0011"), a, 4).delivered(), 0);
+    }
+
+    #[test]
+    fn k_limits_the_fan_and_prefers_optimal() {
+        let cube = Hypercube::new(5);
+        let cfg = FaultConfig::fault_free(cube);
+        let map = SafetyMap::compute(&cfg);
+        let (s, d) = (n("00000"), n("00111"));
+        let res = route_disjoint(&cfg, &map, s, d, 2);
+        assert_eq!(res.delivered(), 2);
+        assert!(res.paths.iter().all(|p| p.kind == PathKind::Optimal));
+    }
+
+    #[test]
+    fn fig1_multipath_delivers_when_single_path_does() {
+        let (cfg, map) = fig1();
+        for s in cfg.healthy_nodes() {
+            for d in cfg.healthy_nodes() {
+                if s == d {
+                    continue;
+                }
+                let single = route(&cfg, &map, s, d);
+                let multi = route_disjoint(&cfg, &map, s, d, 4);
+                check_disjoint_delivery(&cfg, s, d, &multi).unwrap();
+                if single.delivered {
+                    assert!(
+                        multi.delivered() >= 1,
+                        "{s} → {d}: single-path delivered but multipath got 0"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cut_fan_reroutes_around_the_fault() {
+        // 0000 → 0011 in Q_4 with both optimal intermediates dead:
+        // the fan's optimal rotations are cut, detours survive, and
+        // the flow still reaches the max disjoint count.
+        let cube = Hypercube::new(4);
+        let cfg = FaultConfig::with_node_faults(
+            cube,
+            FaultSet::from_binary_strs(cube, &["0001", "0010"]),
+        );
+        let map = SafetyMap::compute(&cfg);
+        let res = route_disjoint(&cfg, &map, n("0000"), n("0011"), 4);
+        check_disjoint_delivery(&cfg, n("0000"), n("0011"), &res).unwrap();
+        assert_eq!(res.delivered(), 2, "two spare-dimension detours survive");
+        assert!(res.paths.iter().all(|p| p.kind == PathKind::Detour));
+    }
+
+    #[test]
+    fn congestion_rank_steers_the_spare_choice() {
+        let cube = Hypercube::new(4);
+        let cfg = FaultConfig::fault_free(cube);
+        let map = SafetyMap::compute(&cfg);
+        let (s, d) = (n("0000"), n("0001"));
+        // One detour requested; make spare dimension 3 free and the
+        // rest expensive — the chosen detour must leave through dim 3.
+        let res = route_disjoint_ranked(&cfg, &map, s, d, 2, &|_, j| u64::from(j != 3));
+        assert_eq!(res.delivered(), 2);
+        let detour = res
+            .paths
+            .iter()
+            .find(|p| p.kind == PathKind::Detour)
+            .expect("one optimal + one detour");
+        assert_eq!(detour.path.nodes()[1], s.neighbor(3));
+    }
+
+    #[test]
+    fn batch_matches_scalar_and_handles_degenerates() {
+        let (cfg, map) = fig1();
+        let mut pairs: Vec<(NodeId, NodeId)> = cfg
+            .healthy_nodes()
+            .flat_map(|s| cfg.healthy_nodes().map(move |d| (s, d)))
+            .collect();
+        pairs.push((n("0000"), n("0000"))); // degenerate pair must not kill the batch
+        let batch = route_disjoint_many(&cfg, &map, &pairs, 4);
+        assert_eq!(batch.len(), pairs.len());
+        for (o, &(s, d)) in batch.iter().zip(&pairs) {
+            assert_eq!(*o, outcome_of(&route_disjoint(&cfg, &map, s, d, 4)));
+        }
+        assert_eq!(batch.last().unwrap().delivered, 0);
+        assert!(route_disjoint_many(&cfg, &map, &[], 4).is_empty());
+    }
+}

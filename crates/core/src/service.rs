@@ -27,12 +27,14 @@
 //! ([`SafetyMap::check_fixed_point`]), and the published fault set
 //! converges to the live one once the pending queue drains.
 
+use crate::multipath::route_disjoint;
 use crate::navigation::NavVector;
 use crate::reroute::{route_dynamic, DynamicOutcome};
 use crate::safety::SafetyMap;
 use crate::unicast::{intermediate_dim_tb, source_decision_tb, Decision, TieBreak};
 use hypersafe_simkit::service::{
-    AttemptOutcome, AttemptVerdict, DeliveryRung, Epoch, EpochHandle, RouteProvider,
+    AttemptOutcome, AttemptVerdict, DeliveryRung, Epoch, EpochHandle, RedundantOutcome,
+    RouteProvider,
 };
 use hypersafe_topology::{FaultConfig, NodeId};
 use std::collections::VecDeque;
@@ -271,6 +273,45 @@ impl RouteProvider for SafetyService {
         }
     }
 
+    /// Redundant attempt: plan up to `k` node-disjoint paths on the
+    /// snapshot ([`route_disjoint`]), then validate every planned path
+    /// hop-by-hop against the *live* fault set — a copy whose path
+    /// crossed a node that died since the snapshot is simply lost, the
+    /// surviving copies still count. This is the E26 service's
+    /// redundancy request seam: one call, up to `k` independent
+    /// chances, no retry round-trip for single-fault losses.
+    fn attempt_redundant(&mut self, s: NodeId, d: NodeId, k: u8) -> RedundantOutcome {
+        self.attempts += 1;
+        let snap = self.epochs.load();
+        if self.live.node_faulty(s) || self.live.node_faulty(d) {
+            return RedundantOutcome {
+                epoch: snap.epoch,
+                delivered_paths: 0,
+                best_hops: 0,
+                total_hops: 0,
+            };
+        }
+        let planned = route_disjoint(&snap.data.cfg, &snap.data.map, s, d, k);
+        let mut delivered_paths = 0u32;
+        let mut best_hops = u32::MAX;
+        let mut total_hops = 0u32;
+        for p in &planned.paths {
+            // Interior nodes and links must survive in the live set;
+            // the endpoints were checked above.
+            if p.path.traversable(&self.live, true) {
+                delivered_paths += 1;
+                best_hops = best_hops.min(p.path.len());
+                total_hops += p.path.len();
+            }
+        }
+        RedundantOutcome {
+            epoch: snap.epoch,
+            delivered_paths,
+            best_hops: if delivered_paths == 0 { 0 } else { best_hops },
+            total_hops,
+        }
+    }
+
     fn apply_churn(&mut self, node: NodeId, fault: bool) -> bool {
         if fault == self.live.node_faulty(node) {
             return false; // faulting the faulty / recovering the healthy
@@ -467,6 +508,33 @@ mod tests {
             "live recovery reachable via detour before publication"
         );
         assert_eq!(svc.detours(), 2);
+    }
+
+    #[test]
+    fn redundant_attempt_fans_and_survives_post_snapshot_churn() {
+        let cube = Hypercube::new(4);
+        let mut svc = SafetyService::new(FaultConfig::fault_free(cube));
+        let s = NodeId::from_binary("0000").unwrap();
+        let d = NodeId::from_binary("0011").unwrap();
+        // Quiet fault-free service: the full fan of n copies delivers.
+        let out = svc.attempt_redundant(s, d, 4);
+        assert_eq!(out.epoch, 0);
+        assert_eq!(out.delivered_paths, 4);
+        assert_eq!(out.best_hops, 2);
+        assert_eq!(out.total_hops, 2 + 2 + 4 + 4, "2 optimal + 2 detours");
+        // Kill one planned intermediate after the snapshot: exactly one
+        // copy is lost, the rest still deliver — no Stale round-trip.
+        assert!(svc.apply_churn(NodeId::from_binary("0001").unwrap(), true));
+        let out = svc.attempt_redundant(s, d, 4);
+        assert_eq!(out.epoch, 0, "still planning on the stale snapshot");
+        assert_eq!(out.delivered_paths, 3);
+        // k = 1 degrades to a single safest copy.
+        let single = svc.attempt_redundant(s, d, 1);
+        assert!(single.delivered_paths <= 1);
+        // Faulty endpoints deliver nothing.
+        let dead = NodeId::from_binary("0001").unwrap();
+        assert_eq!(svc.attempt_redundant(dead, d, 4).delivered_paths, 0);
+        assert_eq!(svc.attempt_redundant(s, dead, 4).delivered_paths, 0);
     }
 
     #[test]

@@ -48,12 +48,23 @@
 //! `mc_obs.json`, and exits nonzero on any property violation or any
 //! truncated (non-exhaustive) search.
 //!
+//! `multipath` (E29) is a gate: it routes k-disjoint multi-path
+//! unicasts over fault sweeps, a hotspot/incast queueing replay, and
+//! percolation-regime Bernoulli failures; every point cross-checks the
+//! batched router against the scalar one, the structural disjoint-
+//! delivery check, the Menger bound `min(k, n − f)`, delivery
+//! dominance over the single-path router, and giant-component
+//! deliverability. Writes the thread-count-independent
+//! `results/multipath.csv` + `multipath_obs.json` and exits nonzero on
+//! any violation.
+//!
 //! `validate-obs` is the export gate: it checks every metrics snapshot
 //! in the `--csv` directory (`obs_metrics.json`, `loss_obs.json`,
 //! `dst_obs.json`, `churn_obs.json`, `service_obs.json`,
-//! `safety_scale_obs.json`, `mc_obs.json`) against the compiled-in copy of
-//! `tests/goldens/obs_schema.json` and exits nonzero on any shape
-//! drift — or if no snapshot is found at all.
+//! `safety_scale_obs.json`, `mc_obs.json`, `multipath_obs.json`)
+//! against the compiled-in copy of `tests/goldens/obs_schema.json` and
+//! exits nonzero on any shape drift — or if no snapshot is found at
+//! all.
 //!
 //! options:
 //!   --n <dim>        cube dimension (where applicable)
@@ -69,8 +80,8 @@
 use hypersafe_experiments::table::Report;
 use hypersafe_experiments::{
     broadcast_exp, churn_exp, congestion_exp, distribution_exp, dst, dynamic_exp, fig1, fig2, fig3,
-    fig4, fig5, linkfaults_exp, loss_exp, maintenance_exp, mc_exp, multicast_exp, obs_exp,
-    patterns_exp, property2, rounds_compare, routing_compare, safesets, safety_scale_exp,
+    fig4, fig5, linkfaults_exp, loss_exp, maintenance_exp, mc_exp, multicast_exp, multipath_exp,
+    obs_exp, patterns_exp, property2, rounds_compare, routing_compare, safesets, safety_scale_exp,
     service_exp, thm4, tightness_exp, traffic_exp, vectors_exp,
 };
 use std::path::PathBuf;
@@ -91,7 +102,7 @@ struct Opts {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <fig1|fig2|fig3|fig4|fig5|safesets|property2|thm4|compare|rounds|maintenance|broadcast|dynamic|distribution|linkfaults|tightness|traffic|multicast|patterns|vectors|congestion|loss|obs|dst|churn|service|safety-scale|mc|validate-obs|all> \
+        "usage: repro <fig1|fig2|fig3|fig4|fig5|safesets|property2|thm4|compare|rounds|maintenance|broadcast|dynamic|distribution|linkfaults|tightness|traffic|multicast|patterns|vectors|congestion|loss|obs|dst|churn|service|safety-scale|mc|multipath|validate-obs|all> \
          [--n N] [--trials K] [--seeds K] [--max-faults M] [--seed S] [--csv DIR] [--md] [--quick]"
     );
     std::process::exit(2);
@@ -631,6 +642,7 @@ fn run_validate_obs(o: &Opts) -> ExitCode {
         "service_obs.json",
         "safety_scale_obs.json",
         "mc_obs.json",
+        "multipath_obs.json",
     ];
     let mut checked = 0u32;
     let mut bad = 0u32;
@@ -743,10 +755,57 @@ fn run_mc(o: &Opts) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `multipath` (E29) is a gate: every violation of the disjointness /
+/// Menger-bound / dominance / giant-component contracts counts as a
+/// mismatch and fails the process so CI can gate on it.
+fn run_multipath(o: &Opts) -> ExitCode {
+    let mut p = multipath_exp::MultipathParams::default();
+    if o.quick {
+        // CI-sized: smaller cube, fewer pairs, three percolation points.
+        p.n = 6;
+        p.k = 6;
+        p.pairs = 400;
+        p.hotspot_messages = 800;
+        p.percolation_of_threshold_bp = vec![5_000, 10_000, 11_000];
+        p.percolation_pairs = 200;
+    }
+    if let Some(n) = o.n {
+        p.n = n;
+        p.k = n;
+    }
+    if let Some(t) = o.trials {
+        // Reuse --trials as the pairs-per-point knob (pairs = t × 100).
+        p.pairs = t as usize * 100;
+    }
+    if let Some(s) = o.seed {
+        p.seed = s;
+    }
+    if let Some(dir) = &o.csv {
+        p.out_dir = dir.clone();
+    }
+    let run = multipath_exp::run(&p);
+    if o.markdown {
+        println!("{}", run.report.to_markdown());
+    } else {
+        println!("{}", run.report.render());
+    }
+    if run.mismatches > 0 {
+        eprintln!(
+            "multipath: {} contract violation(s) — see the mismatches column",
+            run.mismatches
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let opts = parse_args();
     if opts.experiment == "validate-obs" {
         return run_validate_obs(&opts);
+    }
+    if opts.experiment == "multipath" {
+        return run_multipath(&opts);
     }
     if opts.experiment == "mc" {
         return run_mc(&opts);

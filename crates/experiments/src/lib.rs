@@ -34,6 +34,7 @@
 //! | E26 | [`service_exp`] | resilient-service churn soak — epoch snapshots + request lifecycle |
 //! | E27 | [`safety_scale_exp`] | packed bit-plane safety kernels at million-node scale |
 //! | E28 | [`mc_exp`] | explicit-state model checking — exhaustive GS/ARQ verification |
+//! | E29 | [`multipath_exp`] | k-disjoint multi-path unicast — diversity, overhead, hotspot tail latency |
 #![warn(missing_docs)]
 
 pub mod broadcast_exp;
@@ -52,6 +53,7 @@ pub mod loss_exp;
 pub mod maintenance_exp;
 pub mod mc_exp;
 pub mod multicast_exp;
+pub mod multipath_exp;
 pub mod obs_exp;
 pub mod patterns_exp;
 pub mod property2;

@@ -68,8 +68,8 @@ pub use reliable::{
 };
 pub use service::{
     AttemptOutcome, AttemptVerdict, DegradeReason, DeliveryRung, Epoch, EpochHandle, Injection,
-    RejectReason, ReqId, ReqState, RouteProvider, RoutingService, ServiceConfig, ServiceStats,
-    Terminal,
+    RedundantOutcome, RejectReason, ReqId, ReqState, RouteProvider, RoutingService, ServiceConfig,
+    ServiceStats, Terminal,
 };
 pub use sim::{
     shrink_injections, AdversarialScheduler, FifoScheduler, Invariant, InvariantViolation,

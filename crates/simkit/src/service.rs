@@ -301,6 +301,22 @@ pub struct AttemptOutcome {
     pub verdict: AttemptVerdict,
 }
 
+/// One *redundant* attempt: the message was fanned across up to `k`
+/// node-disjoint paths, and `delivered_paths` of them survived the
+/// live fault set. Produced by [`RouteProvider::attempt_redundant`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RedundantOutcome {
+    /// Epoch of the snapshot the fan was planned against.
+    pub epoch: u64,
+    /// Disjoint paths that delivered (0 = the request failed).
+    pub delivered_paths: u32,
+    /// Hops of the shortest delivered copy (first-copy latency);
+    /// 0 when nothing delivered.
+    pub best_hops: u32,
+    /// Hops summed over all delivered copies (message overhead).
+    pub total_hops: u32,
+}
+
 /// The seam between the generic lifecycle engine and a concrete
 /// routing stack. `hypersafe-core` implements this over
 /// `SafetyMap` snapshots maintained by `safety_delta`.
@@ -308,6 +324,31 @@ pub trait RouteProvider {
     /// One route attempt `s → d` against the current snapshot,
     /// validated against the live fault set.
     fn attempt(&mut self, s: NodeId, d: NodeId) -> AttemptOutcome;
+
+    /// One *redundant* attempt: plan up to `k` node-disjoint paths on
+    /// the snapshot, validate each against the live fault set, and
+    /// report how many copies got through. The default degrades
+    /// gracefully to a single [`RouteProvider::attempt`] — providers
+    /// with a real multi-path planner (e.g. `hypersafe-core`'s
+    /// `route_disjoint`) override this.
+    fn attempt_redundant(&mut self, s: NodeId, d: NodeId, k: u8) -> RedundantOutcome {
+        let _ = k;
+        let out = self.attempt(s, d);
+        match out.verdict {
+            AttemptVerdict::Delivered { hops, .. } => RedundantOutcome {
+                epoch: out.epoch,
+                delivered_paths: 1,
+                best_hops: hops,
+                total_hops: hops,
+            },
+            _ => RedundantOutcome {
+                epoch: out.epoch,
+                delivered_paths: 0,
+                best_hops: 0,
+                total_hops: 0,
+            },
+        }
+    }
 
     /// Applies a churn event to the *live* fault set immediately and
     /// queues the corresponding epoch delta for publication. Returns
@@ -1101,6 +1142,24 @@ mod tests {
         fn current_epoch(&self) -> u64 {
             self.epoch
         }
+    }
+
+    #[test]
+    fn default_attempt_redundant_degrades_to_single_path() {
+        let mut p = Scripted::new(vec![
+            AttemptVerdict::Delivered {
+                rung: DeliveryRung::Optimal,
+                hops: 3,
+            },
+            AttemptVerdict::Unreachable,
+        ]);
+        let out = p.attempt_redundant(NodeId::new(0), NodeId::new(7), 4);
+        assert_eq!(out.delivered_paths, 1, "one copy: the single attempt");
+        assert_eq!(out.best_hops, 3);
+        assert_eq!(out.total_hops, 3);
+        let out = p.attempt_redundant(NodeId::new(0), NodeId::new(7), 4);
+        assert_eq!(out.delivered_paths, 0);
+        assert_eq!(out.total_hops, 0);
     }
 
     fn one_submit(deadline: Time) -> Vec<Injection> {

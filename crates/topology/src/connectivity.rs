@@ -28,6 +28,10 @@ pub fn bfs_distances(cfg: &FaultConfig, src: NodeId) -> Vec<u32> {
     queue.push_back(src);
     while let Some(a) = queue.pop_front() {
         let da = dist[a.raw() as usize];
+        // Every dequeued node was assigned a real distance before being
+        // enqueued; if the sentinel ever leaked in here, `da + 1` would
+        // silently wrap a poisoned distance into the array.
+        debug_assert_ne!(da, UNREACHED, "sentinel distance dequeued for {a}");
         for b in cube.neighbors(a) {
             if cfg.link_usable(a, b) && dist[b.raw() as usize] == UNREACHED {
                 dist[b.raw() as usize] = da + 1;
@@ -59,6 +63,9 @@ pub fn shortest_path(cfg: &FaultConfig, s: NodeId, d: NodeId) -> Option<Vec<Node
     let mut cur = d;
     while cur != s {
         let dc = dist[cur.raw() as usize];
+        // `cur` starts at a reached node and only moves to strictly
+        // closer reached nodes, so `dc - 1` never touches the sentinel.
+        debug_assert_ne!(dc, UNREACHED, "sentinel distance on backwalk at {cur}");
         let prev = cube
             .neighbors(cur)
             .find(|&b| dist[b.raw() as usize] == dc - 1 && cfg.link_usable(cur, b))

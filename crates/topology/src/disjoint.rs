@@ -40,10 +40,13 @@ pub fn disjoint_optimal_paths(cube: Hypercube, s: NodeId, d: NodeId) -> Vec<Path
 /// length `h + 2` through each spare dimension `j` (flip `j`, cross all
 /// preferred dimensions, flip `j` back).
 ///
-/// # Panics
-/// Panics if `s == d` (no paths exist between a node and itself).
+/// Returns an empty vector when `s == d`, matching
+/// [`disjoint_optimal_paths`] — a degenerate pair in a batched
+/// many-to-many request yields no paths, not a panic.
 pub fn disjoint_paths(cube: Hypercube, s: NodeId, d: NodeId) -> Vec<Path> {
-    assert_ne!(s, d, "disjoint paths need distinct endpoints");
+    if s == d {
+        return Vec::new();
+    }
     let mut paths = disjoint_optimal_paths(cube, s, d);
     let dims: Vec<u8> = cube.preferred_dims(s, d).collect();
     for j in cube.spare_dims(s, d) {
@@ -144,6 +147,17 @@ mod tests {
     fn same_node_yields_no_optimal_paths() {
         let cube = Hypercube::new(3);
         assert!(disjoint_optimal_paths(cube, NodeId::ZERO, NodeId::ZERO).is_empty());
+    }
+
+    #[test]
+    fn same_node_yields_no_full_fan_either() {
+        // Regression: the full fan used to assert on s == d while the
+        // optimal fan returned an empty vector — a degenerate pair in
+        // a batched many-to-many request must not kill the caller.
+        let cube = Hypercube::new(4);
+        for s in cube.nodes() {
+            assert!(disjoint_paths(cube, s, s).is_empty());
+        }
     }
 
     #[test]

@@ -132,6 +132,59 @@ proptest! {
         }
     }
 
+    /// Sentinel hygiene on disconnected cubes: no BFS distance other
+    /// than [`connectivity::UNREACHED`] itself ever gets near the
+    /// sentinel, so `da + 1` arithmetic provably never ran on an
+    /// unreached cell (a leak would plant `0` after wraparound, or a
+    /// huge near-MAX value — both are caught here), and unreached is
+    /// exactly "outside the source's component".
+    #[test]
+    fn bfs_sentinel_never_enters_arithmetic(
+        n in 3u8..=6,
+        faults in proptest::collection::btree_set(0u64..64, 8..28),
+        link_seeds in proptest::collection::vec((0u64..64, 0u8..6), 0..10),
+        src_seed in 0u64..64,
+    ) {
+        let cube = Hypercube::new(n);
+        let mask = cube.num_nodes() - 1;
+        let f = FaultSet::from_nodes(cube, faults.into_iter().map(|v| NodeId::new(v & mask)));
+        let mut lf = LinkFaultSet::new();
+        for (a, d) in link_seeds {
+            let a = NodeId::new(a & mask);
+            lf.insert(a, a.neighbor(d % n));
+        }
+        let cfg = FaultConfig::with_faults(cube, f, lf);
+        let src = NodeId::new(src_seed & mask);
+        let dist = connectivity::bfs_distances(&cfg, src);
+        // Longest simple path bounds every true distance; anything
+        // between that and the sentinel is a poisoned value.
+        let diameter_bound = cube.num_nodes() as u32;
+        let comps = connectivity::components(&cfg);
+        let src_comp = comps.iter().find(|c| c.contains(&src));
+        for a in cube.nodes() {
+            let v = dist[a.raw() as usize];
+            if v == connectivity::UNREACHED {
+                let same = src_comp.is_some_and(|c| c.contains(&a));
+                prop_assert!(!same, "{a} reachable from {src} but marked UNREACHED");
+            } else {
+                prop_assert!(v < diameter_bound, "poisoned distance {v} at {a}");
+                prop_assert!(
+                    src_comp.is_some_and(|c| c.contains(&a)),
+                    "{a} has finite distance but sits outside {src}'s component"
+                );
+            }
+        }
+        // shortest_path's backwalk (`dc - 1`) must agree with the
+        // distance array end-to-end, reached or not.
+        for a in cube.nodes() {
+            let p = connectivity::shortest_path(&cfg, src, a);
+            match p {
+                Some(p) => prop_assert_eq!(p.len() as u32 - 1, dist[a.raw() as usize]),
+                None => prop_assert_eq!(dist[a.raw() as usize], connectivity::UNREACHED),
+            }
+        }
+    }
+
     /// A link fault never disconnects more than a node fault would:
     /// removing one link keeps the cube connected for n ≥ 2.
     #[test]

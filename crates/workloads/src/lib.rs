@@ -9,18 +9,25 @@
 
 pub mod embedded;
 pub mod fault_gen;
+pub mod hotspot;
 pub mod loss;
 pub mod open_loop;
 pub mod pairs;
 pub mod partition;
+pub mod percolation;
 pub mod sweep;
 
 pub use embedded::{
     bit_reversal_pairs, exchange_pairs, pattern_names, pattern_pairs, ring_pairs, torus_pairs,
 };
 pub use fault_gen::{clustered_faults, subcube_faults, uniform_faults, uniform_link_faults};
+pub use hotspot::{hotspot_mix, incast_pairs, LinkLoad};
 pub use loss::{random_profile, LossProfile, STANDARD_PROFILES};
 pub use open_loop::{open_loop_mix, OpenLoop};
 pub use pairs::{random_healthy, random_pair, random_pair_at_distance};
 pub use partition::{corner_cut, is_disconnecting, random_disconnecting, subcube_cut};
+pub use percolation::{
+    bernoulli_link_faults, bernoulli_node_faults, giant_component, giant_component_pairs,
+    giant_fraction_bp, link_threshold_bp,
+};
 pub use sweep::{ci95, mean, stddev, Sweep};
